@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the command-line tools, run via `go run` so they
+// exercise exactly what a user invokes. Skipped under -short.
+
+func runTool(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+func TestCLIGenerateAndSolvePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	instance, err := runTool(t, "", "./cmd/geninstance", "-kind", "solvable",
+		"-applicants", "20", "-posts", "30", "-maxlen", "4", "-seed", "7")
+	if err != nil {
+		t.Fatalf("geninstance: %v\n%s", err, instance)
+	}
+	if !strings.HasPrefix(instance, "posts 30") {
+		t.Fatalf("unexpected instance header:\n%s", instance)
+	}
+	for _, mode := range []string{"popular", "maxcard", "fair", "rankmax", "ties", "tiesmax"} {
+		out, err := runTool(t, instance, "./cmd/popmatch", "-mode", mode, "-verify", "-stats")
+		if err != nil {
+			t.Fatalf("popmatch -mode %s: %v\n%s", mode, err, out)
+		}
+		if !strings.Contains(out, "# verified popular") {
+			t.Fatalf("mode %s: verification line missing:\n%s", mode, out)
+		}
+		if !strings.Contains(out, "a0 ->") {
+			t.Fatalf("mode %s: assignments missing:\n%s", mode, out)
+		}
+	}
+}
+
+func TestCLIUnsolvableExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	instance, err := runTool(t, "", "./cmd/geninstance", "-kind", "unsolvable", "-depth", "2")
+	if err != nil {
+		t.Fatalf("geninstance: %v", err)
+	}
+	out, err := runTool(t, instance, "./cmd/popmatch")
+	if err == nil {
+		t.Fatalf("popmatch should exit non-zero on unsolvable instances:\n%s", out)
+	}
+	if !strings.Contains(out, "no popular matching exists") {
+		t.Fatalf("missing diagnostic:\n%s", out)
+	}
+}
+
+func TestCLIStableNext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, err := runTool(t, "", "./cmd/stablenext", "-n", "0")
+	if err != nil {
+		t.Fatalf("stablenext: %v\n%s", err, out)
+	}
+	// The paper instance exposes exactly two rotations.
+	if !strings.Contains(out, "rotation 0:") || !strings.Contains(out, "rotation 1:") {
+		t.Fatalf("expected two rotations:\n%s", out)
+	}
+	walk, err := runTool(t, "", "./cmd/stablenext", "-n", "0", "-walk")
+	if err != nil {
+		t.Fatalf("stablenext -walk: %v\n%s", err, walk)
+	}
+	// The walk starts from the paper's underlined M (not the man-optimal
+	// matching), from which the chain to the woman-optimal matching has
+	// five elements.
+	if !strings.Contains(walk, "# chain length 5") {
+		t.Fatalf("paper instance chain from M should have length 5:\n%s", walk)
+	}
+}
+
+func TestCLIPopbenchSingleTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, err := runTool(t, "", "./cmd/popbench", "-table", "T1")
+	if err != nil {
+		t.Fatalf("popbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "T1 — Lemma 2") || !strings.Contains(out, "broom d=16") {
+		t.Fatalf("table output incomplete:\n%s", out)
+	}
+}
+
+func TestCLIRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	if out, err := runTool(t, "posts 1\na0: p0\n", "./cmd/popmatch", "-mode", "nonsense"); err == nil {
+		t.Fatalf("bad mode accepted:\n%s", out)
+	}
+	if out, err := runTool(t, "", "./cmd/popbench", "-table", "T99"); err == nil {
+		t.Fatalf("bad table accepted:\n%s", out)
+	}
+	if out, err := runTool(t, "", "./cmd/geninstance", "-kind", "nonsense"); err == nil {
+		t.Fatalf("bad kind accepted:\n%s", out)
+	}
+}

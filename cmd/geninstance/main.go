@@ -1,0 +1,61 @@
+// geninstance generates popular-matching instances in the text format.
+//
+// Usage:
+//
+//	geninstance [-kind random|zipf|ties|solvable|unsolvable|broom]
+//	            [-applicants N] [-posts N] [-minlen N] [-maxlen N]
+//	            [-skew F] [-tieprob F] [-depth N] [-seed N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/popmatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geninstance: ")
+	kind := flag.String("kind", "random", "random|zipf|ties|solvable|unsolvable|broom")
+	applicants := flag.Int("applicants", 100, "number of applicants")
+	posts := flag.Int("posts", 100, "number of posts")
+	minLen := flag.Int("minlen", 1, "minimum list length")
+	maxLen := flag.Int("maxlen", 6, "maximum list length")
+	skew := flag.Float64("skew", 1.0, "Zipf exponent (kind=zipf)")
+	tieProb := flag.Float64("tieprob", 0.3, "tie probability (kind=ties)")
+	depth := flag.Int("depth", 8, "tree depth (kind=broom); groups (kind=unsolvable)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var ins *popmatch.Instance
+	switch *kind {
+	case "random":
+		ins = popmatch.RandomStrict(rng, *applicants, *posts, *minLen, *maxLen)
+	case "zipf":
+		ins = popmatch.RandomZipf(rng, *applicants, *posts, *maxLen, *skew)
+	case "ties":
+		ins = popmatch.RandomTies(rng, *applicants, *posts, *minLen, *maxLen, *tieProb)
+	case "solvable":
+		extra := *posts - *applicants
+		if extra < 0 {
+			extra = 0
+		}
+		ins = popmatch.Solvable(rng, *applicants, extra, *maxLen)
+	case "unsolvable":
+		ins = popmatch.Unsolvable(*depth)
+	case "broom":
+		ins = popmatch.BinaryBroom(*depth)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := popmatch.Write(w, ins); err != nil {
+		log.Fatal(err)
+	}
+}

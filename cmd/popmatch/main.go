@@ -1,0 +1,102 @@
+// popmatch solves popular matching instances from the text format.
+//
+// Usage:
+//
+//	popmatch [-mode popular|maxcard|rankmax|fair|ties|tiesmax] [-workers N]
+//	         [-verify] [-stats] [file]
+//
+// Reads the instance from `file` or stdin. The text format is:
+//
+//	posts <numPosts>
+//	a0: p0 (p2 p3) p1        # parentheses = tie class
+//
+// Output: one line per applicant `a<i> -> p<j>` (or `a<i> -> last-resort`),
+// followed by a summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/popmatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("popmatch: ")
+	mode := flag.String("mode", "popular", "popular|maxcard|rankmax|fair|ties|tiesmax")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	verify := flag.Bool("verify", false, "re-verify the result with the Theorem 1 characterization and the margin oracle")
+	stats := flag.Bool("stats", false, "print parallel round/work accounting")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	ins, err := popmatch.Read(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var trace popmatch.Stats
+	opt := popmatch.Options{Workers: *workers, Trace: &trace}
+	var res popmatch.Result
+	switch *mode {
+	case "popular":
+		res, err = popmatch.Solve(ins, opt)
+	case "maxcard":
+		res, err = popmatch.MaxCardinality(ins, opt)
+	case "rankmax":
+		res, err = popmatch.RankMaximal(ins, opt)
+	case "fair":
+		res, err = popmatch.Fair(ins, opt)
+	case "ties":
+		res, err = popmatch.SolveTies(ins, false, opt)
+	case "tiesmax":
+		res, err = popmatch.SolveTies(ins, true, opt)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Exists {
+		fmt.Println("no popular matching exists")
+		os.Exit(1)
+	}
+	for a, p := range res.Matching.PostOf {
+		if int(p) >= ins.NumPosts {
+			fmt.Printf("a%d -> last-resort\n", a)
+		} else {
+			fmt.Printf("a%d -> p%d\n", a, p)
+		}
+	}
+	fmt.Printf("# size=%d of %d applicants", res.Size, ins.NumApplicants)
+	if res.PeelRounds >= 0 {
+		fmt.Printf(" peel-rounds=%d", res.PeelRounds)
+	}
+	fmt.Println()
+	if *stats {
+		fmt.Printf("# rounds=%d work=%d\n", trace.Rounds(), trace.Work())
+	}
+	if *verify {
+		if ins.Strict() {
+			if err := popmatch.Verify(ins, res.Matching, opt); err != nil {
+				log.Fatalf("verification failed: %v", err)
+			}
+		}
+		if margin := popmatch.UnpopularityMargin(ins, res.Matching); margin > 0 {
+			log.Fatalf("margin oracle rejects the matching: %d", margin)
+		}
+		fmt.Println("# verified popular")
+	}
+}

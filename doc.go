@@ -1,0 +1,9 @@
+// Package repro reproduces Hu & Garg, "NC Algorithms for Popular Matchings
+// in One-Sided Preference Systems and Related Problems" (IPDPS 2020).
+//
+// The public API lives in the popmatch and stablematch packages; the
+// parallel substrate and algorithm internals are under internal/. The
+// benchmarks in bench_test.go regenerate the experiment tables of
+// EXPERIMENTS.md (one benchmark family per table); cmd/popbench prints the
+// tables directly.
+package repro

@@ -1,0 +1,85 @@
+// Theorem 11 demo: maximum-cardinality bipartite matching via the
+// popular-matching black box.
+//
+// §V of the paper proves Maximum-cardinality Bipartite Matching ≤_NC
+// Popular Matching by giving every edge rank 1. This example runs the
+// reduction on random graphs of growing density and cross-checks the sizes
+// against a direct Hopcroft–Karp run — they must agree everywhere (Lemmas 12
+// and 13).
+//
+// Run: go run ./examples/ties
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/popmatch"
+)
+
+// hopcroftKarpSize is an independent in-example implementation (augmenting
+// paths via BFS layers), so the demo does not trust the library twice.
+func hopcroftKarpSize(adj [][]int32, nRight int) int {
+	n := len(adj)
+	matchL := make([]int32, n)
+	matchR := make([]int32, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var dfs func(l int32, visited []bool) bool
+	dfs = func(l int32, visited []bool) bool {
+		for _, r := range adj[l] {
+			if visited[r] {
+				continue
+			}
+			visited[r] = true
+			if matchR[r] == -1 || dfs(matchR[r], visited) {
+				matchL[l] = r
+				matchR[r] = int32(l)
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < n; l++ {
+		visited := make([]bool, nRight)
+		if dfs(int32(l), visited) {
+			size++
+		}
+	}
+	return size
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	fmt.Println("Theorem 11: max bipartite matching via popular matching")
+	fmt.Println("  n    density   reduction   direct   agree")
+	for _, n := range []int{50, 100, 200} {
+		for _, density := range []float64{0.02, 0.05, 0.15} {
+			adj := make([][]int32, n)
+			for l := 0; l < n; l++ {
+				for r := 0; r < n; r++ {
+					if rng.Float64() < density {
+						adj[l] = append(adj[l], int32(r))
+					}
+				}
+			}
+			_, viaPopular, err := popmatch.MaxBipartiteMatching(adj, n, popmatch.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			direct := hopcroftKarpSize(adj, n)
+			fmt.Printf("  %3d   %6.2f   %9d   %6d   %v\n", n, density, viaPopular, direct, viaPopular == direct)
+			if viaPopular != direct {
+				log.Fatal("reduction disagrees with direct matching — Theorem 11 broken")
+			}
+		}
+	}
+	fmt.Println("\nall sizes agree: the popular-matching black box computes maximum matchings")
+	fmt.Println("on rank-one instances, exactly as Lemmas 12 and 13 predict.")
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:      "T0",
+		Title:   "sample",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "x"}, {"22", "yy"}},
+		Notes:   "a note",
+	}
+}
+
+func TestTableFprintAligned(t *testing.T) {
+	var sb strings.Builder
+	sampleTable().Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "T0 — sample") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "long-column") || !strings.Contains(out, "a note") {
+		t.Fatalf("missing parts: %q", out)
+	}
+	// Columns align: both data rows end at the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected line count: %q", out)
+	}
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var sb strings.Builder
+	sampleTable().Markdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"### T0 — sample", "| a | long-column |", "| --- | --- |", "| 22 | yy |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSolvableUniformReturnsSolvable(t *testing.T) {
+	ins, res := solvableUniform(newTestRng(), 200)
+	if !res.Exists {
+		t.Fatal("solvableUniform returned an unsolvable instance")
+	}
+	if ins.NumPosts != 300 {
+		t.Fatalf("posts = %d, want ratio 1.5", ins.NumPosts)
+	}
+}
+
+func TestRandomBipartiteShape(t *testing.T) {
+	g := randomBipartite(newTestRng(), 10, 12, 0.5)
+	if g.NLeft != 10 || g.NRight != 12 {
+		t.Fatalf("dims %d/%d", g.NLeft, g.NRight)
+	}
+	_, _, size := hkSize(g)
+	if size < 1 {
+		t.Fatal("dense random graph should match something")
+	}
+}

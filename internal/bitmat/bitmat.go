@@ -1,0 +1,180 @@
+// Package bitmat implements bit-packed boolean matrices with a parallel
+// boolean product and transitive closure by repeated squaring.
+//
+// It is the substrate for Theorem 5 of the paper (JáJá): the transitive
+// closure of an n-vertex digraph is computable in O(log² n) parallel time —
+// here, ceil(log2 n) squarings of (A | I), each squaring one row-parallel
+// boolean product. The closure is used by the §IV-A "first approach" to
+// finding the unique cycle of each pseudoforest component: vertices i ≠ j are
+// on a common cycle iff they reach each other.
+package bitmat
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/par"
+)
+
+// Matrix is an n×n boolean matrix with rows packed 64 bits per word.
+type Matrix struct {
+	N     int
+	words int      // words per row
+	bits  []uint64 // N * words, row-major
+}
+
+// New returns the n×n zero matrix.
+func New(n int) *Matrix {
+	w := (n + 63) / 64
+	return &Matrix{N: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{N: m.N, words: m.words, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v bool) {
+	w := i*m.words + j/64
+	mask := uint64(1) << (j % 64)
+	if v {
+		m.bits[w] |= mask
+	} else {
+		m.bits[w] &^= mask
+	}
+}
+
+// Get reads entry (i, j).
+func (m *Matrix) Get(i, j int) bool {
+	return m.bits[i*m.words+j/64]&(1<<(j%64)) != 0
+}
+
+// Row returns the packed words of row i. The slice aliases the matrix.
+func (m *Matrix) Row(i int) []uint64 {
+	return m.bits[i*m.words : (i+1)*m.words]
+}
+
+// RowCount returns the number of true entries in row i.
+func (m *Matrix) RowCount(i int) int {
+	c := 0
+	for _, w := range m.Row(i) {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Transpose returns a new matrix with rows and columns exchanged.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Row(i)
+		for wi, w := range row {
+			for w != 0 {
+				j := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				t.Set(j, i, true)
+			}
+		}
+	}
+	return t
+}
+
+// Equal reports whether m and o have identical dimensions and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i := range m.bits {
+		if m.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the boolean product a·b (OR of ANDs). Rows of the result are
+// computed in parallel: for each set bit k of a's row i, b's row k is OR-ed
+// into the accumulator — O(n²/64 + nnz·n/64) word operations.
+func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+	if a.N != b.N {
+		panic(fmt.Sprintf("bitmat: size mismatch %d vs %d", a.N, b.N))
+	}
+	n := a.N
+	c := New(n)
+	p.ForGrain(n, 8, func(i int) {
+		dst := c.Row(i)
+		src := a.Row(i)
+		for wi, w := range src {
+			for w != 0 {
+				k := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				brow := b.Row(k)
+				for x := range dst {
+					dst[x] |= brow[x]
+				}
+			}
+		}
+	})
+	t.Round(n * a.words)
+	return c
+}
+
+// Or returns the element-wise disjunction a | b.
+func Or(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+	if a.N != b.N {
+		panic(fmt.Sprintf("bitmat: size mismatch %d vs %d", a.N, b.N))
+	}
+	c := a.Clone()
+	p.For(len(c.bits), func(i int) { c.bits[i] |= b.bits[i] })
+	t.Round(len(c.bits))
+	return c
+}
+
+// TransitiveClosure returns the reflexive-transitive closure of the digraph
+// whose adjacency matrix is adj: entry (i, j) of the result is true iff j is
+// reachable from i by a (possibly empty) directed path. It squares (adj | I)
+// ceil(log2 n) times — the O(log² n)-round construction of Theorem 5.
+func TransitiveClosure(p *par.Pool, adj *Matrix, t *par.Tracer) *Matrix {
+	n := adj.N
+	r := Or(p, adj, Identity(n), t)
+	for k := par.Iterations(n); k > 0; k-- {
+		r = Mul(p, r, r, t)
+	}
+	return r
+}
+
+// FromAdjacency builds the adjacency matrix of a digraph given as successor
+// lists: adj[i] lists the out-neighbors of i.
+func FromAdjacency(n int, adj [][]int) *Matrix {
+	m := New(n)
+	for i, outs := range adj {
+		for _, j := range outs {
+			m.Set(i, j, true)
+		}
+	}
+	return m
+}
+
+// FromFunctional builds the adjacency matrix of a functional graph: succ[v]
+// is v's unique out-neighbor, or a negative value (or v itself) for a sink.
+func FromFunctional(succ []int32) *Matrix {
+	m := New(len(succ))
+	for v, s := range succ {
+		if s >= 0 && int(s) != v {
+			m.Set(v, int(s), true)
+		}
+	}
+	return m
+}

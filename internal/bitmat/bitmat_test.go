@@ -1,0 +1,233 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func randomMatrix(rng *rand.Rand, n int, density float64) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+func naiveMul(a, b *Matrix) *Matrix {
+	n := a.N
+	c := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					c.Set(i, j, true)
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+// floydWarshall computes reachability (reflexive) with the classic O(n³) DP.
+func floydWarshall(adj *Matrix) *Matrix {
+	n := adj.N
+	r := adj.Clone()
+	for i := 0; i < n; i++ {
+		r.Set(i, i, true)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.Get(i, k) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r.Get(k, j) {
+					r.Set(i, j, true)
+				}
+			}
+		}
+	}
+	return r
+}
+
+func TestSetGet(t *testing.T) {
+	m := New(130) // crosses word boundaries
+	coords := [][2]int{{0, 0}, {0, 63}, {0, 64}, {129, 129}, {64, 65}}
+	for _, c := range coords {
+		m.Set(c[0], c[1], true)
+	}
+	for _, c := range coords {
+		if !m.Get(c[0], c[1]) {
+			t.Fatalf("Get(%d,%d) = false after Set", c[0], c[1])
+		}
+	}
+	m.Set(0, 64, false)
+	if m.Get(0, 64) {
+		t.Fatal("Set(false) did not clear the bit")
+	}
+	if m.Get(0, 63) || m.Get(0, 65) {
+		// 0,65 was never set; 0,63 must survive the clear of 0,64.
+		if m.Get(0, 65) {
+			t.Fatal("clearing one bit disturbed a neighbor")
+		}
+	}
+	if !m.Get(0, 63) {
+		t.Fatal("clearing bit 64 disturbed bit 63")
+	}
+}
+
+func TestRowCount(t *testing.T) {
+	m := New(100)
+	m.Set(3, 1, true)
+	m.Set(3, 64, true)
+	m.Set(3, 99, true)
+	if got := m.RowCount(3); got != 3 {
+		t.Fatalf("RowCount = %d, want 3", got)
+	}
+	if got := m.RowCount(4); got != 0 {
+		t.Fatalf("RowCount(empty) = %d, want 0", got)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	p := par.NewPool(4)
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 97, 0.1)
+	i97 := Identity(97)
+	if !Mul(p, a, i97, nil).Equal(a) {
+		t.Fatal("A·I != A")
+	}
+	if !Mul(p, i97, a, nil).Equal(a) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, pool := range []*par.Pool{par.Sequential(), par.NewPool(0)} {
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(90)
+			a := randomMatrix(rng, n, 0.15)
+			b := randomMatrix(rng, n, 0.15)
+			got := Mul(pool, a, b, nil)
+			want := naiveMul(a, b)
+			if !got.Equal(want) {
+				t.Fatalf("workers=%d n=%d: parallel product differs from naive", pool.Workers(), n)
+			}
+		}
+	}
+}
+
+func TestMulSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul on mismatched sizes did not panic")
+		}
+	}()
+	Mul(par.Sequential(), New(3), New(4), nil)
+}
+
+func TestOr(t *testing.T) {
+	p := par.NewPool(2)
+	a := New(70)
+	b := New(70)
+	a.Set(0, 0, true)
+	b.Set(69, 69, true)
+	c := Or(p, a, b, nil)
+	if !c.Get(0, 0) || !c.Get(69, 69) {
+		t.Fatal("Or lost bits")
+	}
+	if a.Get(69, 69) {
+		t.Fatal("Or modified its input")
+	}
+}
+
+func TestTransitiveClosureAgainstFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := par.NewPool(0)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(70)
+		adj := randomMatrix(rng, n, 2.0/float64(n+1))
+		got := TransitiveClosure(p, adj, nil)
+		want := floydWarshall(adj)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: closure differs from Floyd-Warshall", n)
+		}
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	p := par.NewPool(4)
+	n := 6
+	adj := New(n)
+	for v := 0; v < n; v++ {
+		adj.Set(v, (v+1)%n, true)
+	}
+	r := TransitiveClosure(p, adj, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !r.Get(i, j) {
+				t.Fatalf("cycle closure missing (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromFunctional(t *testing.T) {
+	succ := []int32{1, 2, 2, -1} // 3 is sink via -1; 2 is sink via self
+	m := FromFunctional(succ)
+	if !m.Get(0, 1) || !m.Get(1, 2) {
+		t.Fatal("missing functional edges")
+	}
+	if m.Get(2, 2) || m.Get(3, 3) {
+		t.Fatal("sinks must not get self-loops")
+	}
+	if got := m.RowCount(2) + m.RowCount(3); got != 0 {
+		t.Fatalf("sink rows non-empty: %d", got)
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	m := FromAdjacency(4, [][]int{{1, 2}, {3}, {}, {0}})
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}, {3, 0}}
+	count := 0
+	for i := 0; i < 4; i++ {
+		count += m.RowCount(i)
+	}
+	if count != len(want) {
+		t.Fatalf("edge count = %d, want %d", count, len(want))
+	}
+	for _, e := range want {
+		if !m.Get(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := par.NewPool(0)
+	a := randomMatrix(rng, 256, 0.05)
+	c := randomMatrix(rng, 256, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(p, a, c, nil)
+	}
+}
+
+func BenchmarkTransitiveClosure256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := par.NewPool(0)
+	adj := randomMatrix(rng, 256, 0.008)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TransitiveClosure(p, adj, nil)
+	}
+}

@@ -1,0 +1,96 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+func fromSeed(seed int64, maxN int) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	return randomMatrix(rng, n, 0.2)
+}
+
+func TestQuickMulAssociative(t *testing.T) {
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := randomMatrix(rng, n, 0.2)
+		b := randomMatrix(rng, n, 0.2)
+		c := randomMatrix(rng, n, 0.2)
+		left := Mul(p, Mul(p, a, b, nil), c, nil)
+		right := Mul(p, a, Mul(p, b, c, nil), nil)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		a := fromSeed(seed, 80)
+		return a.Transpose().Transpose().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeReversesProduct(t *testing.T) {
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := randomMatrix(rng, n, 0.2)
+		b := randomMatrix(rng, n, 0.2)
+		// (AB)^T == B^T A^T for boolean products too.
+		return Mul(p, a, b, nil).Transpose().Equal(Mul(p, b.Transpose(), a.Transpose(), nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClosureIdempotent(t *testing.T) {
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		a := fromSeed(seed, 50)
+		tc := TransitiveClosure(p, a, nil)
+		return TransitiveClosure(p, tc, nil).Equal(tc) && Mul(p, tc, tc, nil).Equal(tc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClosureMonotone(t *testing.T) {
+	// Adding edges can only add reachability.
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := randomMatrix(rng, n, 0.1)
+		b := a.Clone()
+		for k := 0; k < 3; k++ {
+			b.Set(rng.Intn(n), rng.Intn(n), true)
+		}
+		ta := TransitiveClosure(p, a, nil)
+		tb := TransitiveClosure(p, b, nil)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if ta.Get(i, j) && !tb.Get(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

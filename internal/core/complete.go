@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// Algorithm 2 of the paper: find an applicant-complete matching of the
+// reduced graph G′, or decide that none exists, in NC.
+//
+// Representation. G′ has exactly two edges per applicant:
+// edge 2a = (a, F[a]) and edge 2a+1 = (a, S[a]). Every edge carries two
+// darts: dart 2e is the applicant→post direction, dart 2e+1 the
+// post→applicant direction. A dart's successor continues the walk through
+// its head vertex when that vertex has degree exactly 2 (through applicants
+// always — they keep degree 2 until deleted — and through degree-2 posts),
+// so maximal paths of degree-2 vertices become successor chains of darts,
+// and the paper's "doubling trick" applies verbatim.
+//
+// Each while-loop round (Lemma 2: O(log n) of them):
+//  1. recompute post degrees over alive edges,
+//  2. terminate if no post has degree 1,
+//  3. pointer-double the dart chains to find, for every dart, its terminal
+//     dart and distance,
+//  4. every degree-1 post activates its chain (the maximal path of the
+//     paper); if both endpoints have degree 1 the smaller post id wins,
+//  5. every dart at even distance from its active chain's start matches its
+//     edge; matched vertices are deleted.
+//
+// Afterwards either |P| < |A| (no applicant-complete matching, by Hall) or
+// the residual graph is 2-regular — a disjoint union of even cycles — and a
+// perfect matching is extracted by leader election plus parity, again with
+// pointer doubling.
+
+// PeelStats reports what Algorithm 2 did, for the Lemma 2 experiments.
+type PeelStats struct {
+	// Rounds is the number of while-loop iterations (Lemma 2 bounds it by
+	// ceil(log2 n)+1).
+	Rounds int
+	// PeeledPairs counts pairs matched during the while loop.
+	PeeledPairs int
+	// CyclePairs counts pairs matched in the residual even cycles.
+	CyclePairs int
+	// CycleCount is the number of residual cycles.
+	CycleCount int
+}
+
+// applicantComplete runs Algorithm 2. It returns the matching (nil if no
+// applicant-complete matching exists) and the peeling statistics.
+func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats, error) {
+	p := opt.pool()
+	t := opt.Tracer
+	ins := r.Ins
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	stats := &PeelStats{}
+	m := onesided.NewMatching(ins)
+	if n1 == 0 {
+		return m, stats, nil
+	}
+
+	nEdges := 2 * n1
+	nDarts := 2 * nEdges
+	// Static post adjacency (CSR over edge ids).
+	postAdjStart, postAdjEdges := buildPostAdj(p, r, t)
+
+	aliveA := make([]bool, n1)
+	alivePost := make([]bool, total)
+	aliveBits := make([]uint32, total)
+	p.For(n1, func(a int) {
+		aliveA[a] = true
+		atomic.StoreUint32(&aliveBits[r.F[a]], 1)
+		atomic.StoreUint32(&aliveBits[r.S[a]], 1)
+	})
+	t.Round(n1)
+	p.For(total, func(q int) { alivePost[q] = aliveBits[q] == 1 })
+	t.Round(total)
+
+	edgeApplicant := func(e int32) int32 { return e / 2 }
+	edgePost := func(e int32) int32 {
+		if e%2 == 0 {
+			return r.F[e/2]
+		}
+		return r.S[e/2]
+	}
+	edgeAlive := func(e int32) bool {
+		return aliveA[edgeApplicant(e)] && alivePost[edgePost(e)]
+	}
+
+	deg := make([]int32, total)
+	degAtomic := make([]atomic.Int32, total)
+	succ := make([]int32, nDarts)
+	dartDead := make([]bool, nDarts)
+	otherEdge := make([]int32, total) // scratch: per degree-2 post, its other edge
+	matchedDart := make([]bool, nDarts)
+	startDist := make([]int, nDarts) // per terminal dart: distance of chain start
+	active := make([]bool, nDarts)
+
+	for {
+		// --- degrees over alive edges ---
+		p.For(total, func(q int) { degAtomic[q].Store(0) })
+		t.Round(total)
+		p.For(nEdges, func(ei int) {
+			e := int32(ei)
+			if edgeAlive(e) {
+				degAtomic[edgePost(e)].Add(1)
+			}
+		})
+		t.Round(nEdges)
+		p.For(total, func(q int) {
+			deg[q] = degAtomic[q].Load()
+			if deg[q] == 0 {
+				alivePost[q] = false // drop isolated posts (Algorithm 2 line 9)
+			}
+		})
+		t.Round(total)
+
+		deg1 := p.Compact(total, func(q int) bool { return alivePost[q] && deg[q] == 1 }, t)
+		if len(deg1) == 0 {
+			break
+		}
+		stats.Rounds++
+
+		// --- dart successors on the alive subgraph ---
+		// For each degree-2 post, find its two alive edges (scan its CSR
+		// range; total work is O(m) per round).
+		p.For(total, func(q int) {
+			if !alivePost[q] || deg[q] != 2 {
+				return
+			}
+			otherEdge[q] = -1
+		})
+		t.Round(total)
+		p.For(nDarts, func(di int) {
+			d := int32(di)
+			e := d / 2
+			if !edgeAlive(e) {
+				dartDead[d] = true
+				succ[d] = d // absorbing, never consulted
+				return
+			}
+			dartDead[d] = false
+			if d%2 == 0 {
+				// applicant -> post: continue through the post iff deg 2.
+				q := edgePost(e)
+				if deg[q] != 2 {
+					succ[d] = d // terminal
+					return
+				}
+				var other int32 = -1
+				for k := postAdjStart[q]; k < postAdjStart[q+1]; k++ {
+					e2 := postAdjEdges[k]
+					if e2 != e && edgeAlive(e2) {
+						other = e2
+						break
+					}
+				}
+				succ[d] = 2*other + 1 // post -> applicant along the other edge
+			} else {
+				// post -> applicant: applicants always have degree 2; exit
+				// along the applicant's other edge.
+				a := edgeApplicant(e)
+				var other int32
+				if e%2 == 0 {
+					other = 2*a + 1
+				} else {
+					other = 2 * a
+				}
+				succ[d] = 2 * other // applicant -> post
+			}
+		})
+		t.Round(nDarts)
+
+		// --- doubling: terminal dart + distance for every chain ---
+		dvals := make([]int, nDarts)
+		p.For(nDarts, func(d int) {
+			if succ[d] != int32(d) {
+				dvals[d] = 1
+			}
+		})
+		t.Round(nDarts)
+		ptr, dist := par.Double(p, succ, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1, t)
+
+		// --- activate chains from degree-1 posts ---
+		p.For(nDarts, func(d int) { active[d] = false })
+		t.Round(nDarts)
+		var invariant atomic.Int32
+		p.For(len(deg1), func(i int) {
+			q := deg1[i]
+			// The unique alive edge of q.
+			var e0 int32 = -1
+			for k := postAdjStart[q]; k < postAdjStart[q+1]; k++ {
+				e2 := postAdjEdges[k]
+				if edgeAlive(e2) {
+					e0 = e2
+					break
+				}
+			}
+			if e0 < 0 {
+				invariant.Store(1)
+				return
+			}
+			d0 := 2*e0 + 1 // q -> applicant
+			term := ptr[d0]
+			if succ[term] != term {
+				invariant.Store(2) // chain did not terminate: impossible
+				return
+			}
+			// Head vertex of the terminal dart: terminals are always
+			// post-headed (applicant-headed darts always continue).
+			endPost := edgePost(term / 2)
+			if deg[endPost] == 1 && endPost < int32(q) {
+				// Both endpoints degree 1: the smaller post owns the path
+				// (paper: "we only consider this path once").
+				return
+			}
+			active[term] = true
+			startDist[term] = dist[d0]
+		})
+		t.Round(len(deg1))
+		switch invariant.Load() {
+		case 1:
+			return nil, stats, fmt.Errorf("core: degree-1 post with no alive edge")
+		case 2:
+			return nil, stats, fmt.Errorf("core: peeling chain failed to terminate")
+		}
+
+		// --- match darts at even distance from the chain start ---
+		p.For(nDarts, func(d int) {
+			matchedDart[d] = false
+			if dartDead[d] {
+				return
+			}
+			term := ptr[d]
+			if !active[term] {
+				return
+			}
+			if (startDist[term]-dist[d])%2 == 0 {
+				matchedDart[d] = true
+			}
+		})
+		t.Round(nDarts)
+
+		// --- apply matches, delete matched vertices ---
+		var peeled atomic.Int32
+		p.For(nDarts, func(d int) {
+			if !matchedDart[d] {
+				return
+			}
+			e := int32(d) / 2
+			a := edgeApplicant(e)
+			q := edgePost(e)
+			m.PostOf[a] = q
+			m.ApplicantOf[q] = a
+			peeled.Add(1)
+		})
+		t.Round(nDarts)
+		stats.PeeledPairs += int(peeled.Load())
+		p.For(nDarts, func(d int) {
+			if !matchedDart[d] {
+				return
+			}
+			e := int32(d) / 2
+			aliveA[edgeApplicant(e)] = false
+			alivePost[edgePost(e)] = false
+		})
+		t.Round(nDarts)
+	}
+
+	// --- residual check: Hall condition by counting (§III-B-1) ---
+	aliveApplicants := par.CountTrue(p, n1, func(a int) bool { return aliveA[a] }, t)
+	alivePosts := par.CountTrue(p, total, func(q int) bool { return alivePost[q] }, t)
+	if alivePosts < aliveApplicants {
+		return nil, stats, nil // no applicant-complete matching
+	}
+	if aliveApplicants == 0 {
+		return m, stats, nil
+	}
+	// |P| = |A| and every post has degree exactly 2: disjoint even cycles.
+
+	// --- perfect matching on the 2-regular residual ---
+	if err := matchEvenCycles(p, t, r, aliveA, alivePost, postAdjStart, postAdjEdges, m, stats); err != nil {
+		return nil, stats, err
+	}
+	return m, stats, nil
+}
+
+// buildPostAdj builds the static CSR adjacency from posts to edge ids.
+func buildPostAdj(p *par.Pool, r *Reduced, t *par.Tracer) (start []int32, edges []int32) {
+	ins := r.Ins
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	counts := make([]int, total)
+	ac := make([]atomic.Int32, total)
+	p.For(n1, func(a int) {
+		ac[r.F[a]].Add(1)
+		ac[r.S[a]].Add(1)
+	})
+	t.Round(n1)
+	p.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
+	t.Round(total)
+	off, totalEdges := p.ExclusiveScan(counts, t)
+	start = make([]int32, total+1)
+	p.For(total, func(q int) { start[q] = int32(off[q]) })
+	t.Round(total)
+	start[total] = int32(totalEdges)
+	edges = make([]int32, totalEdges)
+	p.For(total, func(q int) { ac[q].Store(0) })
+	t.Round(total)
+	p.For(n1, func(a int) {
+		qf := r.F[a]
+		edges[int32(off[qf])+ac[qf].Add(1)-1] = int32(2 * a)
+		qs := r.S[a]
+		edges[int32(off[qs])+ac[qs].Add(1)-1] = int32(2*a + 1)
+	})
+	t.Round(n1)
+	return start, edges
+}

@@ -1,0 +1,33 @@
+// Package core implements the paper's contributions: NC algorithms for the
+// popular matching problem with strictly-ordered preference lists
+// (Algorithms 1 and 2, §III), the maximum-cardinality popular matching
+// problem (Algorithm 3, §IV), optimal (weighted / rank-maximal / fair)
+// popular matchings (§IV-E), and the ties results of §V (the AIKM solver
+// used as the black box of Theorem 11's reduction).
+//
+// Every algorithm runs bulk-synchronous parallel rounds on a par.Pool and
+// threads a par.Tracer so the experiment harness can verify the NC round
+// bounds empirically.
+package core
+
+import (
+	"repro/internal/par"
+)
+
+// Options carries the execution context for the parallel algorithms.
+// The zero value runs on a default pool using all CPUs with no tracing.
+type Options struct {
+	// Pool supplies the workers; nil means a shared all-CPU pool.
+	Pool *par.Pool
+	// Tracer, if non-nil, accumulates parallel rounds and work.
+	Tracer *par.Tracer
+}
+
+var defaultPool = par.NewPool(0)
+
+func (o Options) pool() *par.Pool {
+	if o.Pool == nil {
+		return defaultPool
+	}
+	return o.Pool
+}

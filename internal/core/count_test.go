@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/onesided"
+)
+
+func TestCountPopularMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	opt := Options{}
+	for trial := 0; trial < 150; trial++ {
+		ins := onesided.RandomSmall(rng, 6, 6, false)
+		count, err := CountPopular(ins, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enumerated := 0
+		_, err = EnumerateAllPopular(ins, opt, func(*onesided.Matching) bool {
+			enumerated++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Int64() != int64(enumerated) {
+			t.Fatalf("trial %d: CountPopular=%s, enumeration=%d", trial, count, enumerated)
+		}
+	}
+}
+
+func TestCountPopularPaperExample(t *testing.T) {
+	count, err := CountPopular(onesided.PaperFigure1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Int64() != 6 {
+		t.Fatalf("CountPopular = %s, want 6", count)
+	}
+}
+
+func TestCountPopularUnsolvable(t *testing.T) {
+	count, err := CountPopular(onesided.Unsolvable(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Sign() != 0 {
+		t.Fatalf("CountPopular = %s, want 0", count)
+	}
+}
+
+func TestCountPopularLargeNoOverflowPath(t *testing.T) {
+	// Many independent components multiply; the big.Int count must exceed
+	// int64 without issue. 80 independent 4-cycles give 2^80 popular
+	// matchings: applicants 2i, 2i+1 share posts {2i, 2i+1}.
+	lists := make([][]int32, 160)
+	for g := 0; g < 80; g++ {
+		p0, p1 := int32(2*g), int32(2*g+1)
+		lists[2*g] = []int32{p0, p1}
+		lists[2*g+1] = []int32{p0, p1}
+	}
+	ins, err := onesided.NewStrict(160, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := CountPopular(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.BitLen() != 81 { // 2^80
+		t.Fatalf("CountPopular = %s (bitlen %d), want 2^80", count, count.BitLen())
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// matchEvenCycles extracts a perfect matching from the 2-regular residual of
+// Algorithm 2 (a disjoint union of even cycles) in O(log n) rounds:
+//
+//  1. per dart, pointer-double a min-fold over head vertex ids to elect the
+//     cycle leader (the smallest applicant on the cycle);
+//  2. the canonical dart of each cycle is the leader's outgoing dart toward
+//     its smaller post — exactly one of the two orientations;
+//  3. a second doubling, with canonical darts absorbing, yields each forward
+//     dart's distance to the canonical dart; edges whose forward dart sits at
+//     even distance are matched (the "even distance from e" rule of the
+//     paper, §III-B-1).
+//
+// Vertex ids: applicant a is vid a, post q is vid n1+q, so cycle leaders are
+// always applicants.
+func matchEvenCycles(
+	p *par.Pool, t *par.Tracer, r *Reduced,
+	aliveA []bool, alivePost []bool,
+	postAdjStart, postAdjEdges []int32,
+	m *onesided.Matching, stats *PeelStats,
+) error {
+	ins := r.Ins
+	n1 := ins.NumApplicants
+	nEdges := 2 * n1
+	nDarts := 2 * nEdges
+
+	edgeApplicant := func(e int32) int32 { return e / 2 }
+	edgePost := func(e int32) int32 {
+		if e%2 == 0 {
+			return r.F[e/2]
+		}
+		return r.S[e/2]
+	}
+	edgeAlive := func(e int32) bool {
+		return aliveA[edgeApplicant(e)] && alivePost[edgePost(e)]
+	}
+	headVid := func(d int32) int32 {
+		e := d / 2
+		if d%2 == 0 {
+			return int32(n1) + edgePost(e) // applicant -> post
+		}
+		return edgeApplicant(e) // post -> applicant
+	}
+
+	// Dart successors; every alive vertex has degree exactly 2.
+	succ := make([]int32, nDarts)
+	dead := make([]bool, nDarts)
+	var malformed atomic.Int32
+	p.For(nDarts, func(di int) {
+		d := int32(di)
+		e := d / 2
+		if !edgeAlive(e) {
+			dead[d] = true
+			succ[d] = d
+			return
+		}
+		if d%2 == 0 {
+			q := edgePost(e)
+			var other int32 = -1
+			for k := postAdjStart[q]; k < postAdjStart[q+1]; k++ {
+				e2 := postAdjEdges[k]
+				if e2 != e && edgeAlive(e2) {
+					other = e2
+					break
+				}
+			}
+			if other < 0 {
+				malformed.Store(1)
+				succ[d] = d
+				return
+			}
+			succ[d] = 2*other + 1
+		} else {
+			a := edgeApplicant(e)
+			var other int32
+			if e%2 == 0 {
+				other = 2*a + 1
+			} else {
+				other = 2 * a
+			}
+			succ[d] = 2 * other
+		}
+	})
+	t.Round(nDarts)
+	if malformed.Load() != 0 {
+		return fmt.Errorf("core: residual graph is not 2-regular")
+	}
+
+	// Leader election: min head vid around each cycle (idempotent fold, so
+	// overrunning the cycle length is harmless). Dead darts fold with a
+	// +inf sentinel.
+	const infVid = int32(1) << 30
+	vals := make([]int32, nDarts)
+	p.For(nDarts, func(d int) {
+		if dead[d] {
+			vals[d] = infVid
+		} else {
+			vals[d] = headVid(int32(d))
+		}
+	})
+	t.Round(nDarts)
+	minFold := func(a, b int32) int32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	_, leader := par.Double(p, succ, vals, minFold, par.Iterations(nDarts)+1, t)
+
+	// Canonical darts: the leader applicant's outgoing dart toward its
+	// smaller post.
+	canonical := make([]bool, nDarts)
+	p.For(nDarts, func(di int) {
+		d := int32(di)
+		if dead[d] || d%2 != 0 {
+			return // only applicant->post darts can leave the leader
+		}
+		e := d / 2
+		a := edgeApplicant(e)
+		if a != leader[d] {
+			return
+		}
+		minPost := r.F[a]
+		if r.S[a] < minPost {
+			minPost = r.S[a]
+		}
+		canonical[d] = edgePost(e) == minPost
+	})
+	t.Round(nDarts)
+
+	// Distance to the canonical dart, which absorbs.
+	succ2 := make([]int32, nDarts)
+	dvals := make([]int, nDarts)
+	p.For(nDarts, func(d int) {
+		if canonical[d] || dead[d] {
+			succ2[d] = int32(d)
+		} else {
+			succ2[d] = succ[d]
+			dvals[d] = 1
+		}
+	})
+	t.Round(nDarts)
+	ptr2, dist2 := par.Double(p, succ2, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1, t)
+
+	var pairs, cycles atomic.Int32
+	p.For(nDarts, func(di int) {
+		d := int32(di)
+		if dead[d] {
+			return
+		}
+		if canonical[d] {
+			cycles.Add(1)
+		}
+		if !canonical[ptr2[d]] {
+			return // reverse orientation: never reaches a canonical dart
+		}
+		if dist2[d]%2 != 0 {
+			return
+		}
+		e := d / 2
+		a := edgeApplicant(e)
+		q := edgePost(e)
+		m.PostOf[a] = q
+		m.ApplicantOf[q] = a
+		pairs.Add(1)
+	})
+	t.Round(nDarts)
+	stats.CyclePairs = int(pairs.Load())
+	stats.CycleCount = int(cycles.Load())
+	return nil
+}

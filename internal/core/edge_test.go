@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// Edge-case instances exercising unusual reduced-graph shapes.
+
+func TestEdgeCaseShapes(t *testing.T) {
+	opt := Options{}
+	cases := []struct {
+		name       string
+		posts      int
+		lists      [][]int32
+		wantExists bool
+	}{
+		{
+			// Every post is an f-post, so s(a) = l(a) for everyone; the
+			// reduced graph pairs each applicant with their own last
+			// resort and the f-stars must resolve.
+			name:  "all posts are f-posts",
+			posts: 3,
+			lists: [][]int32{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}},
+			// Reduced: a_i - p_i (f) and a_i - l_i (s); always solvable.
+			wantExists: true,
+		},
+		{
+			name:       "single-entry lists all distinct",
+			posts:      3,
+			lists:      [][]int32{{0}, {1}, {2}},
+			wantExists: true,
+		},
+		{
+			name:       "single-entry lists colliding",
+			posts:      1,
+			lists:      [][]int32{{0}, {0}, {0}},
+			wantExists: true, // one gets p0, two take last resorts; f-post matched
+		},
+		{
+			name:       "massive contention",
+			posts:      2,
+			lists:      [][]int32{{0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}},
+			wantExists: false,
+		},
+		{
+			name:       "two applicants one post",
+			posts:      1,
+			lists:      [][]int32{{0}, {0}},
+			wantExists: true,
+		},
+		{
+			// A path-shaped reduced graph with both endpoints degree 1.
+			name:       "shared f distinct s",
+			posts:      3,
+			lists:      [][]int32{{0, 1}, {0, 2}},
+			wantExists: true,
+		},
+	}
+	for _, c := range cases {
+		ins, err := onesided.NewStrict(c.posts, c.lists)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		res, err := Popular(ins, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Exists != c.wantExists {
+			t.Fatalf("%s: exists=%v, want %v", c.name, res.Exists, c.wantExists)
+		}
+		brute := len(onesided.AllPopularBrute(ins)) > 0
+		if res.Exists != brute {
+			t.Fatalf("%s: disagrees with brute force (%v)", c.name, brute)
+		}
+		if res.Exists {
+			if err := VerifyPopular(ins, res.Matching, opt); err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if !onesided.IsPopularBrute(ins, res.Matching) {
+				t.Fatalf("%s: output not popular", c.name)
+			}
+		}
+	}
+}
+
+// TestSolverDeterministicAcrossWorkers pins down that every solver's output
+// is a function of the instance alone, not of goroutine scheduling: the
+// peeling matches are structurally forced, cycle matching uses canonical
+// leaders, promotion picks the smallest applicant, and switch selection
+// breaks ties deterministically.
+func TestSolverDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	pools := []Options{
+		{Pool: par.Sequential()},
+		{Pool: par.NewPool(3)},
+		{Pool: par.NewPool(0)},
+	}
+	for trial := 0; trial < 25; trial++ {
+		ins := onesided.RandomStrict(rng, 30+rng.Intn(120), 20+rng.Intn(80), 1, 6)
+		type runner struct {
+			name string
+			run  func(Options) (*onesided.Matching, bool)
+		}
+		runners := []runner{
+			{"popular", func(o Options) (*onesided.Matching, bool) {
+				r, err := Popular(ins, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Matching, r.Exists
+			}},
+			{"maxcard", func(o Options) (*onesided.Matching, bool) {
+				r, _, err := MaxCardinality(ins, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Matching, r.Exists
+			}},
+			{"fair", func(o Options) (*onesided.Matching, bool) {
+				r, _, err := Fair(ins, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Matching, r.Exists
+			}},
+			{"rankmax", func(o Options) (*onesided.Matching, bool) {
+				r, _, err := RankMaximal(ins, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Matching, r.Exists
+			}},
+		}
+		for _, rn := range runners {
+			ref, refOK := rn.run(pools[0])
+			for _, o := range pools[1:] {
+				got, ok := rn.run(o)
+				if ok != refOK {
+					t.Fatalf("trial %d %s: existence varies with workers", trial, rn.name)
+				}
+				if !ok {
+					continue
+				}
+				for a := range ref.PostOf {
+					if got.PostOf[a] != ref.PostOf[a] {
+						t.Fatalf("trial %d %s: output differs between worker counts at applicant %d",
+							trial, rn.name, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPeelingHandlesLastResortChains covers the shape where many last
+// resorts participate: every last resort is a degree-1 s-post, so the first
+// peeling round matches a large fraction of applicants immediately.
+func TestPeelingHandlesLastResortChains(t *testing.T) {
+	opt := Options{}
+	// n applicants all sharing the same first choice with no alternatives:
+	// f-star of degree n plus n last-resort pendants.
+	n := 50
+	lists := make([][]int32, n)
+	for i := range lists {
+		lists[i] = []int32{0}
+	}
+	ins, err := onesided.NewStrict(1, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Popular(ins, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists {
+		t.Fatal("star with last resorts must be solvable")
+	}
+	if err := VerifyPopular(ins, res.Matching, opt); err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size(ins) != 1 {
+		t.Fatalf("size = %d, want exactly 1 (only p0 is real)", res.Matching.Size(ins))
+	}
+	if res.Matching.ApplicantOf[0] < 0 {
+		t.Fatal("the unique f-post is unmatched")
+	}
+}
+
+// TestHugeInstanceSmoke pushes Algorithm 1 through a million applicants to
+// catch quadratic blowups and overflow issues.
+func TestHugeInstanceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large smoke test")
+	}
+	rng := rand.New(rand.NewSource(152))
+	ins := onesided.RandomStrict(rng, 1_000_000, 1_000_000, 1, 4)
+	res, err := Popular(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exists {
+		if err := VerifyPopular(ins, res.Matching, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound := par.Iterations(ins.NumApplicants+ins.TotalPosts()) + 1
+	if res.Peel.Rounds > bound {
+		t.Fatalf("Lemma 2 violated at scale: %d > %d", res.Peel.Rounds, bound)
+	}
+}

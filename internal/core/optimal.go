@@ -1,0 +1,486 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/onesided"
+	"repro/internal/par"
+	"repro/internal/pseudoforest"
+)
+
+// Algorithm 3 (§IV) and its weighted generalization (§IV-E).
+//
+// By Theorem 9, every popular matching arises from an arbitrary one by
+// applying at most one switching path per tree component and the switching
+// cycle or not per cycle component, and the choices are independent. An
+// optimal popular matching therefore picks, per component, the switch with
+// the best margin — computed here with weighted pointer jumping — and
+// applies all positive choices in parallel.
+
+// WeightFn assigns a weight to matching applicant a with post p (p may be
+// a's last resort). Weights must be small enough that path sums over n
+// edges do not overflow int64.
+type WeightFn func(a int32, p int32) int64
+
+// weightOps abstracts the arithmetic the switch optimizer needs, so the same
+// engine runs on int64 (maximum-cardinality, user weights) and on big.Int
+// (the positional profile weights of rank-maximal and fair matchings).
+type weightOps[T any] struct {
+	zero func() T
+	add  func(a, b T) T
+	cmp  func(a, b T) int
+}
+
+var int64Ops = weightOps[int64]{
+	zero: func() int64 { return 0 },
+	add:  func(a, b int64) int64 { return a + b },
+	cmp: func(a, b int64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	},
+}
+
+var bigOps = weightOps[*big.Int]{
+	zero: func() *big.Int { return new(big.Int) },
+	add:  func(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) },
+	cmp:  func(a, b *big.Int) int { return a.Cmp(b) },
+}
+
+// SwitchStats reports what the optimizer applied.
+type SwitchStats struct {
+	CyclesApplied int
+	PathsApplied  int
+	Components    int
+}
+
+// optimizeSwitches picks and applies the best positive-margin switch per
+// component of sw. edgeW[v] is the margin contribution of switching vertex
+// v's applicant (weight(a, O_M(a)) − weight(a, M(a))).
+func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Options) SwitchStats {
+	p := opt.pool()
+	t := opt.Tracer
+	an := sw.Analysis
+	nv := len(sw.Posts)
+	stats := SwitchStats{}
+	if nv == 0 {
+		return stats
+	}
+
+	// Weighted lifting over the switching graph for O(log n) path sums.
+	lift, sums := buildWeightedLift(p, sw.Graph, edgeW, ops, t)
+
+	// Margins of every switching path: for each s-post vertex q in a tree
+	// component (other than the sink), the sum of edge weights along
+	// q -> sink.
+	margin := make([]T, nv)
+	isCandidate := make([]bool, nv)
+	p.For(nv, func(v int) {
+		d := an.DistToSink[v]
+		if d <= 0 || !sw.IsSPostVertex(v) {
+			return // cycle component, the sink itself, or an f-post
+		}
+		isCandidate[v] = true
+		margin[v] = pathSum(lift, sums, ops, v, d)
+	})
+	t.Round(nv)
+
+	// Cycle margins per component (sequential fold; the parallel work was
+	// the lift).
+	cycleSum := make(map[int32]T)
+	for v := 0; v < nv; v++ {
+		if !an.OnCycle[v] {
+			continue
+		}
+		c := an.Comp[v]
+		acc, ok := cycleSum[c]
+		if !ok {
+			acc = ops.zero()
+		}
+		cycleSum[c] = ops.add(acc, edgeW[v])
+	}
+
+	// Best switching path per tree component (max margin, ties to the
+	// smaller vertex id — deterministic).
+	bestQ := make(map[int32]int)
+	for v := 0; v < nv; v++ {
+		if !isCandidate[v] {
+			continue
+		}
+		c := an.Comp[v]
+		cur, ok := bestQ[c]
+		if !ok || ops.cmp(margin[v], margin[cur]) > 0 {
+			bestQ[c] = v
+		}
+	}
+	stats.Components = len(cycleSum) + len(bestQ)
+
+	zero := ops.zero()
+	applyCycle := make(map[int32]bool)
+	for c, s := range cycleSum {
+		if ops.cmp(s, zero) > 0 {
+			applyCycle[c] = true
+			stats.CyclesApplied++
+		}
+	}
+	applyQ := make(map[int32]int)
+	for c, q := range bestQ {
+		if ops.cmp(margin[q], zero) > 0 {
+			applyQ[c] = q
+			stats.PathsApplied++
+		}
+	}
+
+	// Mark the switched vertex set: positive cycles entirely; for chosen
+	// paths, v is on path(q -> sink) iff jump(q, dist q − dist v) = v.
+	on := make([]bool, nv)
+	p.For(nv, func(v int) {
+		c := an.Comp[v]
+		if an.OnCycle[v] {
+			on[v] = applyCycle[c]
+			return
+		}
+		q, ok := applyQ[c]
+		if !ok {
+			return
+		}
+		dq, dv := an.DistToSink[q], an.DistToSink[v]
+		if dv < 0 || dv > dq {
+			return
+		}
+		on[v] = lift.Jump(q, dq-dv) == v
+	})
+	t.Round(nv)
+	sw.applySwitchVertices(on, opt)
+	return stats
+}
+
+// buildWeightedLift builds binary-lifting jump tables with per-level weight
+// sums for arbitrary weight types (the int64 case is
+// pseudoforest.BuildWeightedLift; this generic twin serves big.Int).
+func buildWeightedLift[T any](p *par.Pool, g *pseudoforest.Graph, w []T, ops weightOps[T], t *par.Tracer) (*par.Lifting, [][]T) {
+	n := g.N()
+	abs := make([]int32, n)
+	for v, s := range g.Succ {
+		if s < 0 {
+			abs[v] = int32(v)
+		} else {
+			abs[v] = s
+		}
+	}
+	lift := par.BuildLifting(p, abs, t)
+	sums := make([][]T, lift.K)
+	level0 := make([]T, n)
+	p.For(n, func(v int) {
+		if g.Succ[v] >= 0 {
+			level0[v] = w[v]
+		} else {
+			level0[v] = ops.zero()
+		}
+	})
+	t.Round(n)
+	sums[0] = level0
+	for k := 1; k < lift.K; k++ {
+		prev := sums[k-1]
+		up := lift.Up[k-1]
+		cur := make([]T, n)
+		p.For(n, func(v int) { cur[v] = ops.add(prev[v], prev[up[v]]) })
+		t.Round(n)
+		sums[k] = cur
+	}
+	return lift, sums
+}
+
+func pathSum[T any](lift *par.Lifting, sums [][]T, ops weightOps[T], v, steps int) T {
+	total := ops.zero()
+	for k := 0; k < lift.K && steps > 0; k++ {
+		if steps&(1<<k) != 0 {
+			total = ops.add(total, sums[k][v])
+			v = int(lift.Up[k][v])
+			steps &^= 1 << k
+		}
+	}
+	return total
+}
+
+// edgeWeights computes, for every switching-graph vertex with an out-edge,
+// the margin contribution of switching its applicant.
+func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T, zero func() T, opt Options) []T {
+	p := opt.pool()
+	t := opt.Tracer
+	nv := len(sw.Posts)
+	out := make([]T, nv)
+	p.For(nv, func(v int) {
+		a := sw.EdgeApplicant[v]
+		if a < 0 {
+			out[v] = zero()
+			return
+		}
+		out[v] = sub(w(a, sw.OM(a)), w(a, sw.M.PostOf[a]))
+	})
+	t.Round(nv)
+	return out
+}
+
+// Optimize finds a popular matching maximizing (or minimizing) the total
+// weight Σ w(a, M(a)) over all popular matchings, per §IV-E. It returns
+// Exists=false when the instance has no popular matching.
+func Optimize(ins *onesided.Instance, w WeightFn, maximize bool, opt Options) (Result, SwitchStats, error) {
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return Result{}, SwitchStats{}, err
+	}
+	res, err := popularFromReduced(r, opt)
+	if err != nil || !res.Exists {
+		return res, SwitchStats{}, err
+	}
+	sw, err := BuildSwitching(r, res.Matching, opt)
+	if err != nil {
+		return Result{}, SwitchStats{}, err
+	}
+	sign := int64(1)
+	if !maximize {
+		sign = -1
+	}
+	ew := edgeWeights(sw, func(a, p int32) int64 { return sign * w(a, p) },
+		func(x, y int64) int64 { return x - y }, func() int64 { return 0 }, opt)
+	stats := optimizeSwitches(sw, ew, int64Ops, opt)
+	return res, stats, nil
+}
+
+// MaxCardinality is Algorithm 3: a largest popular matching, obtained as the
+// special case of maximum-weight popular matching with weight 0 for
+// last-resort pairs and 1 otherwise (§IV-E).
+func MaxCardinality(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
+	return Optimize(ins, func(a, p int32) int64 {
+		if ins.IsLastResort(p) {
+			return 0
+		}
+		return 1
+	}, true, opt)
+}
+
+// bigOptimize runs the switch optimizer with big.Int weights.
+func bigOptimize(ins *onesided.Instance, w func(a, p int32) *big.Int, maximize bool, opt Options) (Result, SwitchStats, error) {
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return Result{}, SwitchStats{}, err
+	}
+	res, err := popularFromReduced(r, opt)
+	if err != nil || !res.Exists {
+		return res, SwitchStats{}, err
+	}
+	sw, err := BuildSwitching(r, res.Matching, opt)
+	if err != nil {
+		return Result{}, SwitchStats{}, err
+	}
+	wrap := w
+	if !maximize {
+		wrap = func(a, p int32) *big.Int { return new(big.Int).Neg(w(a, p)) }
+	}
+	ew := edgeWeights(sw, wrap,
+		func(x, y *big.Int) *big.Int { return new(big.Int).Sub(x, y) },
+		func() *big.Int { return new(big.Int) }, opt)
+	stats := optimizeSwitches(sw, ew, bigOps, opt)
+	return res, stats, nil
+}
+
+// RankMaximal finds a rank-maximal popular matching: profile maximal under
+// ≻_R. Per §IV-E it is the maximum-weight popular matching with
+// w(a, p@rank k) = B^(n2−k+1) (0 for last resorts), B = n1+1 chosen so
+// positional sums never carry (the paper uses n1; any base > n1 works).
+func RankMaximal(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
+	base := big.NewInt(int64(ins.NumApplicants) + 1)
+	n2 := ins.NumPosts
+	pow := powerTable(base, n2+2)
+	return bigOptimize(ins, func(a, p int32) *big.Int {
+		if ins.IsLastResort(p) {
+			return new(big.Int)
+		}
+		k, _ := ins.RankOf(int(a), p)
+		return pow[n2-int(k)+1]
+	}, true, opt)
+}
+
+// Fair finds a fair popular matching: profile minimal under ≺_F. Per §IV-E
+// it is the minimum-weight popular matching with w(a, p@rank k) = B^k, where
+// a last-resort match counts at rank n2+1.
+func Fair(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
+	base := big.NewInt(int64(ins.NumApplicants) + 1)
+	n2 := ins.NumPosts
+	pow := powerTable(base, n2+2)
+	return bigOptimize(ins, func(a, p int32) *big.Int {
+		if ins.IsLastResort(p) {
+			return pow[n2+1]
+		}
+		k, _ := ins.RankOf(int(a), p)
+		return pow[k]
+	}, false, opt)
+}
+
+func powerTable(base *big.Int, n int) []*big.Int {
+	pow := make([]*big.Int, n+1)
+	pow[0] = big.NewInt(1)
+	for i := 1; i <= n; i++ {
+		pow[i] = new(big.Int).Mul(pow[i-1], base)
+	}
+	return pow
+}
+
+// CountPopular returns the exact number of popular matchings of the
+// instance without enumerating them, via Theorem 9's product structure: each
+// tree component contributes 1 + (number of its switching paths) choices and
+// each cycle component contributes 2. Returns 0 when none exists.
+func CountPopular(ins *onesided.Instance, opt Options) (*big.Int, error) {
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := popularFromReduced(r, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Exists {
+		return new(big.Int), nil
+	}
+	sw, err := BuildSwitching(r, res.Matching, opt)
+	if err != nil {
+		return nil, err
+	}
+	an := sw.Analysis
+	options := map[int32]int64{}
+	for v := range sw.Posts {
+		c := an.Comp[v]
+		if _, ok := options[c]; !ok {
+			options[c] = 1
+		}
+		if an.OnCycle[v] && sw.Graph.Succ[v] >= 0 {
+			// Count each cycle once: attribute it to its smallest vertex.
+			if int32(v) == cycleLeader(an, sw.Graph, v) {
+				options[c]++
+			}
+			continue
+		}
+		if an.DistToSink[v] > 0 && sw.IsSPostVertex(v) {
+			options[c]++
+		}
+	}
+	total := big.NewInt(1)
+	for _, k := range options {
+		total.Mul(total, big.NewInt(k))
+	}
+	return total, nil
+}
+
+// cycleLeader returns the smallest on-cycle vertex of v's cycle.
+func cycleLeader(an *pseudoforest.Analysis, g *pseudoforest.Graph, v int) int32 {
+	leader := int32(v)
+	for u := g.Succ[v]; u != int32(v); u = g.Succ[u] {
+		if u < leader {
+			leader = u
+		}
+	}
+	return leader
+}
+
+// EnumerateAllPopular yields every popular matching of the instance exactly
+// once, realizing Theorem 9's bijection: all combinations of at most one
+// switching path per tree component and cycle-or-not per cycle component.
+// The yielded matching is reused; clone to retain. Returns whether a popular
+// matching exists. Intended for tests and small ablations — the count is
+// exponential in the number of components.
+func EnumerateAllPopular(ins *onesided.Instance, opt Options, yield func(*onesided.Matching) bool) (bool, error) {
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return false, err
+	}
+	res, err := popularFromReduced(r, opt)
+	if err != nil || !res.Exists {
+		return false, err
+	}
+	sw, err := BuildSwitching(r, res.Matching, opt)
+	if err != nil {
+		return false, err
+	}
+	an := sw.Analysis
+	nv := len(sw.Posts)
+
+	// Options per component: switching cycle vertex sets and switching path
+	// vertex sets.
+	type option []int32 // vertices to switch
+	compOptions := map[int32][]option{}
+	ensure := func(c int32) {
+		if _, ok := compOptions[c]; !ok {
+			compOptions[c] = []option{nil} // "do nothing"
+		}
+	}
+	cycles := an.CycleVertices(sw.Graph)
+	for c, cyc := range cycles {
+		ensure(c)
+		compOptions[c] = append(compOptions[c], option(cyc))
+	}
+	for v := 0; v < nv; v++ {
+		d := an.DistToSink[v]
+		c := an.Comp[v]
+		ensure(c)
+		if d <= 0 || !sw.IsSPostVertex(v) {
+			continue
+		}
+		path := make(option, 0, d)
+		u := v
+		for step := 0; step < d; step++ {
+			path = append(path, int32(u))
+			u = int(sw.Graph.Succ[u])
+		}
+		compOptions[c] = append(compOptions[c], path)
+	}
+
+	comps := make([]int32, 0, len(compOptions))
+	for c := range compOptions {
+		comps = append(comps, c)
+	}
+	// Deterministic order.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j] < comps[j-1]; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+
+	on := make([]bool, nv)
+	stopped := false
+	var rec func(i int)
+	rec = func(i int) {
+		if stopped {
+			return
+		}
+		if i == len(comps) {
+			work := res.Matching.Clone()
+			swWork := *sw
+			swWork.M = work
+			swWork.applySwitchVertices(on, opt)
+			if !yield(work) {
+				stopped = true
+			}
+			return
+		}
+		for _, o := range compOptions[comps[i]] {
+			for _, v := range o {
+				on[v] = true
+			}
+			rec(i + 1)
+			for _, v := range o {
+				on[v] = false
+			}
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+	return true, nil
+}

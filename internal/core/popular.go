@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/onesided"
+)
+
+// Result is the outcome of a popular-matching computation.
+type Result struct {
+	// Matching is the computed matching, nil when Exists is false.
+	Matching *onesided.Matching
+	// Exists reports whether a popular matching exists.
+	Exists bool
+	// Peel reports Algorithm 2's statistics (nil for algorithms that do not
+	// run it).
+	Peel *PeelStats
+	// Promotions counts the f-posts filled in Algorithm 1's final loop.
+	Promotions int
+}
+
+// Popular runs Algorithm 1 of the paper: it finds a popular matching of a
+// strictly-ordered instance or reports that none exists, in NC.
+func Popular(ins *onesided.Instance, opt Options) (Result, error) {
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return popularFromReduced(r, opt)
+}
+
+func popularFromReduced(r *Reduced, opt Options) (Result, error) {
+	m, stats, err := applicantComplete(r, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if m == nil {
+		return Result{Exists: false, Peel: stats}, nil
+	}
+	promotions, err := promote(r, m, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Matching: m, Exists: true, Peel: stats, Promotions: promotions}, nil
+}
+
+// promote performs Algorithm 1 lines 5-7: every f-post left unmatched by the
+// applicant-complete matching takes an applicant from f⁻¹(p) — necessarily
+// matched to their s-post — in one parallel round. The promoted applicants
+// are pairwise distinct because the sets f⁻¹(p) partition the applicants, so
+// all promotions commute.
+func promote(r *Reduced, m *onesided.Matching, opt Options) (int, error) {
+	p := opt.pool()
+	t := opt.Tracer
+	ins := r.Ins
+	total := ins.TotalPosts()
+	var count, bad atomic.Int32
+	p.For(total, func(qi int) {
+		q := int32(qi)
+		if !r.IsF[q] || m.ApplicantOf[q] >= 0 {
+			return
+		}
+		apps := r.FInv(q)
+		if len(apps) == 0 {
+			bad.Store(1)
+			return
+		}
+		a := apps[0]
+		old := m.PostOf[a]
+		if old != r.S[a] {
+			// Theorem 1(ii): a must currently hold s(a) since f(a)=q is
+			// unmatched.
+			bad.Store(2)
+			return
+		}
+		m.ApplicantOf[old] = -1
+		m.PostOf[a] = q
+		m.ApplicantOf[q] = a
+		count.Add(1)
+	})
+	t.Round(total)
+	switch bad.Load() {
+	case 1:
+		return 0, fmt.Errorf("core: f-post with empty f⁻¹")
+	case 2:
+		return 0, fmt.Errorf("core: promotion source not matched to its s-post")
+	}
+	return int(count.Load()), nil
+}
+
+// VerifyPopular checks the Theorem 1 characterization of m against a
+// strictly-ordered instance: (i) every f-post is matched, and (ii) every
+// applicant holds f(a) or s(a). It returns nil iff m is popular.
+func VerifyPopular(ins *onesided.Instance, m *onesided.Matching, opt Options) error {
+	if err := m.Validate(ins); err != nil {
+		return err
+	}
+	if !m.ApplicantComplete() {
+		return fmt.Errorf("core: matching is not applicant-complete")
+	}
+	r, err := BuildReduced(ins, opt)
+	if err != nil {
+		return err
+	}
+	p := opt.pool()
+	t := opt.Tracer
+	var iViolation, iiViolation atomic.Int32
+	p.For(ins.TotalPosts(), func(q int) {
+		if r.IsF[q] && m.ApplicantOf[q] < 0 {
+			iViolation.Store(int32(q) + 1)
+		}
+	})
+	t.Round(ins.TotalPosts())
+	p.For(ins.NumApplicants, func(a int) {
+		if got := m.PostOf[a]; got != r.F[a] && got != r.S[a] {
+			iiViolation.Store(int32(a) + 1)
+		}
+	})
+	t.Round(ins.NumApplicants)
+	if q := iViolation.Load(); q != 0 {
+		return fmt.Errorf("core: f-post %d unmatched (Theorem 1(i))", q-1)
+	}
+	if a := iiViolation.Load(); a != 0 {
+		return fmt.Errorf("core: applicant %d not matched to f(a) or s(a) (Theorem 1(ii))", a-1)
+	}
+	return nil
+}

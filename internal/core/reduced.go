@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/onesided"
+)
+
+// Reduced is the reduced graph G′ of §III-A for a strictly-ordered instance:
+// every applicant keeps exactly two incident edges, to f(a) (their first
+// choice) and to s(a) (their most-preferred non-f-post, falling back to the
+// last resort l(a)). f-posts and s-posts are disjoint.
+type Reduced struct {
+	Ins *onesided.Instance
+	// F[a] and S[a] are the two posts of applicant a in G′.
+	F, S []int32
+	// IsF[p] marks f-posts over all TotalPosts() ids.
+	IsF []bool
+	// f⁻¹ in CSR form: the applicants with f(a) = p are
+	// FInvApps[FInvStart[p]:FInvStart[p+1]], in increasing order.
+	FInvStart []int32
+	FInvApps  []int32
+}
+
+// BuildReduced constructs G′ in parallel (§III-B, Algorithm 1 line 3):
+// one round marks f-posts, one round per applicant scans for s(a), and a
+// count/scan/scatter builds f⁻¹. Only strictly-ordered instances are valid
+// input (Algorithm 1 assumes them); instances with ties are rejected.
+func BuildReduced(ins *onesided.Instance, opt Options) (*Reduced, error) {
+	if !ins.Strict() {
+		return nil, fmt.Errorf("core: Algorithm 1 requires strictly-ordered preference lists")
+	}
+	p := opt.pool()
+	t := opt.Tracer
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+
+	r := &Reduced{
+		Ins: ins,
+		F:   make([]int32, n1),
+		S:   make([]int32, n1),
+		IsF: make([]bool, total),
+	}
+
+	// Round 1: mark every first-choice post (arbitrary-CRCW same-value
+	// writes via atomics).
+	isF := make([]uint32, total)
+	p.For(n1, func(a int) {
+		r.F[a] = ins.Lists[a][0]
+		atomic.StoreUint32(&isF[r.F[a]], 1)
+	})
+	t.Round(n1)
+	p.For(total, func(q int) { r.IsF[q] = isF[q] == 1 })
+	t.Round(total)
+
+	// Round 2: s(a) = highest-ranked non-f-post, else l(a). (Lists are
+	// short in practice; the scan is the per-processor O(list) work the
+	// paper's construction performs with one processor per list entry.)
+	p.For(n1, func(a int) {
+		r.S[a] = ins.LastResort(a)
+		for _, q := range ins.Lists[a] {
+			if !r.IsF[q] {
+				r.S[a] = q
+				break
+			}
+		}
+	})
+	t.Round(n1)
+
+	// f⁻¹ as CSR: count, scan, scatter.
+	counts := make([]int, total)
+	ac := make([]atomic.Int32, total)
+	p.For(n1, func(a int) { ac[r.F[a]].Add(1) })
+	t.Round(n1)
+	p.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
+	t.Round(total)
+	start, totalApps := p.ExclusiveScan(counts, t)
+	r.FInvStart = make([]int32, total+1)
+	p.For(total, func(q int) { r.FInvStart[q] = int32(start[q]) })
+	t.Round(total)
+	r.FInvStart[total] = int32(totalApps)
+	r.FInvApps = make([]int32, totalApps)
+	p.For(total, func(q int) { ac[q].Store(0) })
+	t.Round(total)
+	p.For(n1, func(a int) {
+		q := r.F[a]
+		slot := int32(start[q]) + ac[q].Add(1) - 1
+		r.FInvApps[slot] = int32(a)
+	})
+	t.Round(n1)
+	// Scatter order is nondeterministic; sort each (typically tiny) bucket
+	// so "any applicant in f⁻¹(p)" picks deterministically.
+	p.For(total, func(q int) {
+		bucket := r.FInvApps[r.FInvStart[q]:r.FInvStart[q+1]]
+		for i := 1; i < len(bucket); i++ {
+			for j := i; j > 0 && bucket[j] < bucket[j-1]; j-- {
+				bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
+			}
+		}
+	})
+	t.Round(totalApps)
+	return r, nil
+}
+
+// FInv returns the applicants whose first choice is post q.
+func (r *Reduced) FInv(q int32) []int32 {
+	return r.FInvApps[r.FInvStart[q]:r.FInvStart[q+1]]
+}
+
+// PostsInG returns the post ids that occur in G′ (as some F[a] or S[a]).
+func (r *Reduced) PostsInG(opt Options) []int32 {
+	p := opt.pool()
+	t := opt.Tracer
+	total := r.Ins.TotalPosts()
+	used := make([]uint32, total)
+	p.For(len(r.F), func(a int) {
+		atomic.StoreUint32(&used[r.F[a]], 1)
+		atomic.StoreUint32(&used[r.S[a]], 1)
+	})
+	t.Round(len(r.F))
+	idx := p.Compact(total, func(q int) bool { return used[q] == 1 }, t)
+	out := make([]int32, len(idx))
+	p.For(len(idx), func(i int) { out[i] = int32(idx[i]) })
+	t.Round(len(idx))
+	return out
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/hungarian"
+	"repro/internal/onesided"
+)
+
+// §V: preference lists with ties.
+//
+// The paper proves maximum-cardinality bipartite matching ≤_NC popular
+// matching (Theorem 11) and leaves an NC algorithm for the ties case open.
+// To exercise the reduction end to end we implement the polynomial-time
+// Abraham–Irving–Kavitha–Mehlhorn characterization as the "black box":
+//
+//	M is popular  ⟺  M ∩ E1 is a maximum matching of G1 = (A ∪ P, E1)
+//	              and every applicant is matched to a post in f(a) ∪ s(a),
+//
+// where E1 is the rank-one edge set, f(a) the set of a's rank-one posts, and
+// s(a) the set of a's most-preferred posts that are *even* in the
+// even/odd/unreachable decomposition of G1 relative to a maximum matching
+// (last resorts are isolated in G1, hence always even, so s(a) ≠ ∅).
+//
+// Finding such an M is a lexicographic matching problem on the reduced edge
+// set E′ = {(a,p): p ∈ f(a) ∪ s(a)}: among applicant-complete matchings in
+// E′ (all of size n1), maximize |M ∩ E1|. A popular matching exists iff the
+// optimum reaches |maximum matching of G1|.
+
+// TiesResult reports a ties computation.
+type TiesResult struct {
+	Matching *onesided.Matching
+	Exists   bool
+	// Rank1Size is |M ∩ E1|; MaxRank1 the size of a maximum matching of G1.
+	Rank1Size, MaxRank1 int
+}
+
+// SolveTies finds a popular matching of an instance whose lists may contain
+// ties, or reports that none exists. maximizeCardinality additionally makes
+// the result a maximum-cardinality popular matching (fewest last resorts).
+func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (TiesResult, error) {
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	if n1 == 0 {
+		return TiesResult{Matching: onesided.NewMatching(ins), Exists: true}, nil
+	}
+
+	// G1: rank-one edges over real posts.
+	g1 := bipartite.New(n1, ins.NumPosts)
+	for a := 0; a < n1; a++ {
+		for i, p := range ins.Lists[a] {
+			if ins.Ranks[a][i] == 1 {
+				g1.AddEdge(int32(a), p)
+			}
+		}
+	}
+	matchL, matchR, m1 := bipartite.HopcroftKarp(g1)
+	_, rightLabel := bipartite.EOU(g1, matchL, matchR)
+
+	// Even posts over all ids; last resorts are isolated in G1, hence even.
+	evenPost := make([]bool, total)
+	for p := 0; p < ins.NumPosts; p++ {
+		evenPost[p] = rightLabel[p] == bipartite.Even
+	}
+	for p := ins.NumPosts; p < total; p++ {
+		evenPost[p] = true
+	}
+
+	// E′ = f-edges ∪ s-edges, as a weight table for the lexicographic
+	// assignment: rank-one edges weigh W+1 (they advance |M ∩ E1|), other
+	// E′ edges weigh 1 when they avoid a last resort and maximizing
+	// cardinality is requested.
+	const forb = hungarian.Forbidden
+	w := make([][]int64, n1)
+	W := int64(n1) + 1
+	for a := 0; a < n1; a++ {
+		row := make([]int64, total)
+		for j := range row {
+			row[j] = forb
+		}
+		sEdge := func(p int32) int64 {
+			if maximizeCardinality && !ins.IsLastResort(p) {
+				return 1
+			}
+			return 0
+		}
+		// f(a): the whole first tie class.
+		for i, p := range ins.Lists[a] {
+			if ins.Ranks[a][i] == 1 {
+				row[p] = W + sEdge(p)
+			}
+		}
+		// s(a): the most-preferred even posts (the last resort competes at
+		// rank worst+1).
+		bestRank := ins.LastResortRank(a)
+		for i, p := range ins.Lists[a] {
+			if evenPost[p] && ins.Ranks[a][i] < bestRank {
+				bestRank = ins.Ranks[a][i]
+			}
+		}
+		if bestRank == ins.LastResortRank(a) {
+			lr := ins.LastResort(a)
+			if row[lr] == forb {
+				row[lr] = sEdge(lr)
+			}
+		} else {
+			for i, p := range ins.Lists[a] {
+				if evenPost[p] && ins.Ranks[a][i] == bestRank && row[p] == forb {
+					row[p] = sEdge(p)
+				}
+			}
+		}
+		w[a] = row
+	}
+
+	rowTo, totalW, ok := hungarian.MaxAssign(n1, total, func(i, j int) int64 { return w[i][j] })
+	if !ok {
+		// No applicant-complete matching within E′.
+		return TiesResult{Exists: false, MaxRank1: m1}, nil
+	}
+	_ = totalW // |M ∩ E1| is recomputed exactly below
+	m := onesided.NewMatching(ins)
+	got1 := 0
+	for a := 0; a < n1; a++ {
+		p := int32(rowTo[a])
+		m.Match(int32(a), p)
+		if !ins.IsLastResort(p) {
+			if r, onList := ins.RankOf(a, p); onList && r == 1 {
+				got1++
+			}
+		}
+	}
+	if got1 != m1 {
+		return TiesResult{Exists: false, Rank1Size: got1, MaxRank1: m1}, nil
+	}
+	return TiesResult{Matching: m, Exists: true, Rank1Size: got1, MaxRank1: m1}, nil
+}
+
+// MaxMatchingViaPopular is Theorem 11's reduction: it computes a
+// maximum-cardinality matching of an arbitrary bipartite graph by building
+// the popular matching instance in which every edge has rank one (and no
+// last resorts count) and calling the popular-matching black box. By
+// Lemmas 12 and 13 the returned popular matching is a maximum matching.
+func MaxMatchingViaPopular(g *bipartite.Graph, opt Options) (matchL []int32, size int, err error) {
+	// Applicants with no edges stay unmatched; the instance model requires
+	// non-empty lists, so compress them away.
+	idx := make([]int32, 0, g.NLeft)
+	lists := make([][]int32, 0, g.NLeft)
+	for l := 0; l < g.NLeft; l++ {
+		if len(g.Adj[l]) == 0 {
+			continue
+		}
+		seen := map[int32]bool{}
+		var dedup []int32
+		for _, r := range g.Adj[l] {
+			if !seen[r] {
+				seen[r] = true
+				dedup = append(dedup, r)
+			}
+		}
+		idx = append(idx, int32(l))
+		lists = append(lists, dedup)
+	}
+	ranks := make([][]int32, len(lists))
+	for i := range lists {
+		ranks[i] = make([]int32, len(lists[i]))
+		for j := range ranks[i] {
+			ranks[i][j] = 1
+		}
+	}
+	ins, err := onesided.NewWithTies(g.NRight, lists, ranks)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: reduction instance invalid: %w", err)
+	}
+	res, err := SolveTies(ins, true, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !res.Exists {
+		return nil, 0, fmt.Errorf("core: Lemma 13 violated: rank-one instance has no popular matching")
+	}
+	matchL = make([]int32, g.NLeft)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i, a := range idx {
+		p := res.Matching.PostOf[i]
+		if p >= 0 && !ins.IsLastResort(p) {
+			matchL[a] = p
+			size++
+		}
+	}
+	return matchL, size, nil
+}

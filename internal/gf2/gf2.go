@@ -1,0 +1,180 @@
+// Package gf2 implements bit-packed matrices over GF(2) with a row-parallel
+// Gaussian-elimination rank, plus graph incidence matrices.
+//
+// It substitutes for Theorem 7 of the paper (Mulmuley's O(log² n)-time rank
+// over an arbitrary field): Lemma 6 only needs the rank of the *unoriented
+// incidence matrix*, and over GF(2) — where orientation is irrelevant — the
+// identity rank(I_G) = n − #components holds for every multigraph. Gaussian
+// elimination computes the same rank with polynomial work and row-parallel
+// elimination steps; the depth is O(n) rather than O(log² n), which we
+// document as a depth-relaxed stand-in (the O(log n)-depth route for the same
+// cycle-detection job is the connected-components method, also implemented).
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/par"
+)
+
+// Matrix is an r×c matrix over GF(2), rows packed 64 bits per word.
+type Matrix struct {
+	Rows, Cols int
+	words      int
+	bits       []uint64
+}
+
+// New returns the zero r×c matrix.
+func New(r, c int) *Matrix {
+	w := (c + 63) / 64
+	return &Matrix{Rows: r, Cols: c, words: w, bits: make([]uint64, r*w)}
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v bool) {
+	w := i*m.words + j/64
+	mask := uint64(1) << (j % 64)
+	if v {
+		m.bits[w] |= mask
+	} else {
+		m.bits[w] &^= mask
+	}
+}
+
+// Get reads entry (i, j).
+func (m *Matrix) Get(i, j int) bool {
+	return m.bits[i*m.words+j/64]&(1<<(j%64)) != 0
+}
+
+// Flip toggles entry (i, j).
+func (m *Matrix) Flip(i, j int) {
+	m.bits[i*m.words+j/64] ^= 1 << (j % 64)
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, words: m.words, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// Transpose returns the c×r transpose.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.row(i)
+		for wi, w := range row {
+			for w != 0 {
+				j := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				t.Set(j, i, true)
+			}
+		}
+	}
+	return t
+}
+
+func (m *Matrix) row(i int) []uint64 {
+	return m.bits[i*m.words : (i+1)*m.words]
+}
+
+// Rank computes the GF(2) rank of m by Gaussian elimination. m is not
+// modified. Elimination of each pivot column across the remaining rows is one
+// parallel round; there are at most min(r, c) pivots.
+func Rank(p *par.Pool, m *Matrix, t *par.Tracer) int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < a.Cols && rank < a.Rows; col++ {
+		// Find a pivot row at or below `rank` with a 1 in this column.
+		pivot := -1
+		for i := rank; i < a.Rows; i++ {
+			if a.Get(i, col) {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		if pivot != rank {
+			pr, rr := a.row(pivot), a.row(rank)
+			for w := range pr {
+				pr[w], rr[w] = rr[w], pr[w]
+			}
+		}
+		prow := a.row(rank)
+		rows := a.Rows
+		rk := rank
+		p.ForGrain(rows, 16, func(i int) {
+			if i == rk || !a.Get(i, col) {
+				return
+			}
+			ri := a.row(i)
+			for w := range ri {
+				ri[w] ^= prow[w]
+			}
+		})
+		t.Round(rows * a.words)
+		rank++
+	}
+	return rank
+}
+
+// Mul returns the GF(2) product a·b (XOR of ANDs).
+func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("gf2: size mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	p.ForGrain(a.Rows, 8, func(i int) {
+		dst := c.row(i)
+		src := a.row(i)
+		for wi, w := range src {
+			for w != 0 {
+				k := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				brow := b.row(k)
+				for x := range dst {
+					dst[x] ^= brow[x]
+				}
+			}
+		}
+	})
+	t.Round(a.Rows * c.words)
+	return c
+}
+
+// Incidence returns the unoriented vertex-edge incidence matrix of a
+// multigraph on n vertices: row per vertex, column per edge, with exactly the
+// two endpoint bits of each edge set. Self-loops are rejected (their
+// incidence column would be zero over GF(2)); the pseudoforests of the paper
+// never contain them.
+func Incidence(n int, edges [][2]int) *Matrix {
+	m := New(n, len(edges))
+	for j, e := range edges {
+		if e[0] == e[1] {
+			panic(fmt.Sprintf("gf2: self-loop at vertex %d has no GF(2) incidence column", e[0]))
+		}
+		m.Set(e[0], j, true)
+		m.Set(e[1], j, true)
+	}
+	return m
+}
+
+// IncidenceWithout returns the incidence matrix of the multigraph with edge
+// column `skip` removed — used by the Lemma 6 cycle test, which compares
+// rank(I_G) with rank(I_{G−e}) for each edge e.
+func IncidenceWithout(n int, edges [][2]int, skip int) *Matrix {
+	m := New(n, len(edges)-1)
+	col := 0
+	for j, e := range edges {
+		if j == skip {
+			continue
+		}
+		m.Set(e[0], col, true)
+		m.Set(e[1], col, true)
+		col++
+	}
+	return m
+}

@@ -1,0 +1,260 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// naiveRank is an independent, straightforward elimination over a [][]bool
+// copy, used as the reference implementation.
+func naiveRank(m *Matrix) int {
+	a := make([][]bool, m.Rows)
+	for i := range a {
+		a[i] = make([]bool, m.Cols)
+		for j := 0; j < m.Cols; j++ {
+			a[i][j] = m.Get(i, j)
+		}
+	}
+	rank := 0
+	for col := 0; col < m.Cols && rank < m.Rows; col++ {
+		pivot := -1
+		for i := rank; i < m.Rows; i++ {
+			if a[i][col] {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		a[pivot], a[rank] = a[rank], a[pivot]
+		for i := 0; i < m.Rows; i++ {
+			if i != rank && a[i][col] {
+				for j := 0; j < m.Cols; j++ {
+					a[i][j] = a[i][j] != a[rank][j]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func randomMatrix(rng *rand.Rand, r, c int, density float64) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// bfsComponents counts connected components of a multigraph.
+func bfsComponents(n int, edges [][2]int) int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	cc := 0
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		cc++
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return cc
+}
+
+func TestSetGetFlip(t *testing.T) {
+	m := New(3, 130)
+	m.Set(2, 129, true)
+	if !m.Get(2, 129) {
+		t.Fatal("Set/Get at word boundary failed")
+	}
+	m.Flip(2, 129)
+	if m.Get(2, 129) {
+		t.Fatal("Flip did not clear")
+	}
+	m.Flip(0, 0)
+	if !m.Get(0, 0) {
+		t.Fatal("Flip did not set")
+	}
+}
+
+func TestRankAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, p := range []*par.Pool{par.Sequential(), par.NewPool(0)} {
+		for trial := 0; trial < 25; trial++ {
+			r := 1 + rng.Intn(60)
+			c := 1 + rng.Intn(60)
+			m := randomMatrix(rng, r, c, 0.3)
+			got := Rank(p, m, nil)
+			want := naiveRank(m)
+			if got != want {
+				t.Fatalf("workers=%d %dx%d: Rank = %d, want %d", p.Workers(), r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestRankDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randomMatrix(rng, 20, 20, 0.4)
+	before := m.Clone()
+	Rank(par.NewPool(4), m, nil)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if m.Get(i, j) != before.Get(i, j) {
+				t.Fatal("Rank modified its input")
+			}
+		}
+	}
+}
+
+func TestRankSpecialCases(t *testing.T) {
+	p := par.NewPool(4)
+	if got := Rank(p, New(5, 7), nil); got != 0 {
+		t.Fatalf("rank(0) = %d, want 0", got)
+	}
+	id := New(6, 6)
+	for i := 0; i < 6; i++ {
+		id.Set(i, i, true)
+	}
+	if got := Rank(p, id, nil); got != 6 {
+		t.Fatalf("rank(I) = %d, want 6", got)
+	}
+	// Duplicated rows collapse.
+	dup := New(4, 8)
+	for j := 0; j < 8; j += 2 {
+		dup.Set(0, j, true)
+		dup.Set(1, j, true)
+		dup.Set(2, j+1, true)
+	}
+	if got := Rank(p, dup, nil); got != 2 {
+		t.Fatalf("rank(dup rows) = %d, want 2", got)
+	}
+}
+
+func TestRankTransposeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := par.NewPool(0)
+	for trial := 0; trial < 15; trial++ {
+		m := randomMatrix(rng, 1+rng.Intn(40), 1+rng.Intn(40), 0.25)
+		if Rank(p, m, nil) != Rank(p, m.Transpose(), nil) {
+			t.Fatal("rank(A) != rank(A^T)")
+		}
+	}
+}
+
+// TestLemma6 checks the identity the paper's Lemma 6 relies on:
+// rank of the incidence matrix of a graph with k components is n − k.
+func TestLemma6IncidenceRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	p := par.NewPool(0)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(50)
+		mEdges := rng.Intn(2 * n)
+		edges := make([][2]int, 0, mEdges)
+		for len(edges) < mEdges {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v}) // parallel edges allowed
+			}
+		}
+		inc := Incidence(n, edges)
+		got := Rank(p, inc, nil)
+		want := n - bfsComponents(n, edges)
+		if got != want {
+			t.Fatalf("n=%d m=%d: rank = %d, want n-cc = %d", n, len(edges), got, want)
+		}
+	}
+}
+
+func TestIncidenceWithout(t *testing.T) {
+	p := par.NewPool(4)
+	// Triangle plus pendant: removing a cycle edge keeps cc; removing the
+	// pendant edge increases cc.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}
+	full := Rank(p, Incidence(4, edges), nil)
+	if full != 4-1 {
+		t.Fatalf("full rank = %d, want 3", full)
+	}
+	for e := 0; e < 3; e++ { // cycle edges
+		if got := Rank(p, IncidenceWithout(4, edges, e), nil); got != full {
+			t.Fatalf("removing cycle edge %d: rank = %d, want %d", e, got, full)
+		}
+	}
+	if got := Rank(p, IncidenceWithout(4, edges, 3), nil); got != full-1 {
+		t.Fatalf("removing bridge: rank = %d, want %d", got, full-1)
+	}
+}
+
+func TestIncidenceSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Incidence with a self-loop did not panic")
+		}
+	}()
+	Incidence(3, [][2]int{{1, 1}})
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p := par.NewPool(4)
+	a := randomMatrix(rng, 33, 33, 0.3)
+	id := New(33, 33)
+	for i := 0; i < 33; i++ {
+		id.Set(i, i, true)
+	}
+	prod := Mul(p, a, id, nil)
+	for i := 0; i < 33; i++ {
+		for j := 0; j < 33; j++ {
+			if prod.Get(i, j) != a.Get(i, j) {
+				t.Fatal("A·I != A over GF(2)")
+			}
+		}
+	}
+}
+
+func TestMulRankSubmultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	p := par.NewPool(0)
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(rng, 20, 30, 0.3)
+		b := randomMatrix(rng, 30, 25, 0.3)
+		ra, rb := Rank(p, a, nil), Rank(p, b, nil)
+		rab := Rank(p, Mul(p, a, b, nil), nil)
+		if rab > ra || rab > rb {
+			t.Fatalf("rank(AB)=%d exceeds min(rank A=%d, rank B=%d)", rab, ra, rb)
+		}
+	}
+}
+
+func BenchmarkRank512(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := par.NewPool(0)
+	m := randomMatrix(rng, 512, 512, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rank(p, m, nil)
+	}
+}

@@ -1,0 +1,98 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+func TestQuickRankBounds(t *testing.T) {
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(50), 1+rng.Intn(50)
+		m := randomMatrix(rng, r, c, 0.3)
+		rk := Rank(p, m, nil)
+		lim := r
+		if c < r {
+			lim = c
+		}
+		return rk >= 0 && rk <= lim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRankRowOpsInvariant(t *testing.T) {
+	// Adding one row to another over GF(2) preserves rank.
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 2+rng.Intn(30), 1+rng.Intn(30)
+		m := randomMatrix(rng, r, c, 0.3)
+		before := Rank(p, m, nil)
+		i, j := rng.Intn(r), rng.Intn(r)
+		if i == j {
+			j = (j + 1) % r
+		}
+		mm := m.Clone()
+		ri, rj := mm.row(i), mm.row(j)
+		for w := range ri {
+			ri[w] ^= rj[w]
+		}
+		return Rank(p, mm, nil) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRankDuplicateRowInvariant(t *testing.T) {
+	// Appending a copy of an existing row never changes the rank.
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(30), 1+rng.Intn(30)
+		m := randomMatrix(rng, r, c, 0.3)
+		grown := New(r+1, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				grown.Set(i, j, m.Get(i, j))
+			}
+		}
+		src := rng.Intn(r)
+		for j := 0; j < c; j++ {
+			grown.Set(r, j, m.Get(src, j))
+		}
+		return Rank(p, grown, nil) == Rank(p, m, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIncidenceParallelEdgeInvariant(t *testing.T) {
+	// Duplicating an edge of a multigraph leaves rank (= n − cc) unchanged.
+	p := par.NewPool(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		mEdges := 1 + rng.Intn(2*n)
+		edges := make([][2]int, 0, mEdges)
+		for len(edges) < mEdges {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		base := Rank(p, Incidence(n, edges), nil)
+		dup := append(append([][2]int{}, edges...), edges[rng.Intn(len(edges))])
+		return Rank(p, Incidence(n, dup), nil) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

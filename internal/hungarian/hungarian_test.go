@@ -1,0 +1,189 @@
+package hungarian
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMax enumerates all injections rows -> cols for small cases.
+func bruteMax(n, m int, w func(i, j int) int64) (int64, bool) {
+	cols := make([]int, m)
+	for j := range cols {
+		cols[j] = j
+	}
+	bestOK := false
+	var best int64
+	used := make([]bool, m)
+	var rec func(i int, sum int64, feasible bool)
+	rec = func(i int, sum int64, feasible bool) {
+		if i == n {
+			if feasible && (!bestOK || sum > best) {
+				bestOK = true
+				best = sum
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			x := w(i, j)
+			rec(i+1, sum+maxZero(x), feasible && x != Forbidden)
+			used[j] = false
+		}
+	}
+	rec(0, 0, true)
+	return best, bestOK
+}
+
+func maxZero(x int64) int64 {
+	if x == Forbidden {
+		return 0
+	}
+	return x
+}
+
+func TestMaxAssignSquareKnown(t *testing.T) {
+	w := [][]int64{
+		{10, 5, 3},
+		{4, 8, 2},
+		{1, 2, 9},
+	}
+	rowTo, total, ok := MaxAssign(3, 3, func(i, j int) int64 { return w[i][j] })
+	if !ok || total != 27 {
+		t.Fatalf("total = %d ok=%v, want 27 true", total, ok)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if rowTo[i] != want[i] {
+			t.Fatalf("rowTo = %v, want %v", rowTo, want)
+		}
+	}
+}
+
+func TestMaxAssignPrefersOffDiagonal(t *testing.T) {
+	w := [][]int64{
+		{1, 100},
+		{100, 1},
+	}
+	_, total, ok := MaxAssign(2, 2, func(i, j int) int64 { return w[i][j] })
+	if !ok || total != 200 {
+		t.Fatalf("total = %d, want 200", total)
+	}
+}
+
+func TestMaxAssignRectangular(t *testing.T) {
+	// 2 rows, 4 cols; best uses cols 3 and 1.
+	w := [][]int64{
+		{0, 7, 1, 9},
+		{2, 8, 0, 1},
+	}
+	rowTo, total, ok := MaxAssign(2, 4, func(i, j int) int64 { return w[i][j] })
+	if !ok || total != 17 {
+		t.Fatalf("total = %d, want 17 (rowTo %v)", total, rowTo)
+	}
+	if rowTo[0] != 3 || rowTo[1] != 1 {
+		t.Fatalf("rowTo = %v, want [3 1]", rowTo)
+	}
+}
+
+func TestMaxAssignForbiddenAvoided(t *testing.T) {
+	// Row 0 can only take col 1.
+	w := [][]int64{
+		{Forbidden, 1},
+		{5, 100},
+	}
+	rowTo, total, ok := MaxAssign(2, 2, func(i, j int) int64 { return w[i][j] })
+	if !ok {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	if rowTo[0] != 1 || rowTo[1] != 0 || total != 6 {
+		t.Fatalf("rowTo=%v total=%d, want [1 0] 6", rowTo, total)
+	}
+}
+
+func TestMaxAssignInfeasible(t *testing.T) {
+	// Both rows can only take col 0.
+	w := [][]int64{
+		{1, Forbidden},
+		{1, Forbidden},
+	}
+	_, _, ok := MaxAssign(2, 2, func(i, j int) int64 { return w[i][j] })
+	if ok {
+		t.Fatal("infeasible instance reported feasible")
+	}
+}
+
+func TestMaxAssignNegativeWeights(t *testing.T) {
+	// All-negative weights: still must assign every row (perfect-on-rows),
+	// choosing the least bad assignment.
+	w := [][]int64{
+		{-5, -1},
+		{-1, -5},
+	}
+	_, total, ok := MaxAssign(2, 2, func(i, j int) int64 { return w[i][j] })
+	if !ok || total != -2 {
+		t.Fatalf("total = %d, want -2", total)
+	}
+}
+
+func TestMaxAssignEmptyRows(t *testing.T) {
+	rowTo, total, ok := MaxAssign(0, 5, func(i, j int) int64 { return 1 })
+	if !ok || total != 0 || len(rowTo) != 0 {
+		t.Fatal("n=0 should be trivially feasible")
+	}
+}
+
+func TestMaxAssignAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, m)
+			for j := range w[i] {
+				if rng.Intn(5) == 0 {
+					w[i][j] = Forbidden
+				} else {
+					w[i][j] = int64(rng.Intn(41) - 20)
+				}
+			}
+		}
+		f := func(i, j int) int64 { return w[i][j] }
+		wantTotal, wantOK := bruteMax(n, m, f)
+		_, gotTotal, gotOK := MaxAssign(n, m, f)
+		if gotOK != wantOK {
+			t.Fatalf("n=%d m=%d: ok=%v, want %v (w=%v)", n, m, gotOK, wantOK, w)
+		}
+		if wantOK && gotTotal != wantTotal {
+			t.Fatalf("n=%d m=%d: total=%d, want %d (w=%v)", n, m, gotTotal, wantTotal, w)
+		}
+	}
+}
+
+func TestMaxAssignMoreRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n > m did not panic")
+		}
+	}()
+	MaxAssign(3, 2, func(i, j int) int64 { return 0 })
+}
+
+func BenchmarkMaxAssign128(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 128
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+		for j := range w[i] {
+			w[i][j] = int64(rng.Intn(1000))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxAssign(n, n, func(r, c int) int64 { return w[r][c] })
+	}
+}

@@ -1,0 +1,175 @@
+package onesided
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEnumerateMatchingsCountsTinyInstance(t *testing.T) {
+	// One applicant, two posts: matchings are p0, p1, l(a) = 3 total.
+	ins, _ := NewStrict(2, [][]int32{{0, 1}})
+	count := 0
+	EnumerateMatchings(ins, func(m *Matching) bool {
+		if !m.ApplicantComplete() {
+			t.Fatal("enumerated matching not applicant-complete")
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("enumerated %d matchings, want 3", count)
+	}
+}
+
+func TestEnumerateMatchingsRespectsConflicts(t *testing.T) {
+	// Two applicants share one post: 0 gets p0 or l0; 1 gets p0 or l1;
+	// both-p0 excluded => 2*2-1 = 3 matchings.
+	ins, _ := NewStrict(1, [][]int32{{0}, {0}})
+	count := 0
+	EnumerateMatchings(ins, func(m *Matching) bool {
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("enumerated %d matchings, want 3", count)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0, 1, 2}, {0, 1, 2}})
+	count := 0
+	EnumerateMatchings(ins, func(m *Matching) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d matchings, want 2", count)
+	}
+}
+
+func TestIsPopularBruteOnPaperExample(t *testing.T) {
+	ins := PaperFigure1()
+	m := PaperFigure1Matching(ins)
+	if !IsPopularBrute(ins, m) {
+		t.Fatal("the paper's Figure 1 matching is not popular under the brute-force oracle")
+	}
+}
+
+func TestBruteUnpopularExample(t *testing.T) {
+	ins := PaperFigure1()
+	// Matching everyone to their last resort is certainly beaten.
+	m := NewMatching(ins)
+	m.FillLastResorts(ins)
+	if IsPopularBrute(ins, m) {
+		t.Fatal("all-last-resort matching reported popular")
+	}
+}
+
+func TestUnsolvableHasNoPopularMatching(t *testing.T) {
+	ins := Unsolvable(1)
+	if got := AllPopularBrute(ins); len(got) != 0 {
+		t.Fatalf("unsolvable instance has %d popular matchings", len(got))
+	}
+	if MaxPopularSizeBrute(ins) != -1 {
+		t.Fatal("MaxPopularSizeBrute should report -1")
+	}
+}
+
+func TestAllPopularBruteNonEmptyOnSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ins := Solvable(rng, 4, 2, 2)
+	pops := AllPopularBrute(ins)
+	if len(pops) == 0 {
+		t.Fatal("solvable instance has no popular matching per brute force")
+	}
+	for _, m := range pops {
+		if err := m.Validate(ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMatchingKeyDistinguishes(t *testing.T) {
+	ins, _ := NewStrict(2, [][]int32{{0, 1}})
+	m1 := NewMatching(ins)
+	m1.Match(0, 0)
+	m2 := NewMatching(ins)
+	m2.Match(0, 1)
+	if m1.Key() == m2.Key() {
+		t.Fatal("distinct matchings share a key")
+	}
+	if m1.Key() != m1.Clone().Key() {
+		t.Fatal("clone changed the key")
+	}
+}
+
+func TestIOTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 20; trial++ {
+		ins := RandomTies(rng, 1+rng.Intn(10), 1+rng.Intn(8), 1, 5, 0.4)
+		var sb strings.Builder
+		if err := Write(&sb, ins); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+		}
+		if got.NumApplicants != ins.NumApplicants || got.NumPosts != ins.NumPosts {
+			t.Fatalf("dims changed: %d/%d vs %d/%d", got.NumApplicants, got.NumPosts, ins.NumApplicants, ins.NumPosts)
+		}
+		for a := range ins.Lists {
+			if len(got.Lists[a]) != len(ins.Lists[a]) {
+				t.Fatalf("applicant %d list length changed", a)
+			}
+			for i := range ins.Lists[a] {
+				if got.Lists[a][i] != ins.Lists[a][i] || got.Ranks[a][i] != ins.Ranks[a][i] {
+					t.Fatalf("applicant %d entry %d changed: %d@%d vs %d@%d", a, i,
+						got.Lists[a][i], got.Ranks[a][i], ins.Lists[a][i], ins.Ranks[a][i])
+				}
+			}
+		}
+	}
+}
+
+func TestIOParsesPaperStyle(t *testing.T) {
+	src := `
+# Figure-like instance
+posts 4
+a0: p0 (p1 p2) p3
+a1: p2
+`
+	ins, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumApplicants != 2 || ins.NumPosts != 4 {
+		t.Fatalf("dims = %d/%d", ins.NumApplicants, ins.NumPosts)
+	}
+	wantRanks := []int32{1, 2, 2, 3}
+	for i, r := range ins.Ranks[0] {
+		if r != wantRanks[i] {
+			t.Fatalf("ranks = %v, want %v", ins.Ranks[0], wantRanks)
+		}
+	}
+}
+
+func TestIORejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"a0: p1",              // missing header
+		"posts 3\na0: q1",     // bad token
+		"posts 3\na0: (p1",    // unbalanced
+		"posts 3\na0: p1 p1",  // duplicate (caught by Validate)
+		"posts 3\na0: p9",     // out of range
+		"posts 3\na0:",        // empty list
+		"posts 3\na0: (p1))",  // unbalanced close
+		"posts 3\na0: ((p1))", // nested
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package onesided
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the instance parser: arbitrary input must either parse
+// into a Validate-clean instance that round-trips, or return an error —
+// never panic.
+func FuzzRead(f *testing.F) {
+	f.Add("posts 3\na0: p0 p1\na1: (p1 p2)\n")
+	f.Add("posts 1\na0: p0\n")
+	f.Add("posts 0\n")
+	f.Add("# comment\nposts 2\n\na: p1\n")
+	f.Add("posts 2\na0: (p0 p1\n")
+	f.Add("garbage")
+	f.Add("posts 9999999\na0: p0")
+	f.Fuzz(func(t *testing.T, src string) {
+		ins, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if vErr := ins.Validate(); vErr != nil {
+			t.Fatalf("parser accepted an invalid instance: %v\ninput: %q", vErr, src)
+		}
+		var sb strings.Builder
+		if wErr := Write(&sb, ins); wErr != nil {
+			t.Fatalf("write-back failed: %v", wErr)
+		}
+		again, rErr := Read(strings.NewReader(sb.String()))
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", rErr, sb.String())
+		}
+		if again.NumApplicants != ins.NumApplicants || again.NumPosts != ins.NumPosts {
+			t.Fatalf("round trip changed dimensions")
+		}
+		for a := range ins.Lists {
+			if len(again.Lists[a]) != len(ins.Lists[a]) {
+				t.Fatalf("round trip changed list %d", a)
+			}
+			for i := range ins.Lists[a] {
+				if again.Lists[a][i] != ins.Lists[a][i] || again.Ranks[a][i] != ins.Ranks[a][i] {
+					t.Fatalf("round trip changed entry %d/%d", a, i)
+				}
+			}
+		}
+	})
+}

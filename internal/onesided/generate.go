@@ -1,0 +1,230 @@
+package onesided
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Instance generators used by tests, examples and the experiment harness.
+
+// RandomStrict generates an instance where each applicant ranks a uniform
+// random subset of posts (size between minLen and maxLen) in random order.
+func RandomStrict(rng *rand.Rand, numApplicants, numPosts, minLen, maxLen int) *Instance {
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen > numPosts {
+		maxLen = numPosts
+	}
+	if minLen > maxLen {
+		minLen = maxLen
+	}
+	lists := make([][]int32, numApplicants)
+	for a := range lists {
+		k := minLen + rng.Intn(maxLen-minLen+1)
+		lists[a] = sampleDistinct(rng, numPosts, k)
+	}
+	ins, err := NewStrict(numPosts, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// sampleDistinct draws k distinct post ids in uniform random order without
+// materializing a full permutation: rejection sampling for short lists
+// (k ≪ n), falling back to a partial Fisher–Yates when k is a sizable
+// fraction of n.
+func sampleDistinct(rng *rand.Rand, n, k int) []int32 {
+	if k > n {
+		k = n
+	}
+	if 4*k < n {
+		out := make([]int32, 0, k)
+		seen := make(map[int32]bool, k)
+		for len(out) < k {
+			p := int32(rng.Intn(n))
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	perm := rng.Perm(n)
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}
+
+// RandomStrictZipf generates skewed preferences: first choices concentrate on
+// low-numbered posts with Zipf exponent s, modeling the "everyone wants the
+// same few houses" regime that motivates popular matchings (§I). Larger s
+// means heavier skew and fewer solvable instances.
+func RandomStrictZipf(rng *rand.Rand, numApplicants, numPosts, listLen int, s float64) *Instance {
+	if listLen > numPosts {
+		listLen = numPosts
+	}
+	if listLen < 1 {
+		listLen = 1
+	}
+	// Precompute the Zipf CDF over posts.
+	cdf := make([]float64, numPosts)
+	total := 0.0
+	for i := 0; i < numPosts; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	draw := func() int32 {
+		x := rng.Float64() * total
+		lo, hi := 0, numPosts-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	lists := make([][]int32, numApplicants)
+	for a := range lists {
+		seen := make(map[int32]bool, listLen)
+		l := make([]int32, 0, listLen)
+		for len(l) < listLen {
+			p := draw()
+			if !seen[p] {
+				seen[p] = true
+				l = append(l, p)
+			}
+		}
+		lists[a] = l
+	}
+	ins, err := NewStrict(numPosts, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// RandomTies generates an instance with ties: each applicant draws a random
+// subset and groups consecutive entries into tie classes with probability
+// tieProb.
+func RandomTies(rng *rand.Rand, numApplicants, numPosts, minLen, maxLen int, tieProb float64) *Instance {
+	base := RandomStrict(rng, numApplicants, numPosts, minLen, maxLen)
+	for a := range base.Ranks {
+		r := base.Ranks[a]
+		rank := int32(1)
+		for i := range r {
+			if i > 0 && rng.Float64() >= tieProb {
+				rank++
+			}
+			r[i] = rank
+		}
+	}
+	if err := base.Validate(); err != nil {
+		panic(err)
+	}
+	return base
+}
+
+// Solvable generates a strict instance guaranteed to admit a popular
+// matching: posts are split into "first" posts F and "second" posts S; each
+// applicant ranks a distinct f in F first (at most one applicant per f) and
+// random S posts after it, so the reduced graph is a perfect matching on the
+// f-edges. Used when experiments need a 100% feasible workload.
+func Solvable(rng *rand.Rand, numApplicants int, extraSeconds int, listLen int) *Instance {
+	numPosts := numApplicants + extraSeconds
+	lists := make([][]int32, numApplicants)
+	for a := range lists {
+		l := []int32{int32(a)} // unique first choice => f-post per applicant
+		if listLen > 1 && extraSeconds > 0 {
+			perm := rng.Perm(extraSeconds)
+			for i := 0; i < listLen-1 && i < extraSeconds; i++ {
+				l = append(l, int32(numApplicants+perm[i]))
+			}
+		}
+		lists[a] = l
+	}
+	ins, err := NewStrict(numPosts, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// Unsolvable generates the classic infeasible family: 3k applicants all
+// ranking the same two posts p_{2i}, p_{2i+1} in the same order, k groups.
+// The reduced graph of each group has 3 applicants and 2 posts, so no
+// applicant-complete matching exists (§III-B, Hall violation).
+func Unsolvable(k int) *Instance {
+	lists := make([][]int32, 0, 3*k)
+	for g := 0; g < k; g++ {
+		p0, p1 := int32(2*g), int32(2*g+1)
+		for i := 0; i < 3; i++ {
+			lists = append(lists, []int32{p0, p1})
+		}
+	}
+	ins, err := NewStrict(2*k, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// BinaryBroom builds the adversarial peeling instance: a complete binary
+// tree of posts of the given depth, with one applicant per tree edge whose
+// two-entry list connects parent and child. Tree levels alternate f-posts
+// (even depth) and s-posts (odd depth), so the reduced graph is exactly the
+// tree. Degree-1 leaves peel one level per round, forcing Algorithm 2's
+// while loop to run `depth` rounds — the worst case of Lemma 2.
+func BinaryBroom(depth int) *Instance {
+	// Post ids follow heap order: root 0; children of v are 2v+1, 2v+2.
+	numPosts := (1 << (depth + 1)) - 1
+	type edge struct{ parent, child int32 }
+	var edges []edge
+	for v := 0; v < numPosts/2; v++ {
+		edges = append(edges, edge{int32(v), int32(2*v + 1)})
+		edges = append(edges, edge{int32(v), int32(2*v + 2)})
+	}
+	depthOf := func(v int32) int {
+		d := 0
+		for v > 0 {
+			v = (v - 1) / 2
+			d++
+		}
+		return d
+	}
+	lists := make([][]int32, len(edges))
+	for i, e := range edges {
+		// The endpoint at even depth is the f-post (first choice).
+		if depthOf(e.parent)%2 == 0 {
+			lists[i] = []int32{e.parent, e.child}
+		} else {
+			lists[i] = []int32{e.child, e.parent}
+		}
+	}
+	ins, err := NewStrict(numPosts, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// RandomSmall generates tiny instances for brute-force differential tests:
+// up to maxA applicants, maxP posts, short lists, optionally with ties.
+func RandomSmall(rng *rand.Rand, maxA, maxP int, ties bool) *Instance {
+	n1 := 1 + rng.Intn(maxA)
+	n2 := 1 + rng.Intn(maxP)
+	maxLen := n2
+	if maxLen > 4 {
+		maxLen = 4
+	}
+	if ties {
+		return RandomTies(rng, n1, n2, 1, maxLen, 0.4)
+	}
+	return RandomStrict(rng, n1, n2, 1, maxLen)
+}

@@ -1,0 +1,160 @@
+// Package onesided models one-sided preference systems: a set of applicants,
+// each ranking a non-empty subset of posts, possibly with ties (§II-A of the
+// paper). It provides matchings, the "more popular than" vote comparison,
+// last-resort augmentation, brute-force popularity oracles for testing,
+// instance generators (including the adversarial families used by the
+// experiments), and a text interchange format.
+package onesided
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Instance is a popular-matching instance: a bipartite graph between
+// applicants 0..NumApplicants-1 and posts 0..NumPosts-1 with ranked edges.
+//
+// Lists[a] holds the posts on applicant a's preference list, most preferred
+// first; Ranks[a][i] is the rank of Lists[a][i] (1-based, nondecreasing along
+// the list; equal ranks are ties). A strictly-ordered instance has ranks
+// 1,2,...,len.
+//
+// Following §II, every applicant additionally has a unique virtual
+// last-resort post l(a) = NumPosts + a, ranked strictly below everything on
+// the list. Last resorts are not stored in Lists; code paths that need them
+// use LastResort and TotalPosts.
+type Instance struct {
+	NumApplicants int
+	NumPosts      int
+	Lists         [][]int32
+	Ranks         [][]int32
+
+	rankOnce sync.Once
+	rankMaps []map[int32]int32
+}
+
+// NewStrict builds a strictly-ordered instance: lists[a][i] has rank i+1.
+func NewStrict(numPosts int, lists [][]int32) (*Instance, error) {
+	ranks := make([][]int32, len(lists))
+	for a, l := range lists {
+		r := make([]int32, len(l))
+		for i := range l {
+			r[i] = int32(i + 1)
+		}
+		ranks[a] = r
+	}
+	ins := &Instance{NumApplicants: len(lists), NumPosts: numPosts, Lists: lists, Ranks: ranks}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// NewWithTies builds an instance with explicit ranks (ties allowed).
+func NewWithTies(numPosts int, lists [][]int32, ranks [][]int32) (*Instance, error) {
+	ins := &Instance{NumApplicants: len(lists), NumPosts: numPosts, Lists: lists, Ranks: ranks}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// Validate checks structural invariants: non-empty lists, in-range distinct
+// posts, and 1-based nondecreasing ranks starting at 1.
+func (ins *Instance) Validate() error {
+	if len(ins.Lists) != ins.NumApplicants || len(ins.Ranks) != ins.NumApplicants {
+		return fmt.Errorf("onesided: %d applicants but %d lists / %d rank rows",
+			ins.NumApplicants, len(ins.Lists), len(ins.Ranks))
+	}
+	for a, l := range ins.Lists {
+		if len(l) == 0 {
+			return fmt.Errorf("onesided: applicant %d has an empty preference list", a)
+		}
+		r := ins.Ranks[a]
+		if len(r) != len(l) {
+			return fmt.Errorf("onesided: applicant %d has %d posts but %d ranks", a, len(l), len(r))
+		}
+		seen := make(map[int32]bool, len(l))
+		for i, p := range l {
+			if p < 0 || int(p) >= ins.NumPosts {
+				return fmt.Errorf("onesided: applicant %d lists out-of-range post %d", a, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("onesided: applicant %d lists post %d twice", a, p)
+			}
+			seen[p] = true
+			switch {
+			case i == 0 && r[i] != 1:
+				return fmt.Errorf("onesided: applicant %d first rank is %d, want 1", a, r[i])
+			case i > 0 && (r[i] < r[i-1] || r[i] > r[i-1]+1):
+				return fmt.Errorf("onesided: applicant %d ranks not contiguous at position %d", a, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Strict reports whether no applicant's list contains a tie.
+func (ins *Instance) Strict() bool {
+	for a := range ins.Lists {
+		r := ins.Ranks[a]
+		for i := 1; i < len(r); i++ {
+			if r[i] == r[i-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LastResort returns the virtual last-resort post id of applicant a.
+func (ins *Instance) LastResort(a int) int32 { return int32(ins.NumPosts + a) }
+
+// IsLastResort reports whether post id p is a virtual last resort.
+func (ins *Instance) IsLastResort(p int32) bool { return int(p) >= ins.NumPosts }
+
+// TotalPosts is the number of post ids including last resorts.
+func (ins *Instance) TotalPosts() int { return ins.NumPosts + ins.NumApplicants }
+
+// LastResortRank is the rank of l(a) on a's augmented list: one worse than
+// the worst listed rank.
+func (ins *Instance) LastResortRank(a int) int32 {
+	r := ins.Ranks[a]
+	return r[len(r)-1] + 1
+}
+
+// RankOf returns the rank of post p on applicant a's augmented list. Posts
+// not on the list (other than l(a)) report ok = false.
+func (ins *Instance) RankOf(a int, p int32) (rank int32, ok bool) {
+	if p == ins.LastResort(a) {
+		return ins.LastResortRank(a), true
+	}
+	ins.rankOnce.Do(func() {
+		ins.rankMaps = make([]map[int32]int32, ins.NumApplicants)
+		for i := range ins.Lists {
+			m := make(map[int32]int32, len(ins.Lists[i]))
+			for j, q := range ins.Lists[i] {
+				m[q] = ins.Ranks[i][j]
+			}
+			ins.rankMaps[i] = m
+		}
+	})
+	rank, ok = ins.rankMaps[a][p]
+	return rank, ok
+}
+
+// Clone returns a deep copy (without the lazily built rank maps).
+func (ins *Instance) Clone() *Instance {
+	lists := make([][]int32, len(ins.Lists))
+	ranks := make([][]int32, len(ins.Ranks))
+	for a := range ins.Lists {
+		lists[a] = append([]int32(nil), ins.Lists[a]...)
+		ranks[a] = append([]int32(nil), ins.Ranks[a]...)
+	}
+	return &Instance{
+		NumApplicants: ins.NumApplicants,
+		NumPosts:      ins.NumPosts,
+		Lists:         lists,
+		Ranks:         ranks,
+	}
+}

@@ -1,0 +1,303 @@
+package onesided
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewStrictValid(t *testing.T) {
+	ins, err := NewStrict(3, [][]int32{{0, 2}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Strict() {
+		t.Fatal("strict instance reported non-strict")
+	}
+	if ins.NumApplicants != 2 || ins.NumPosts != 3 {
+		t.Fatalf("dims = %d/%d", ins.NumApplicants, ins.NumPosts)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		posts int
+		lists [][]int32
+		ranks [][]int32
+	}{
+		{"empty list", 3, [][]int32{{}}, [][]int32{{}}},
+		{"out of range", 2, [][]int32{{2}}, [][]int32{{1}}},
+		{"negative post", 2, [][]int32{{-1}}, [][]int32{{1}}},
+		{"duplicate post", 3, [][]int32{{1, 1}}, [][]int32{{1, 2}}},
+		{"first rank not 1", 3, [][]int32{{0}}, [][]int32{{2}}},
+		{"rank gap", 3, [][]int32{{0, 1}}, [][]int32{{1, 3}}},
+		{"rank decrease", 3, [][]int32{{0, 1}}, [][]int32{{1, 0}}},
+		{"rank row mismatch", 3, [][]int32{{0, 1}}, [][]int32{{1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewWithTies(c.posts, c.lists, c.ranks); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTiesDetection(t *testing.T) {
+	ins, err := NewWithTies(3, [][]int32{{0, 1, 2}}, [][]int32{{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Strict() {
+		t.Fatal("tied instance reported strict")
+	}
+}
+
+func TestLastResorts(t *testing.T) {
+	ins, _ := NewStrict(5, [][]int32{{0, 1}, {2}})
+	if ins.LastResort(0) != 5 || ins.LastResort(1) != 6 {
+		t.Fatalf("LastResort = %d,%d", ins.LastResort(0), ins.LastResort(1))
+	}
+	if ins.TotalPosts() != 7 {
+		t.Fatalf("TotalPosts = %d", ins.TotalPosts())
+	}
+	if !ins.IsLastResort(5) || ins.IsLastResort(4) {
+		t.Fatal("IsLastResort misclassified")
+	}
+	if got := ins.LastResortRank(0); got != 3 {
+		t.Fatalf("LastResortRank(0) = %d, want 3", got)
+	}
+	if got := ins.LastResortRank(1); got != 2 {
+		t.Fatalf("LastResortRank(1) = %d, want 2", got)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	ins, _ := NewStrict(4, [][]int32{{2, 0, 3}})
+	for i, p := range []int32{2, 0, 3} {
+		r, ok := ins.RankOf(0, p)
+		if !ok || r != int32(i+1) {
+			t.Fatalf("RankOf(0,%d) = %d,%v", p, r, ok)
+		}
+	}
+	if _, ok := ins.RankOf(0, 1); ok {
+		t.Fatal("RankOf reported unlisted post")
+	}
+	if r, ok := ins.RankOf(0, ins.LastResort(0)); !ok || r != 4 {
+		t.Fatalf("RankOf(last resort) = %d,%v", r, ok)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0, 1}})
+	c := ins.Clone()
+	c.Lists[0][0] = 2
+	if ins.Lists[0][0] != 0 {
+		t.Fatal("Clone shares list storage")
+	}
+}
+
+func TestMatchingBasics(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0, 1}, {1, 2}})
+	m := NewMatching(ins)
+	if m.ApplicantComplete() {
+		t.Fatal("empty matching reported complete")
+	}
+	m.Match(0, 1)
+	m.Match(1, 2)
+	if err := m.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ApplicantComplete() {
+		t.Fatal("complete matching reported incomplete")
+	}
+	if m.Size(ins) != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size(ins))
+	}
+	// Rematching detaches old partners.
+	m.Match(0, 0)
+	if m.ApplicantOf[1] != -1 {
+		t.Fatal("old post kept its applicant")
+	}
+	m.Match(1, 0)
+	if m.PostOf[0] != -1 {
+		t.Fatal("stealing a post did not unmatch the previous applicant")
+	}
+}
+
+func TestMatchingValidateCatchesOffList(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0}})
+	m := NewMatching(ins)
+	m.Match(0, 2) // post 2 is not on the list
+	if err := m.Validate(ins); err == nil {
+		t.Fatal("Validate accepted an off-list assignment")
+	}
+}
+
+func TestFillStripLastResorts(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0}, {1}})
+	m := NewMatching(ins)
+	m.Match(0, 0)
+	m.FillLastResorts(ins)
+	if !m.ApplicantComplete() {
+		t.Fatal("FillLastResorts left someone unmatched")
+	}
+	if m.PostOf[1] != ins.LastResort(1) {
+		t.Fatalf("applicant 1 got %d, want last resort", m.PostOf[1])
+	}
+	if m.Size(ins) != 1 {
+		t.Fatalf("Size counts last resorts: %d", m.Size(ins))
+	}
+	m.StripLastResorts(ins)
+	if m.PostOf[1] != -1 || m.ApplicantOf[ins.LastResort(1)] != -1 {
+		t.Fatal("StripLastResorts left residue")
+	}
+}
+
+func TestPrefersAndVotes(t *testing.T) {
+	ins, _ := NewStrict(3, [][]int32{{0, 1, 2}, {2, 1}})
+	if !Prefers(ins, 0, 0, 1) || Prefers(ins, 0, 1, 0) {
+		t.Fatal("Prefers got rank order wrong")
+	}
+	if !Prefers(ins, 0, 2, -1) {
+		t.Fatal("any post must beat unmatched")
+	}
+	if !Prefers(ins, 0, ins.LastResort(0), -1) {
+		t.Fatal("last resort must beat unmatched")
+	}
+
+	m1 := NewMatching(ins)
+	m1.Match(0, 0)
+	m1.Match(1, 2)
+	m2 := NewMatching(ins)
+	m2.Match(0, 1)
+	m2.Match(1, 2)
+	a, b := CompareVotes(ins, m1, m2)
+	if a != 1 || b != 0 {
+		t.Fatalf("votes = %d,%d, want 1,0", a, b)
+	}
+	if !MorePopular(ins, m1, m2) || MorePopular(ins, m2, m1) {
+		t.Fatal("MorePopular inconsistent with votes")
+	}
+}
+
+func TestVotesWithTies(t *testing.T) {
+	// Both posts rank 1: swapping them moves no votes.
+	ins, _ := NewWithTies(2, [][]int32{{0, 1}}, [][]int32{{1, 1}})
+	m1 := NewMatching(ins)
+	m1.Match(0, 0)
+	m2 := NewMatching(ins)
+	m2.Match(0, 1)
+	a, b := CompareVotes(ins, m1, m2)
+	if a != 0 || b != 0 {
+		t.Fatalf("tied votes = %d,%d, want 0,0", a, b)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	ins := PaperFigure1()
+	m := PaperFigure1Matching(ins)
+	prof := Profile(ins, m)
+	if len(prof) != 10 {
+		t.Fatalf("profile length = %d, want 10", len(prof))
+	}
+	// a1:p1 rank1, a2:p2 rank4, a3:p4 rank1, a4:p3 rank4, a5:p5 rank1,
+	// a6:p7 rank1, a7:p8 rank3, a8:p9 rank5.
+	want := []int{4, 0, 1, 2, 1, 0, 0, 0, 0, 0}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", prof, want)
+		}
+	}
+}
+
+func TestProfileComparators(t *testing.T) {
+	p1 := []int{3, 0, 1}
+	p2 := []int{2, 2, 0}
+	if CompareRankMaximal(p1, p2) != 1 || CompareRankMaximal(p2, p1) != -1 {
+		t.Fatal("CompareRankMaximal ordering wrong")
+	}
+	if CompareRankMaximal(p1, p1) != 0 {
+		t.Fatal("CompareRankMaximal not reflexive")
+	}
+	// Fair compares from the last coordinate: fewer last resorts wins.
+	f1 := []int{1, 2, 0}
+	f2 := []int{3, 0, 1}
+	if CompareFair(f1, f2) != 1 || CompareFair(f2, f1) != -1 {
+		t.Fatal("CompareFair ordering wrong")
+	}
+}
+
+func TestPaperFigure1MatchingIsValid(t *testing.T) {
+	ins := PaperFigure1()
+	m := PaperFigure1Matching(ins)
+	if err := m.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ApplicantComplete() || m.Size(ins) != 8 {
+		t.Fatalf("paper matching: complete=%v size=%d", m.ApplicantComplete(), m.Size(ins))
+	}
+}
+
+func TestRandomGeneratorsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		for _, ins := range []*Instance{
+			RandomStrict(rng, 1+rng.Intn(20), 1+rng.Intn(15), 1, 5),
+			RandomStrictZipf(rng, 1+rng.Intn(20), 2+rng.Intn(15), 3, 1.1),
+			RandomTies(rng, 1+rng.Intn(20), 1+rng.Intn(15), 1, 5, 0.3),
+			RandomSmall(rng, 6, 6, trial%2 == 0),
+		} {
+			if err := ins.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !RandomStrict(rng, 10, 8, 1, 5).Strict() {
+		t.Fatal("RandomStrict produced ties")
+	}
+}
+
+func TestSolvableGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	ins := Solvable(rng, 12, 5, 3)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each applicant's first choice is unique.
+	seen := map[int32]bool{}
+	for a := range ins.Lists {
+		f := ins.Lists[a][0]
+		if seen[f] {
+			t.Fatal("Solvable produced shared first choices")
+		}
+		seen[f] = true
+	}
+}
+
+func TestUnsolvableGenerator(t *testing.T) {
+	ins := Unsolvable(2)
+	if ins.NumApplicants != 6 || ins.NumPosts != 4 {
+		t.Fatalf("dims = %d/%d", ins.NumApplicants, ins.NumPosts)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryBroomShape(t *testing.T) {
+	for depth := 1; depth <= 4; depth++ {
+		ins := BinaryBroom(depth)
+		if err := ins.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		wantPosts := (1 << (depth + 1)) - 1
+		if ins.NumPosts != wantPosts || ins.NumApplicants != wantPosts-1 {
+			t.Fatalf("depth=%d: dims %d/%d, want %d/%d",
+				depth, ins.NumApplicants, ins.NumPosts, wantPosts-1, wantPosts)
+		}
+		for a := range ins.Lists {
+			if len(ins.Lists[a]) != 2 {
+				t.Fatalf("broom applicant %d has list length %d", a, len(ins.Lists[a]))
+			}
+		}
+	}
+}

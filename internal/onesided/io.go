@@ -1,0 +1,133 @@
+package onesided
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text interchange format, one instance per stream:
+//
+//	posts <numPosts>
+//	a0: p1 p4 p5
+//	a1: (p4 p5) p7
+//	...
+//
+// Each line after the header is one applicant's preference list, most
+// preferred first. Parenthesized groups are tie classes. Post tokens are
+// `p<id>`; applicant labels before the colon are decorative and ignored.
+// Blank lines and lines starting with '#' are skipped.
+
+// Write serializes ins in the text format.
+func Write(w io.Writer, ins *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "posts %d\n", ins.NumPosts)
+	for a := 0; a < ins.NumApplicants; a++ {
+		fmt.Fprintf(bw, "a%d:", a)
+		l, r := ins.Lists[a], ins.Ranks[a]
+		for i := 0; i < len(l); {
+			j := i
+			for j < len(l) && r[j] == r[i] {
+				j++
+			}
+			if j-i > 1 {
+				bw.WriteString(" (")
+				for k := i; k < j; k++ {
+					if k > i {
+						bw.WriteByte(' ')
+					}
+					fmt.Fprintf(bw, "p%d", l[k])
+				}
+				bw.WriteByte(')')
+			} else {
+				fmt.Fprintf(bw, " p%d", l[i])
+			}
+			i = j
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Read parses an instance from the text format.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	numPosts := -1
+	var lists [][]int32
+	var ranks [][]int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if numPosts < 0 {
+			var n int
+			if _, err := fmt.Sscanf(line, "posts %d", &n); err != nil {
+				return nil, fmt.Errorf("onesided: line %d: expected `posts <n>` header: %v", lineNo, err)
+			}
+			numPosts = n
+			continue
+		}
+		if i := strings.IndexByte(line, ':'); i >= 0 {
+			line = line[i+1:]
+		}
+		l, rk, err := parseList(line)
+		if err != nil {
+			return nil, fmt.Errorf("onesided: line %d: %v", lineNo, err)
+		}
+		lists = append(lists, l)
+		ranks = append(ranks, rk)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numPosts < 0 {
+		return nil, fmt.Errorf("onesided: missing `posts <n>` header")
+	}
+	return NewWithTies(numPosts, lists, ranks)
+}
+
+func parseList(s string) (list, ranks []int32, err error) {
+	rank := int32(0)
+	inTie := false
+	for _, tok := range strings.Fields(strings.ReplaceAll(strings.ReplaceAll(s, "(", " ( "), ")", " ) ")) {
+		switch tok {
+		case "(":
+			if inTie {
+				return nil, nil, fmt.Errorf("nested tie group")
+			}
+			inTie = true
+			rank++
+		case ")":
+			if !inTie {
+				return nil, nil, fmt.Errorf("unbalanced )")
+			}
+			inTie = false
+		default:
+			if !strings.HasPrefix(tok, "p") {
+				return nil, nil, fmt.Errorf("bad post token %q", tok)
+			}
+			id, err := strconv.Atoi(tok[1:])
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad post token %q", tok)
+			}
+			if !inTie {
+				rank++
+			}
+			list = append(list, int32(id))
+			ranks = append(ranks, rank)
+		}
+	}
+	if inTie {
+		return nil, nil, fmt.Errorf("unbalanced (")
+	}
+	if len(list) == 0 {
+		return nil, nil, fmt.Errorf("empty preference list")
+	}
+	return list, ranks, nil
+}

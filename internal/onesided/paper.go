@@ -1,0 +1,33 @@
+package onesided
+
+// PaperFigure1 returns the popular-matching instance I of Figure 1 of the
+// paper, with applicants a1..a8 mapped to 0..7 and posts p1..p9 to 0..8.
+// Golden tests across the repository reproduce Figures 1-4 from it.
+func PaperFigure1() *Instance {
+	lists := [][]int32{
+		{0, 3, 4, 1, 5},    // a1: p1 p4 p5 p2 p6
+		{3, 4, 6, 1, 7},    // a2: p4 p5 p7 p2 p8
+		{3, 0, 2, 7},       // a3: p4 p1 p3 p8
+		{0, 6, 3, 2, 8},    // a4: p1 p7 p4 p3 p9
+		{4, 0, 6, 1, 5},    // a5: p5 p1 p7 p2 p6
+		{6, 5},             // a6: p7 p6
+		{6, 3, 7, 1},       // a7: p7 p4 p8 p2
+		{6, 3, 0, 4, 8, 2}, // a8: p7 p4 p1 p5 p9 p3
+	}
+	ins, err := NewStrict(9, lists)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// PaperFigure1Matching returns the popular matching the paper reports for
+// Figure 1: {(a1,p1),(a2,p2),(a3,p4),(a4,p3),(a5,p5),(a6,p7),(a7,p8),(a8,p9)}.
+func PaperFigure1Matching(ins *Instance) *Matching {
+	m := NewMatching(ins)
+	pairs := [][2]int32{{0, 0}, {1, 1}, {2, 3}, {3, 2}, {4, 4}, {5, 6}, {6, 7}, {7, 8}}
+	for _, pr := range pairs {
+		m.Match(pr[0], pr[1])
+	}
+	return m
+}

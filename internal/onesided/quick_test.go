@@ -1,0 +1,123 @@
+package onesided
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the vote/profile machinery.
+
+// arbitraryInstanceAndMatchings derives a deterministic small instance and
+// two applicant-complete matchings from a seed.
+func arbitraryInstanceAndMatchings(seed int64) (*Instance, *Matching, *Matching) {
+	rng := rand.New(rand.NewSource(seed))
+	ins := RandomSmall(rng, 6, 6, seed%2 == 0)
+	pick := func() *Matching {
+		m := NewMatching(ins)
+		perm := rng.Perm(ins.NumApplicants)
+		for _, a := range perm {
+			// Choose a random free post from the list, else last resort.
+			var choices []int32
+			for _, p := range ins.Lists[a] {
+				if m.ApplicantOf[p] < 0 {
+					choices = append(choices, p)
+				}
+			}
+			if len(choices) > 0 && rng.Intn(4) > 0 {
+				m.Match(int32(a), choices[rng.Intn(len(choices))])
+			} else {
+				m.Match(int32(a), ins.LastResort(a))
+			}
+		}
+		return m
+	}
+	return ins, pick(), pick()
+}
+
+func TestQuickVoteAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		ins, m1, m2 := arbitraryInstanceAndMatchings(seed)
+		a, b := CompareVotes(ins, m1, m2)
+		b2, a2 := CompareVotes(ins, m2, m1)
+		return a == a2 && b == b2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVoteIrreflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		ins, m1, _ := arbitraryInstanceAndMatchings(seed)
+		a, b := CompareVotes(ins, m1, m1)
+		return a == 0 && b == 0 && !MorePopular(ins, m1, m1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProfileSumsToApplicants(t *testing.T) {
+	f := func(seed int64) bool {
+		ins, m1, _ := arbitraryInstanceAndMatchings(seed)
+		total := 0
+		for _, x := range Profile(ins, m1) {
+			total += x
+		}
+		return total == ins.NumApplicants
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProfileOrdersAreDual(t *testing.T) {
+	// CompareRankMaximal and CompareFair must each be antisymmetric and
+	// agree with themselves under argument swap.
+	f := func(seed int64) bool {
+		ins, m1, m2 := arbitraryInstanceAndMatchings(seed)
+		p1, p2 := Profile(ins, m1), Profile(ins, m2)
+		if CompareRankMaximal(p1, p2) != -CompareRankMaximal(p2, p1) {
+			return false
+		}
+		if CompareFair(p1, p2) != -CompareFair(p2, p1) {
+			return false
+		}
+		return CompareRankMaximal(p1, p1) == 0 && CompareFair(p1, p1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFillStripRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		ins, m1, _ := arbitraryInstanceAndMatchings(seed)
+		before := m1.Clone()
+		m1.StripLastResorts(ins)
+		m1.FillLastResorts(ins)
+		for a := range before.PostOf {
+			if before.PostOf[a] != m1.PostOf[a] {
+				return false
+			}
+		}
+		return m1.ApplicantComplete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOracleNeverBelowPairwise(t *testing.T) {
+	// The margin is a max over all challengers, so it is at least the
+	// margin of any specific challenger.
+	f := func(seed int64) bool {
+		ins, m1, m2 := arbitraryInstanceAndMatchings(seed)
+		a, b := CompareVotes(ins, m2, m1)
+		return UnpopularityMargin(ins, m1) >= a-b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package par provides the bulk-synchronous parallel substrate used by every
+// algorithm in this repository.
+//
+// The paper's algorithms are CREW/CRCW PRAM algorithms. We simulate the PRAM
+// with a fixed pool of goroutine workers executing bulk-synchronous rounds: a
+// parallel step maps a function over an index range, and the caller observes
+// the step as a single synchronous operation. A Tracer records the number of
+// rounds (the PRAM time, i.e. span) and the total work, so NC claims —
+// polylogarithmic rounds with polynomial work — can be checked empirically,
+// independent of wall-clock noise.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the minimum number of loop iterations assigned to a worker
+// before the pool bothers to parallelize a loop. Loops smaller than the grain
+// run on the calling goroutine.
+const DefaultGrain = 256
+
+// Pool executes bulk-synchronous parallel loops on a fixed number of workers.
+// A Pool is stateless between calls and safe for concurrent use; the zero
+// value is not usable, construct one with NewPool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given number of workers. If workers <= 0,
+// runtime.GOMAXPROCS(0) workers are used.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Sequential returns a single-worker pool. Useful as a baseline in speedup
+// experiments and to make tests deterministic under the race detector.
+func Sequential() *Pool { return &Pool{workers: 1} }
+
+// Workers reports the number of workers the pool schedules onto.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(i) for every i in [0, n) in parallel. It corresponds to one
+// PRAM step ("for each x in parallel do"). fn must be safe to call
+// concurrently for distinct i; the pool guarantees each index is processed
+// exactly once. For blocks until all iterations complete.
+func (p *Pool) For(n int, fn func(i int)) {
+	p.ForGrain(n, DefaultGrain, fn)
+}
+
+// ForGrain is For with an explicit grain: chunks of at least `grain`
+// consecutive indices are handed to workers. A small grain increases
+// scheduling overhead; a large grain reduces available parallelism.
+func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
+	p.Range(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Range partitions [0, n) into contiguous chunks of at least `grain` indices
+// and calls fn(lo, hi) for each chunk in parallel. It is the loop primitive
+// underlying For; use it directly when per-chunk setup (local accumulators,
+// scratch buffers) matters.
+func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.workers == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	workers := p.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	// Dynamic (work-stealing-ish) distribution: workers atomically claim the
+	// next chunk. This balances irregular per-index costs, which matter for
+	// graph workloads with skewed degree distributions.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

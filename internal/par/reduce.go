@@ -1,0 +1,78 @@
+package par
+
+// Parallel reductions. Each reduction is one bulk-synchronous round of block
+// partial-reductions followed by a small sequential combine over the O(P)
+// block results.
+
+// Reduce combines f(0), f(1), ..., f(n-1) with the associative function
+// combine, starting from the identity element id. combine must be
+// associative; it need not be commutative (blocks are combined in index
+// order).
+func Reduce[T any](p *Pool, n int, id T, f func(i int) T, combine func(a, b T) T, t *Tracer) T {
+	if n <= 0 {
+		return id
+	}
+	grain := scanGrain(n, p.workers)
+	nblocks := (n + grain - 1) / grain
+	partial := make([]T, nblocks)
+	p.Range(n, grain, func(lo, hi int) {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, f(i))
+		}
+		partial[lo/grain] = acc
+	})
+	t.Round(n)
+	acc := id
+	for _, v := range partial {
+		acc = combine(acc, v)
+	}
+	t.Round(nblocks)
+	return acc
+}
+
+// SumInt returns f(0)+...+f(n-1).
+func SumInt(p *Pool, n int, f func(i int) int, t *Tracer) int {
+	return Reduce(p, n, 0, f, func(a, b int) int { return a + b }, t)
+}
+
+// CountTrue returns the number of i in [0,n) with f(i) true.
+func CountTrue(p *Pool, n int, f func(i int) bool, t *Tracer) int {
+	return SumInt(p, n, func(i int) int {
+		if f(i) {
+			return 1
+		}
+		return 0
+	}, t)
+}
+
+// Any reports whether f(i) holds for at least one i in [0,n).
+func Any(p *Pool, n int, f func(i int) bool, t *Tracer) bool {
+	return CountTrue(p, n, f, t) > 0
+}
+
+// MinIndex returns the smallest index i minimizing key(i), breaking ties by
+// smaller index. It returns -1 for n == 0.
+func MinIndex(p *Pool, n int, key func(i int) int, t *Tracer) int {
+	type kv struct{ k, i int }
+	id := kv{0, -1}
+	best := Reduce(p, n, id, func(i int) kv { return kv{key(i), i} }, func(a, b kv) kv {
+		switch {
+		case a.i == -1:
+			return b
+		case b.i == -1:
+			return a
+		case b.k < a.k || (b.k == a.k && b.i < a.i):
+			return b
+		default:
+			return a
+		}
+	}, t)
+	return best.i
+}
+
+// MaxIndex returns the smallest index i maximizing key(i). It returns -1 for
+// n == 0.
+func MaxIndex(p *Pool, n int, key func(i int) int, t *Tracer) int {
+	return MinIndex(p, n, func(i int) int { return -key(i) }, t)
+}

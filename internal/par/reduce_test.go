@@ -1,0 +1,106 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumInt(t *testing.T) {
+	for _, p := range pools() {
+		got := SumInt(p, 1000, func(i int) int { return i }, nil)
+		if got != 499500 {
+			t.Fatalf("workers=%d: SumInt = %d, want 499500", p.Workers(), got)
+		}
+	}
+}
+
+func TestSumIntEmpty(t *testing.T) {
+	p := NewPool(4)
+	if got := SumInt(p, 0, func(i int) int { return 1 }, nil); got != 0 {
+		t.Fatalf("SumInt(0) = %d, want 0", got)
+	}
+}
+
+func TestCountTrueAndAny(t *testing.T) {
+	p := NewPool(4)
+	if got := CountTrue(p, 100, func(i int) bool { return i%10 == 0 }, nil); got != 10 {
+		t.Fatalf("CountTrue = %d, want 10", got)
+	}
+	if !Any(p, 100, func(i int) bool { return i == 99 }, nil) {
+		t.Fatal("Any missed the last index")
+	}
+	if Any(p, 100, func(i int) bool { return false }, nil) {
+		t.Fatal("Any reported true with no hits")
+	}
+}
+
+func TestMinMaxIndex(t *testing.T) {
+	p := NewPool(4)
+	xs := []int{5, 3, 9, 3, 7}
+	if got := MinIndex(p, len(xs), func(i int) int { return xs[i] }, nil); got != 1 {
+		t.Fatalf("MinIndex = %d, want 1 (first of the tied minima)", got)
+	}
+	if got := MaxIndex(p, len(xs), func(i int) int { return xs[i] }, nil); got != 2 {
+		t.Fatalf("MaxIndex = %d, want 2", got)
+	}
+	if got := MinIndex(p, 0, func(i int) int { return 0 }, nil); got != -1 {
+		t.Fatalf("MinIndex(0) = %d, want -1", got)
+	}
+}
+
+func TestMinIndexTieBreaksBySmallestIndex(t *testing.T) {
+	p := NewPool(0)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5000)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(10)
+		}
+		got := MinIndex(p, n, func(i int) int { return xs[i] }, nil)
+		want := 0
+		for i := 1; i < n; i++ {
+			if xs[i] < xs[want] {
+				want = i
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d: MinIndex = %d (val %d), want %d (val %d)", n, got, xs[got], want, xs[want])
+		}
+	}
+}
+
+func TestReduceNonCommutativeStaysOrdered(t *testing.T) {
+	// String concatenation is associative but not commutative; block order
+	// must be preserved.
+	p := NewPool(8)
+	n := 3000
+	got := Reduce(p, n, "", func(i int) string {
+		return string(rune('a' + i%26))
+	}, func(a, b string) string { return a + b }, nil)
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != byte('a'+i%26) {
+			t.Fatalf("position %d = %c, out of order", i, got[i])
+		}
+	}
+}
+
+func TestReduceQuickSum(t *testing.T) {
+	p := NewPool(0)
+	f := func(xs []int32) bool {
+		got := Reduce(p, len(xs), int64(0), func(i int) int64 { return int64(xs[i]) },
+			func(a, b int64) int64 { return a + b }, nil)
+		var want int64
+		for _, x := range xs {
+			want += int64(x)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package par
+
+// Prefix sums (scans) and stream compaction.
+//
+// The implementation is the two-phase block scan: each worker reduces a block
+// (parallel round 1), the per-block sums are scanned by a single worker (the
+// block count is O(P), constant in n for a fixed machine), and each worker
+// then rescans its block seeded with the block offset (parallel round 2).
+// This is work-optimal O(n) with O(1) bulk-synchronous rounds; the classical
+// Blelloch tree scan achieves the same result in O(log n) PRAM rounds, and
+// either satisfies the NC accounting used in the experiments.
+
+// ExclusiveScan returns out where out[i] = xs[0] + ... + xs[i-1] (out[0] = 0)
+// and the total sum of xs. xs is not modified.
+func (p *Pool) ExclusiveScan(xs []int, t *Tracer) (out []int, total int) {
+	n := len(xs)
+	out = make([]int, n)
+	if n == 0 {
+		return out, 0
+	}
+	grain := scanGrain(n, p.workers)
+	nblocks := (n + grain - 1) / grain
+	blockSum := make([]int, nblocks)
+
+	p.Range(n, grain, func(lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		blockSum[lo/grain] = s
+	})
+	t.Round(n)
+
+	running := 0
+	for b := 0; b < nblocks; b++ {
+		s := blockSum[b]
+		blockSum[b] = running
+		running += s
+	}
+	t.Round(nblocks)
+
+	p.Range(n, grain, func(lo, hi int) {
+		s := blockSum[lo/grain]
+		for i := lo; i < hi; i++ {
+			out[i] = s
+			s += xs[i]
+		}
+	})
+	t.Round(n)
+	return out, running
+}
+
+// InclusiveScan returns out where out[i] = xs[0] + ... + xs[i].
+func (p *Pool) InclusiveScan(xs []int, t *Tracer) []int {
+	out, _ := p.ExclusiveScan(xs, t)
+	p.For(len(xs), func(i int) { out[i] += xs[i] })
+	t.Round(len(xs))
+	return out
+}
+
+// Compact returns, in increasing order, the indices i in [0, n) for which
+// keep(i) is true. It is the parallel pack/stream-compaction primitive: a
+// flag round, an exclusive scan, and a scatter round.
+func (p *Pool) Compact(n int, keep func(i int) bool, t *Tracer) []int {
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	p.For(n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	t.Round(n)
+	offsets, total := p.ExclusiveScan(flags, t)
+	out := make([]int, total)
+	p.For(n, func(i int) {
+		if flags[i] == 1 {
+			out[offsets[i]] = i
+		}
+	})
+	t.Round(n)
+	return out
+}
+
+// CompactSlice packs the elements xs[i] with keep(i) into a fresh slice,
+// preserving order.
+func CompactSlice[T any](p *Pool, xs []T, keep func(i int) bool, t *Tracer) []T {
+	idx := p.Compact(len(xs), keep, t)
+	out := make([]T, len(idx))
+	p.For(len(idx), func(j int) { out[j] = xs[idx[j]] })
+	t.Round(len(idx))
+	return out
+}
+
+func scanGrain(n, workers int) int {
+	// Aim for ~4 blocks per worker to smooth imbalance, but never below a
+	// minimum grain that keeps per-block overhead negligible.
+	g := n / (4 * workers)
+	if g < 1024 {
+		g = 1024
+	}
+	return g
+}

@@ -1,0 +1,163 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqExclusiveScan(xs []int) ([]int, int) {
+	out := make([]int, len(xs))
+	s := 0
+	for i, x := range xs {
+		out[i] = s
+		s += x
+	}
+	return out, s
+}
+
+func TestExclusiveScanMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 2, 100, 1023, 1024, 1025, 50000} {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = rng.Intn(100) - 50
+			}
+			var tr Tracer
+			got, total := p.ExclusiveScan(xs, &tr)
+			want, wantTotal := seqExclusiveScan(xs)
+			if total != wantTotal {
+				t.Fatalf("workers=%d n=%d: total = %d, want %d", p.Workers(), n, total, wantTotal)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: out[%d] = %d, want %d", p.Workers(), n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	p := NewPool(4)
+	xs := []int{3, -1, 4, 1, 5}
+	got := p.InclusiveScan(xs, nil)
+	want := []int{3, 2, 6, 7, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanQuick(t *testing.T) {
+	p := NewPool(0)
+	f := func(xs []int16) bool {
+		ys := make([]int, len(xs))
+		for i, x := range xs {
+			ys[i] = int(x)
+		}
+		got, total := p.ExclusiveScan(ys, nil)
+		want, wantTotal := seqExclusiveScan(ys)
+		if total != wantTotal {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanDoesNotModifyInput(t *testing.T) {
+	p := NewPool(4)
+	xs := []int{1, 2, 3, 4}
+	orig := append([]int(nil), xs...)
+	p.ExclusiveScan(xs, nil)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("ExclusiveScan modified its input")
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	for _, p := range pools() {
+		got := p.Compact(10, func(i int) bool { return i%3 == 0 }, nil)
+		want := []int{0, 3, 6, 9}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: Compact = %v, want %v", p.Workers(), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: Compact = %v, want %v", p.Workers(), got, want)
+			}
+		}
+	}
+}
+
+func TestCompactEmptyAndFull(t *testing.T) {
+	p := NewPool(4)
+	if got := p.Compact(0, func(int) bool { return true }, nil); len(got) != 0 {
+		t.Fatalf("Compact(0) = %v, want empty", got)
+	}
+	if got := p.Compact(5, func(int) bool { return false }, nil); len(got) != 0 {
+		t.Fatalf("Compact none = %v, want empty", got)
+	}
+	got := p.Compact(5, func(int) bool { return true }, nil)
+	if len(got) != 5 {
+		t.Fatalf("Compact all = %v, want 0..4", got)
+	}
+}
+
+func TestCompactLargeRandom(t *testing.T) {
+	p := NewPool(0)
+	rng := rand.New(rand.NewSource(7))
+	n := 100000
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = rng.Intn(4) == 0
+	}
+	got := p.Compact(n, func(i int) bool { return keep[i] }, nil)
+	var want []int
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompactSlice(t *testing.T) {
+	p := NewPool(4)
+	xs := []string{"a", "b", "c", "d"}
+	got := CompactSlice(p, xs, func(i int) bool { return i%2 == 1 }, nil)
+	if len(got) != 2 || got[0] != "b" || got[1] != "d" {
+		t.Fatalf("CompactSlice = %v, want [b d]", got)
+	}
+}
+
+func BenchmarkExclusiveScan(b *testing.B) {
+	p := NewPool(0)
+	xs := make([]int, 1<<22)
+	for i := range xs {
+		xs[i] = i & 15
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ExclusiveScan(xs, nil)
+	}
+}

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tracer accumulates PRAM cost measures for an algorithm run.
+//
+// Rounds counts bulk-synchronous parallel steps (the PRAM time / span of the
+// execution: each Round call is one synchronous "for ... in parallel do"
+// step, regardless of how many workers execute it). Work counts the total
+// number of elementary operations across all rounds. An NC algorithm must
+// show Rounds = polylog(n) and Work = poly(n); the experiment harness asserts
+// exactly that.
+//
+// A nil *Tracer is valid and records nothing, so algorithms thread the tracer
+// unconditionally.
+type Tracer struct {
+	rounds atomic.Int64
+	work   atomic.Int64
+}
+
+// Round records one bulk-synchronous parallel step that performed `work`
+// elementary operations. Safe for concurrent use; a nil receiver is a no-op.
+func (t *Tracer) Round(work int) {
+	if t == nil {
+		return
+	}
+	t.rounds.Add(1)
+	t.work.Add(int64(work))
+}
+
+// AddWork adds work to the current accounting without starting a new round.
+// Used when a single logical round is implemented as several Go-level loops.
+func (t *Tracer) AddWork(work int) {
+	if t == nil {
+		return
+	}
+	t.work.Add(int64(work))
+}
+
+// Rounds reports the number of parallel rounds recorded so far.
+func (t *Tracer) Rounds() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.rounds.Load()
+}
+
+// Work reports the total work recorded so far.
+func (t *Tracer) Work() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.work.Load()
+}
+
+// Reset clears the counters.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.rounds.Store(0)
+	t.work.Store(0)
+}
+
+// String summarizes the counters, e.g. "rounds=12 work=48210".
+func (t *Tracer) String() string {
+	if t == nil {
+		return "rounds=0 work=0"
+	}
+	return fmt.Sprintf("rounds=%d work=%d", t.Rounds(), t.Work())
+}

@@ -1,0 +1,172 @@
+package pram
+
+import "fmt"
+
+// PRAM kernels for the paper's core parallel primitives. Memory layouts are
+// documented per kernel; each kernel reports the number of synchronous steps
+// it used so tests can pin the O(log n) bounds.
+
+// PointerDoubling computes, for a functional graph with terminal self-loops,
+// the terminal reached from every vertex and the distance to it — the
+// "doubling trick" of §III-B as a literal PRAM program.
+//
+// Layout: cells [0,n) successor pointers (terminal: succ[v] == v),
+// [n,2n) distance accumulators. One processor per vertex; each doubling
+// iteration is a single CREW step (concurrent reads of shared successor
+// cells, exclusive writes to own cells).
+//
+// Returns the final pointers and distances and the number of steps.
+func PointerDoubling(model Model, succ []int) (ptr []int, dist []int, steps int, err error) {
+	n := len(succ)
+	if n == 0 {
+		return nil, nil, 0, nil
+	}
+	m := New(model, n, 2*n)
+	for v, s := range succ {
+		m.Store(v, int64(s))
+		if s != v {
+			m.Store(n+v, 1)
+		}
+	}
+	iters := 1
+	for 1<<iters < n {
+		iters++
+	}
+	for k := 0; k <= iters; k++ {
+		err = m.Step(func(c *Ctx, v int) {
+			p := int(c.Read(v))
+			d := c.Read(n + v)
+			pd := c.Read(n + p)
+			pp := c.Read(p)
+			c.Write(v, pp)
+			c.Write(n+v, d+pd)
+		})
+		if err != nil {
+			return nil, nil, m.Steps(), err
+		}
+	}
+	ptr = make([]int, n)
+	dist = make([]int, n)
+	for v := 0; v < n; v++ {
+		ptr[v] = int(m.Load(v))
+		dist[v] = int(m.Load(n + v))
+	}
+	return ptr, dist, m.Steps(), nil
+}
+
+// PrefixSum computes inclusive prefix sums with the classic EREW two-phase
+// tree (Blelloch upsweep/downsweep) in 2·ceil(log2 n) + O(1) steps.
+//
+// Layout: the array occupies cells [0, n) of a machine sized to the next
+// power of two; the tree phases address strided cells so that every step is
+// exclusive-read exclusive-write.
+func PrefixSum(model Model, xs []int64) (out []int64, steps int, err error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	m := New(model, size, size)
+	for i, x := range xs {
+		m.Store(i, x)
+	}
+	// Upsweep: partial sums at stride boundaries.
+	for d := 1; d < size; d *= 2 {
+		dd := d
+		err = m.Step(func(c *Ctx, pid int) {
+			right := (pid+1)*2*dd - 1
+			if right >= size {
+				return
+			}
+			left := right - dd
+			c.Write(right, c.Read(left)+c.Read(right))
+		})
+		if err != nil {
+			return nil, m.Steps(), err
+		}
+	}
+	// Downsweep for inclusive sums: propagate prefixes into the right
+	// halves (the classic variant that keeps the total in the last cell).
+	for d := size / 2; d >= 2; d /= 2 {
+		dd := d
+		err = m.Step(func(c *Ctx, pid int) {
+			// Processor pid handles the pid-th block boundary.
+			idx := (pid+1)*dd + dd/2 - 1
+			if idx >= size {
+				return
+			}
+			c.Write(idx, c.Read(idx)+c.Read((pid+1)*dd-1))
+		})
+		if err != nil {
+			return nil, m.Steps(), err
+		}
+	}
+	out = make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.Load(i)
+	}
+	return out, m.Steps(), nil
+}
+
+// MarkFPosts is Algorithm 1 line 3's first-choice marking as a PRAM kernel:
+// one processor per applicant writes 1 into its f-post's flag cell. Whenever
+// two applicants share a first choice the step performs a concurrent write
+// of the same value — legal on CRCW-Common (and Priority), a write conflict
+// on EREW/CREW. The paper's construction implicitly relies on exactly this.
+//
+// Layout: cells [0, numPosts) are the flags; first[a] is applicant a's first
+// choice.
+func MarkFPosts(model Model, numPosts int, first []int) (isF []bool, steps int, err error) {
+	m := New(model, len(first), numPosts)
+	if len(first) == 0 {
+		return make([]bool, numPosts), 0, nil
+	}
+	err = m.Step(func(c *Ctx, a int) {
+		c.Write(first[a], 1)
+	})
+	if err != nil {
+		return nil, m.Steps(), err
+	}
+	isF = make([]bool, numPosts)
+	for p := 0; p < numPosts; p++ {
+		isF[p] = m.Load(p) == 1
+	}
+	return isF, m.Steps(), nil
+}
+
+// MinReduce computes the minimum of xs with an EREW binary tree in
+// ceil(log2 n) steps.
+//
+// Layout: cells [0, n) hold the values; pairwise minima collapse leftward.
+func MinReduce(model Model, xs []int64) (min int64, steps int, err error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("pram: MinReduce of empty input")
+	}
+	m := New(model, (n+1)/2, n)
+	for i, x := range xs {
+		m.Store(i, x)
+	}
+	for width := n; width > 1; width = (width + 1) / 2 {
+		w := width
+		err = m.Step(func(c *Ctx, pid int) {
+			i := pid
+			j := i + (w+1)/2
+			if j >= w {
+				return
+			}
+			a := c.Read(i)
+			b := c.Read(j)
+			if b < a {
+				c.Write(i, b)
+			}
+		})
+		if err != nil {
+			return 0, m.Steps(), err
+		}
+	}
+	return m.Load(0), m.Steps(), nil
+}

@@ -1,0 +1,211 @@
+// Package pram implements a bulk-synchronous PRAM virtual machine with
+// access-discipline checking.
+//
+// The paper states its algorithms for the PRAM model (CREW for the doubling
+// and closure steps, arbitrary-CRCW for "choose any applicant" writes). The
+// rest of this repository executes them on goroutine pools, which validates
+// their *results*; this package validates their *model compliance*: a kernel
+// step runs across P virtual processors against shared memory with
+// synchronous semantics — every read observes the memory state before the
+// step, writes commit after — while the machine records each access and
+// enforces the discipline of the selected model variant:
+//
+//	EREW          no cell is read or written by two processors in one step
+//	CREW          concurrent reads allowed, writes must be exclusive
+//	CRCW-Common   concurrent writes allowed if all writers agree on the value
+//	CRCW-Priority concurrent writes allowed; the lowest processor id wins
+//	              (a deterministic refinement of the paper's "arbitrary" CRCW)
+//
+// Violations are reported with the step number, the cell, and the processors
+// involved. kernels.go expresses the paper's core parallel primitives as
+// PRAM programs; their tests certify, for example, that pointer doubling is
+// CREW (it concurrently *reads* shared successor cells but never writes one
+// cell twice) and that f-post marking genuinely needs a CRCW model.
+package pram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model selects the PRAM access discipline.
+type Model uint8
+
+const (
+	// EREW is exclusive-read exclusive-write.
+	EREW Model = iota
+	// CREW is concurrent-read exclusive-write.
+	CREW
+	// CRCWCommon allows concurrent writes that agree on the value.
+	CRCWCommon
+	// CRCWPriority allows concurrent writes; the lowest pid wins.
+	CRCWPriority
+)
+
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWCommon:
+		return "CRCW-Common"
+	case CRCWPriority:
+		return "CRCW-Priority"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// ViolationError describes an access-discipline breach.
+type ViolationError struct {
+	Model Model
+	Step  int
+	Cell  int
+	Kind  string // "read" or "write"
+	Pids  []int
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("pram: %s violation at step %d: cell %d %s by processors %v",
+		e.Model, e.Step, e.Cell, e.Kind, e.Pids)
+}
+
+// Machine is a P-processor shared-memory PRAM.
+type Machine struct {
+	Model Model
+	P     int
+	mem   []int64
+	step  int
+	// Work/steps accounting, comparable to par.Tracer.
+	reads, writes int64
+}
+
+// New returns a machine with memSize zeroed shared cells.
+func New(model Model, processors, memSize int) *Machine {
+	if processors < 1 {
+		panic("pram: need at least one processor")
+	}
+	return &Machine{Model: model, P: processors, mem: make([]int64, memSize)}
+}
+
+// Mem returns the shared memory (mutate only between steps).
+func (m *Machine) Mem() []int64 { return m.mem }
+
+// Load reads a cell outside any step (host access).
+func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
+
+// Store writes a cell outside any step (host access).
+func (m *Machine) Store(addr int, v int64) { m.mem[addr] = v }
+
+// Steps reports how many synchronous steps have executed.
+func (m *Machine) Steps() int { return m.step }
+
+// Reads and Writes report total memory traffic.
+func (m *Machine) Reads() int64  { return m.reads }
+func (m *Machine) Writes() int64 { return m.writes }
+
+// Ctx is a processor's window onto the machine during one step.
+type Ctx struct {
+	m      *Machine
+	pid    int
+	reads  map[int][]int // cell -> pids (shared per step)
+	writes map[int][]writeRec
+}
+
+type writeRec struct {
+	pid int
+	val int64
+}
+
+// Pid returns the executing processor's id.
+func (c *Ctx) Pid() int { return c.pid }
+
+// Read loads a shared cell (pre-step snapshot semantics).
+func (c *Ctx) Read(addr int) int64 {
+	c.reads[addr] = append(c.reads[addr], c.pid)
+	c.m.reads++
+	return c.m.mem[addr]
+}
+
+// Write stores to a shared cell; the value becomes visible after the step.
+func (c *Ctx) Write(addr int, v int64) {
+	c.writes[addr] = append(c.writes[addr], writeRec{c.pid, v})
+	c.m.writes++
+}
+
+// Step runs fn once per processor id, synchronously: all reads see the
+// memory as it was when Step began; writes are validated against the model
+// and committed together. Processors are executed sequentially (the machine
+// is a model checker, not a throughput tool), so kernels must not rely on
+// any intra-step ordering — exactly the PRAM contract.
+func (m *Machine) Step(fn func(c *Ctx, pid int)) error {
+	m.step++
+	reads := make(map[int][]int)
+	writes := make(map[int][]writeRec)
+	for pid := 0; pid < m.P; pid++ {
+		c := &Ctx{m: m, pid: pid, reads: reads, writes: writes}
+		fn(c, pid)
+	}
+	// Conflicts exist between *distinct* processors only: a processor may
+	// touch the same cell several times within its own instruction (a
+	// constant-factor multi-access step).
+	if m.Model == EREW {
+		for cell, pids := range reads {
+			if distinct := distinctPids(pids); len(distinct) > 1 {
+				return &ViolationError{Model: m.Model, Step: m.step, Cell: cell, Kind: "read", Pids: distinct}
+			}
+		}
+	}
+	// Validate and commit writes; per processor, its last write to a cell
+	// within the step is the effective one.
+	for cell, recs := range writes {
+		lastByPid := map[int]int64{}
+		order := []int{}
+		for _, r := range recs {
+			if _, seen := lastByPid[r.pid]; !seen {
+				order = append(order, r.pid)
+			}
+			lastByPid[r.pid] = r.val
+		}
+		if len(order) > 1 {
+			switch m.Model {
+			case EREW, CREW:
+				sort.Ints(order)
+				return &ViolationError{Model: m.Model, Step: m.step, Cell: cell, Kind: "write", Pids: order}
+			case CRCWCommon:
+				first := lastByPid[order[0]]
+				for _, pid := range order[1:] {
+					if lastByPid[pid] != first {
+						conflicting := []int{order[0], pid}
+						sort.Ints(conflicting)
+						return &ViolationError{Model: m.Model, Step: m.step, Cell: cell, Kind: "write", Pids: conflicting}
+					}
+				}
+			case CRCWPriority:
+				// lowest pid wins below
+			}
+		}
+		winner := order[0]
+		for _, pid := range order[1:] {
+			if pid < winner {
+				winner = pid
+			}
+		}
+		m.mem[cell] = lastByPid[winner]
+	}
+	return nil
+}
+
+func distinctPids(pids []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range pids {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

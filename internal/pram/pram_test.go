@@ -1,0 +1,246 @@
+package pram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotSemantics(t *testing.T) {
+	// A swap across processors must read pre-step values.
+	m := New(CREW, 2, 2)
+	m.Store(0, 10)
+	m.Store(1, 20)
+	err := m.Step(func(c *Ctx, pid int) {
+		other := c.Read(1 - pid)
+		c.Write(pid, other)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(0) != 20 || m.Load(1) != 10 {
+		t.Fatalf("swap produced %d,%d", m.Load(0), m.Load(1))
+	}
+}
+
+func TestEREWReadConflictDetected(t *testing.T) {
+	m := New(EREW, 2, 1)
+	err := m.Step(func(c *Ctx, pid int) { c.Read(0) })
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Kind != "read" || v.Cell != 0 {
+		t.Fatalf("err = %v, want EREW read violation on cell 0", err)
+	}
+}
+
+func TestCREWAllowsConcurrentReads(t *testing.T) {
+	m := New(CREW, 8, 1)
+	if err := m.Step(func(c *Ctx, pid int) { c.Read(0) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCREWWriteConflictDetected(t *testing.T) {
+	m := New(CREW, 2, 1)
+	err := m.Step(func(c *Ctx, pid int) { c.Write(0, 1) })
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Kind != "write" {
+		t.Fatalf("err = %v, want CREW write violation", err)
+	}
+}
+
+func TestCRCWCommonAgreeingWrites(t *testing.T) {
+	m := New(CRCWCommon, 4, 1)
+	if err := m.Step(func(c *Ctx, pid int) { c.Write(0, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(0) != 7 {
+		t.Fatalf("cell = %d, want 7", m.Load(0))
+	}
+	err := m.Step(func(c *Ctx, pid int) { c.Write(0, int64(pid)) })
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("disagreeing common writes accepted: %v", err)
+	}
+}
+
+func TestCRCWPriorityLowestWins(t *testing.T) {
+	m := New(CRCWPriority, 5, 1)
+	if err := m.Step(func(c *Ctx, pid int) { c.Write(0, int64(100+pid)) }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(0) != 100 {
+		t.Fatalf("cell = %d, want priority winner 100", m.Load(0))
+	}
+}
+
+func TestSameProcessorMultiAccessAllowed(t *testing.T) {
+	// One processor may read and rewrite the same cell repeatedly within a
+	// step under every model.
+	for _, model := range []Model{EREW, CREW, CRCWCommon, CRCWPriority} {
+		m := New(model, 1, 1)
+		m.Store(0, 3)
+		err := m.Step(func(c *Ctx, pid int) {
+			x := c.Read(0) + c.Read(0)
+			c.Write(0, x)
+			c.Write(0, x+1)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if m.Load(0) != 7 {
+			t.Fatalf("%v: cell = %d, want 7 (last write wins)", model, m.Load(0))
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	names := map[Model]string{EREW: "EREW", CREW: "CREW", CRCWCommon: "CRCW-Common", CRCWPriority: "CRCW-Priority"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %s", m, m.String())
+		}
+	}
+}
+
+// --- kernels ---
+
+func TestPointerDoublingKernelCREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		succ := make([]int, n)
+		succ[0] = 0 // terminal
+		for v := 1; v < n; v++ {
+			succ[v] = rng.Intn(v)
+		}
+		ptr, dist, steps, err := PointerDoubling(CREW, succ)
+		if err != nil {
+			t.Fatalf("n=%d: CREW pointer doubling violated the model: %v", n, err)
+		}
+		// Steps must be O(log n).
+		if lg := logCeil(n) + 2; steps > lg {
+			t.Fatalf("n=%d: %d steps exceeds %d", n, steps, lg)
+		}
+		for v := 0; v < n; v++ {
+			wantDist, u := 0, v
+			for succ[u] != u {
+				wantDist++
+				u = succ[u]
+			}
+			if ptr[v] != u || dist[v] != wantDist {
+				t.Fatalf("n=%d v=%d: (ptr,dist)=(%d,%d), want (%d,%d)", n, v, ptr[v], dist[v], u, wantDist)
+			}
+		}
+	}
+}
+
+func TestPointerDoublingNeedsConcurrentReads(t *testing.T) {
+	// A star (everyone points at vertex 0) forces concurrent reads of
+	// cell 0, so the kernel must fail under EREW — demonstrating why the
+	// paper's doubling steps are CREW, not EREW.
+	succ := []int{0, 0, 0, 0}
+	_, _, _, err := PointerDoubling(EREW, succ)
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Kind != "read" {
+		t.Fatalf("err = %v, want EREW read violation", err)
+	}
+}
+
+func TestPrefixSumKernelEREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(130)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(20) - 10)
+		}
+		out, steps, err := PrefixSum(EREW, xs)
+		if err != nil {
+			t.Fatalf("n=%d: EREW prefix sum violated the model: %v", n, err)
+		}
+		if lg := 2*logCeil(n) + 2; steps > lg {
+			t.Fatalf("n=%d: %d steps exceeds %d", n, steps, lg)
+		}
+		var acc int64
+		for i := 0; i < n; i++ {
+			acc += xs[i]
+			if out[i] != acc {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, out[i], acc)
+			}
+		}
+	}
+}
+
+func TestMarkFPostsKernelModels(t *testing.T) {
+	// Shared first choices: legal under CRCW-Common, a conflict under CREW.
+	first := []int{2, 2, 0}
+	isF, steps, err := MarkFPosts(CRCWCommon, 4, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("steps = %d, want 1 (constant-time marking)", steps)
+	}
+	want := []bool{true, false, true, false}
+	for p := range want {
+		if isF[p] != want[p] {
+			t.Fatalf("isF = %v, want %v", isF, want)
+		}
+	}
+	if _, _, err := MarkFPosts(CREW, 4, first); err == nil {
+		t.Fatal("CREW accepted the concurrent f-post write — the step genuinely needs CRCW")
+	}
+	// Distinct first choices are fine even under EREW.
+	if _, _, err := MarkFPosts(EREW, 4, []int{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinReduceKernelEREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(1000))
+		}
+		got, steps, err := MinReduce(EREW, xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if lg := logCeil(n) + 1; steps > lg {
+			t.Fatalf("n=%d: %d steps exceeds %d", n, steps, lg)
+		}
+		want := xs[0]
+		for _, x := range xs {
+			if x < want {
+				want = x
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d: min = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMachineAccounting(t *testing.T) {
+	m := New(CREW, 4, 4)
+	_ = m.Step(func(c *Ctx, pid int) {
+		c.Read(pid)
+		c.Write(pid, 1)
+	})
+	if m.Reads() != 4 || m.Writes() != 4 || m.Steps() != 1 {
+		t.Fatalf("accounting = %d reads %d writes %d steps", m.Reads(), m.Writes(), m.Steps())
+	}
+}
+
+func logCeil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}

@@ -1,0 +1,77 @@
+package pram
+
+import (
+	"fmt"
+
+	"repro/internal/onesided"
+)
+
+// BuildReduced executes Algorithm 1 line 3 — the construction of the reduced
+// graph G′ — as a literal PRAM program, certifying the access discipline the
+// paper's §III-B prose assumes:
+//
+//	step 1  (CRCW-Common)  one processor per applicant writes 1 into its
+//	                       first post's f-flag cell ("for each post p, check
+//	                       if there is any incident edge (a,p) ∈ E1");
+//	step 2  (CREW)         one processor per applicant scans its own list,
+//	                       concurrently reading the shared f-flags, and
+//	                       writes s(a) ("find the highest ranked incident
+//	                       edge (a,p) ∉ E1").
+//
+// The scan in step 2 is a multi-access step of length O(max list length);
+// the paper charges it as constant rounds with one processor per list entry,
+// which the goroutine implementation (core.BuildReduced) realizes. Here the
+// per-entry reads all happen inside one synchronous step, which preserves
+// the read/write conflict structure being certified.
+//
+// Returns f(a), s(a) and the f-post flags; model must be CRCWCommon or
+// CRCWPriority (under EREW/CREW the first step correctly reports a write
+// conflict whenever two applicants share a first choice — tested).
+func BuildReduced(model Model, ins *onesided.Instance) (f, s []int32, isF []bool, steps int, err error) {
+	if !ins.Strict() {
+		return nil, nil, nil, 0, fmt.Errorf("pram: Algorithm 1 requires strict lists")
+	}
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	if n1 == 0 {
+		return nil, nil, make([]bool, total), 0, nil
+	}
+	// Memory layout: [0, total) f-flags; [total, total+n1) f(a);
+	// [total+n1, total+2n1) s(a).
+	m := New(model, n1, total+2*n1)
+
+	err = m.Step(func(c *Ctx, a int) {
+		first := int64(ins.Lists[a][0])
+		c.Write(int(first), 1)
+		c.Write(total+a, first)
+	})
+	if err != nil {
+		return nil, nil, nil, m.Steps(), err
+	}
+
+	err = m.Step(func(c *Ctx, a int) {
+		sPost := int64(ins.LastResort(a))
+		for _, p := range ins.Lists[a] {
+			if c.Read(int(p)) == 0 {
+				sPost = int64(p)
+				break
+			}
+		}
+		c.Write(total+n1+a, sPost)
+	})
+	if err != nil {
+		return nil, nil, nil, m.Steps(), err
+	}
+
+	f = make([]int32, n1)
+	s = make([]int32, n1)
+	isF = make([]bool, total)
+	for a := 0; a < n1; a++ {
+		f[a] = int32(m.Load(total + a))
+		s[a] = int32(m.Load(total + n1 + a))
+	}
+	for p := 0; p < total; p++ {
+		isF[p] = m.Load(p) == 1
+	}
+	return f, s, isF, m.Steps(), nil
+}

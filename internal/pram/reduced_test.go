@@ -1,0 +1,92 @@
+package pram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/onesided"
+)
+
+func TestBuildReducedMatchesCoreOnPaperExample(t *testing.T) {
+	ins := onesided.PaperFigure1()
+	f, s, isF, steps, err := BuildReduced(CRCWCommon, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 {
+		t.Fatalf("steps = %d, want 2 (the paper's constant-round construction)", steps)
+	}
+	ref, err := core.BuildReduced(ins, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range f {
+		if f[a] != ref.F[a] || s[a] != ref.S[a] {
+			t.Fatalf("a%d: PRAM (f,s)=(%d,%d), core (%d,%d)", a+1, f[a], s[a], ref.F[a], ref.S[a])
+		}
+	}
+	for p := range isF {
+		if isF[p] != ref.IsF[p] {
+			t.Fatalf("isF[%d] mismatch", p)
+		}
+	}
+}
+
+func TestBuildReducedMatchesCoreRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 40; trial++ {
+		ins := onesided.RandomStrict(rng, 1+rng.Intn(60), 1+rng.Intn(40), 1, 6)
+		f, s, _, _, err := BuildReduced(CRCWCommon, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.BuildReduced(ins, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := range f {
+			if f[a] != ref.F[a] || s[a] != ref.S[a] {
+				t.Fatalf("trial %d a%d: PRAM differs from core", trial, a)
+			}
+		}
+	}
+}
+
+func TestBuildReducedNeedsCRCW(t *testing.T) {
+	// Two applicants sharing a first choice: the f-flag write conflicts
+	// under CREW, exactly as the model analysis predicts.
+	ins, err := onesided.NewStrict(2, [][]int32{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, err = BuildReduced(CREW, ins)
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Kind != "write" {
+		t.Fatalf("err = %v, want CREW write violation", err)
+	}
+	// Distinct first choices pass even under CREW.
+	ins2, _ := onesided.NewStrict(2, [][]int32{{0, 1}, {1, 0}})
+	if _, _, _, _, err := BuildReduced(CREW, ins2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildReducedRejectsTies(t *testing.T) {
+	ins, _ := onesided.NewWithTies(2, [][]int32{{0, 1}}, [][]int32{{1, 1}})
+	if _, _, _, _, err := BuildReduced(CRCWCommon, ins); err == nil {
+		t.Fatal("ties accepted")
+	}
+}
+
+func TestBuildReducedEmpty(t *testing.T) {
+	ins, err := onesided.NewStrict(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, isF, steps, err := BuildReduced(CRCWCommon, ins)
+	if err != nil || steps != 0 || len(isF) != 3 {
+		t.Fatalf("empty instance: steps=%d err=%v", steps, err)
+	}
+}

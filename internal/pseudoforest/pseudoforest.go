@@ -1,0 +1,236 @@
+// Package pseudoforest analyzes directed pseudoforests (functional graphs):
+// digraphs in which every vertex has outdegree at most one. Both switching
+// graphs of the paper are such graphs — G_M over posts (§IV, Lemma 4) and H_M
+// over men (§VI, Lemma 17) — and every component contains either a single
+// sink or a single cycle.
+//
+// The package finds the unique cycle of each component with the four
+// approaches §IV-A discusses, so they can be cross-validated and benchmarked
+// against each other:
+//
+//  1. pointer doubling on the functional graph itself (the cycle of a
+//     component is exactly the image of the "jump n steps" map),
+//  2. directed transitive closure (i and j share a cycle iff they reach each
+//     other — Theorem 5 route),
+//  3. GF(2) incidence-matrix rank of the underlying undirected multigraph
+//     with one edge removed (Lemma 6 + Theorem 7 route),
+//  4. connected-components count with one edge removed (Theorem 8 route).
+//
+// It also provides the weighted machinery Algorithm 3 needs: distance to
+// sink, per-component cycle weight, and path weights to the sink via binary
+// lifting.
+package pseudoforest
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/concomp"
+	"repro/internal/par"
+)
+
+// Graph is a directed pseudoforest on n vertices: Succ[v] is the unique
+// out-neighbor of v, or -1 if v is a sink. Self-loops are not allowed.
+type Graph struct {
+	Succ []int32
+}
+
+// New validates and wraps a successor array.
+func New(succ []int32) (*Graph, error) {
+	for v, s := range succ {
+		if int(s) == v {
+			return nil, fmt.Errorf("pseudoforest: self-loop at vertex %d", v)
+		}
+		if s < -1 || int(s) >= len(succ) {
+			return nil, fmt.Errorf("pseudoforest: successor %d of vertex %d out of range", s, v)
+		}
+	}
+	return &Graph{Succ: succ}, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Succ) }
+
+// absorbing returns the successor array with sinks turned into self-loops,
+// the convention par.Double expects.
+func (g *Graph) absorbing() []int32 {
+	a := make([]int32, len(g.Succ))
+	for v, s := range g.Succ {
+		if s < 0 {
+			a[v] = int32(v)
+		} else {
+			a[v] = s
+		}
+	}
+	return a
+}
+
+// UndirectedEdges returns the underlying undirected multigraph edge list:
+// one edge {v, Succ[v]} per non-sink vertex, indexed by source vertex order.
+// EdgeSource[i] records which vertex contributed edge i.
+func (g *Graph) UndirectedEdges() (edges [][2]int32, edgeSource []int32) {
+	for v, s := range g.Succ {
+		if s >= 0 {
+			edges = append(edges, [2]int32{int32(v), s})
+			edgeSource = append(edgeSource, int32(v))
+		}
+	}
+	return edges, edgeSource
+}
+
+// Analysis holds the full decomposition of a pseudoforest.
+type Analysis struct {
+	// Comp[v] is the component label: the minimum vertex id of v's weakly
+	// connected component.
+	Comp []int32
+	// OnCycle[v] reports whether v lies on its component's cycle.
+	OnCycle []bool
+	// Sink[v] is the sink vertex of v's component, or -1 for cycle
+	// components.
+	Sink []int32
+	// DistToSink[v] is the number of Succ steps from v to the sink, or -1 in
+	// cycle components.
+	DistToSink []int
+	// Lift is the binary-lifting table over the (sink-absorbing) successor
+	// array, for O(log n) path queries.
+	Lift *par.Lifting
+}
+
+// Analyze decomposes the pseudoforest using only pointer doubling and the
+// parallel connected-components primitive — the fully parallel (method 1)
+// route. All other cycle-finding methods are provided separately for
+// cross-validation.
+func Analyze(p *par.Pool, g *Graph, t *par.Tracer) *Analysis {
+	n := g.N()
+	a := &Analysis{
+		Comp:       make([]int32, n),
+		OnCycle:    make([]bool, n),
+		Sink:       make([]int32, n),
+		DistToSink: make([]int, n),
+	}
+	if n == 0 {
+		return a
+	}
+	abs := g.absorbing()
+
+	// Components of the underlying undirected graph.
+	edges, _ := g.UndirectedEdges()
+	a.Comp = concomp.Parallel(p, n, edges, t)
+
+	// Distance to sink (-1 flags cycle components' vertices).
+	a.DistToSink = par.DistanceToTerminal(p, abs, t)
+
+	// Cycle membership: jump at least n steps from every vertex; the final
+	// pointers of a cycle component sweep out exactly its cycle, while tree
+	// components land on their sink. Mark the image, then remove sinks.
+	// The concurrent same-value marking is the arbitrary-CRCW write idiom,
+	// realized with atomic stores.
+	zeros := make([]int, n)
+	ptr, _ := par.Double(p, abs, zeros, func(x, y int) int { return 0 }, par.Iterations(n)+1, t)
+	hit := make([]uint32, n)
+	p.For(n, func(v int) { atomicStore1(&hit[ptr[v]]) })
+	t.Round(n)
+	p.For(n, func(v int) {
+		a.OnCycle[v] = hit[v] == 1 && g.Succ[v] >= 0
+	})
+	t.Round(n)
+
+	// Sinks: a sink is its own component's terminal; broadcast per component.
+	sinkOf := make([]int32, n)
+	for i := range sinkOf {
+		sinkOf[i] = -1
+	}
+	p.For(n, func(v int) {
+		if g.Succ[v] < 0 {
+			sinkOf[a.Comp[v]] = int32(v) // unique sink per component (Lemma 4)
+		}
+	})
+	t.Round(n)
+	p.For(n, func(v int) { a.Sink[v] = sinkOf[a.Comp[v]] })
+	t.Round(n)
+
+	a.Lift = par.BuildLifting(p, abs, t)
+	return a
+}
+
+// CycleVertices groups the on-cycle vertices by component label. The order
+// within each cycle follows the successor relation starting from the
+// component's minimum on-cycle vertex, so results are deterministic.
+func (a *Analysis) CycleVertices(g *Graph) map[int32][]int32 {
+	leader := map[int32]int32{}
+	for v := 0; v < g.N(); v++ {
+		if !a.OnCycle[v] {
+			continue
+		}
+		c := a.Comp[v]
+		if cur, ok := leader[c]; !ok || int32(v) < cur {
+			leader[c] = int32(v)
+		}
+	}
+	out := make(map[int32][]int32, len(leader))
+	for c, start := range leader {
+		cyc := []int32{start}
+		for u := g.Succ[start]; u != start; u = g.Succ[u] {
+			cyc = append(cyc, u)
+		}
+		out[c] = cyc
+	}
+	return out
+}
+
+// PathSum returns the sum of the edge weights w[v] (the weight of edge
+// v -> Succ[v]) along the `steps`-edge path starting at v, using the lifting
+// tables for O(log n) time. Callers must ensure the path stays inside the
+// graph (sinks absorb with weight 0).
+type WeightedLift struct {
+	lift *par.Lifting
+	sum  [][]int64
+}
+
+// BuildWeightedLift augments a lifting table with per-level weight sums:
+// sum[k][v] is the total weight of the 2^k edges leaving v (sink-absorbing
+// steps contribute 0).
+func BuildWeightedLift(p *par.Pool, g *Graph, w []int64, t *par.Tracer) *WeightedLift {
+	n := g.N()
+	abs := g.absorbing()
+	lift := par.BuildLifting(p, abs, t)
+	sums := make([][]int64, lift.K)
+	level0 := make([]int64, n)
+	p.For(n, func(v int) {
+		if g.Succ[v] >= 0 {
+			level0[v] = w[v]
+		}
+	})
+	t.Round(n)
+	sums[0] = level0
+	for k := 1; k < lift.K; k++ {
+		prev := sums[k-1]
+		up := lift.Up[k-1]
+		cur := make([]int64, n)
+		p.For(n, func(v int) { cur[v] = prev[v] + prev[up[v]] })
+		t.Round(n)
+		sums[k] = cur
+	}
+	return &WeightedLift{lift: lift, sum: sums}
+}
+
+// PathSum returns the total weight of the first `steps` edges on the path
+// from v (absorbing at sinks).
+func (wl *WeightedLift) PathSum(v, steps int) int64 {
+	var total int64
+	for k := 0; k < wl.lift.K && steps > 0; k++ {
+		if steps&(1<<k) != 0 {
+			total += wl.sum[k][v]
+			v = int(wl.lift.Up[k][v])
+			steps &^= 1 << k
+		}
+	}
+	return total
+}
+
+// Jump exposes the underlying lifting jump.
+func (wl *WeightedLift) Jump(v, steps int) int { return wl.lift.Jump(v, steps) }
+
+// atomicStore1 is the arbitrary-CRCW "any writer wins" idiom: all writers
+// store the same value, realized with an atomic store to stay race-free.
+func atomicStore1(p *uint32) { atomic.StoreUint32(p, 1) }

@@ -1,0 +1,200 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/onesided"
+)
+
+// MaxCardinality is the sequential McDermid–Irving-style algorithm: compute a
+// popular matching, build the switching graph, and per component apply the
+// switching cycle / best switching path when its margin is positive,
+// discovering cycles and path margins with ordinary walks instead of pointer
+// jumping.
+func MaxCardinality(ins *onesided.Instance) (*onesided.Matching, bool, error) {
+	m, ok, err := Popular(ins)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	r, err := BuildReduced(ins)
+	if err != nil {
+		return nil, false, err
+	}
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+
+	// Switching graph over post ids (posts absent from G′ stay isolated and
+	// harmless: they have no matched applicant on a reduced list).
+	inG := make([]bool, total)
+	for a := 0; a < n1; a++ {
+		inG[r.F[a]] = true
+		inG[r.S[a]] = true
+	}
+	om := func(a int32) int32 {
+		if m.PostOf[a] == r.F[a] {
+			return r.S[a]
+		}
+		return r.F[a]
+	}
+	succ := make([]int32, total)
+	for q := 0; q < total; q++ {
+		succ[q] = -1
+		if !inG[q] {
+			continue
+		}
+		if a := m.ApplicantOf[q]; a >= 0 {
+			succ[q] = om(a)
+		}
+	}
+	ind := func(q int32) int64 {
+		if ins.IsLastResort(q) {
+			return 0
+		}
+		return 1
+	}
+	weight := func(q int32) int64 { // margin of switching q's applicant
+		a := m.ApplicantOf[q]
+		return ind(om(a)) - ind(m.PostOf[a])
+	}
+
+	// Decompose components by walking; each component has one sink or one
+	// cycle.
+	state := make([]int8, total) // 0 new, 1 on stack, 2 done
+	stamp := make([]int32, total)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var switchPosts []int32
+	for q0 := 0; q0 < total; q0++ {
+		if !inG[q0] || state[q0] != 0 {
+			continue
+		}
+		// Walk from q0 to a sink, a done vertex, or back into this walk.
+		path := []int32{}
+		v := int32(q0)
+		for v != -1 && state[v] == 0 {
+			state[v] = 1
+			stamp[v] = int32(q0)
+			path = append(path, v)
+			v = succ[v]
+		}
+		if v != -1 && state[v] == 1 && stamp[v] == int32(q0) {
+			// New cycle: apply it when its margin is positive.
+			var margin int64
+			u := v
+			for {
+				margin += weight(u)
+				u = succ[u]
+				if u == v {
+					break
+				}
+			}
+			if margin > 0 {
+				u = v
+				for {
+					switchPosts = append(switchPosts, u)
+					u = succ[u]
+					if u == v {
+						break
+					}
+				}
+			}
+		}
+		for _, u := range path {
+			state[u] = 2
+		}
+	}
+
+	// Tree components: marginToSink[q] = sum of weights along q -> sink,
+	// computed in O(V) by a reverse BFS from the sinks.
+	marginToSink := make([]int64, total)
+	known := make([]bool, total)
+	onCycleOrLeads := make([]bool, total)
+	preds := make([][]int32, total)
+	for q := 0; q < total; q++ {
+		if inG[q] && succ[q] != -1 {
+			preds[succ[q]] = append(preds[succ[q]], int32(q))
+		}
+	}
+	var bfs []int32
+	for q := 0; q < total; q++ {
+		if inG[q] && succ[q] == -1 {
+			known[q] = true
+			bfs = append(bfs, int32(q))
+		}
+	}
+	for i := 0; i < len(bfs); i++ {
+		q := bfs[i]
+		for _, pq := range preds[q] {
+			marginToSink[pq] = weight(pq) + marginToSink[q]
+			known[pq] = true
+			bfs = append(bfs, pq)
+		}
+	}
+	for q := 0; q < total; q++ {
+		if inG[q] && !known[q] {
+			onCycleOrLeads[q] = true
+		}
+	}
+	// Group tree vertices by their sink and take the best s-post start.
+	sinkOf := make([]int32, total)
+	for q := 0; q < total; q++ {
+		sinkOf[q] = -1
+	}
+	var findSink func(q int32) int32
+	findSink = func(q int32) int32 {
+		if sinkOf[q] >= 0 {
+			return sinkOf[q]
+		}
+		if succ[q] == -1 {
+			sinkOf[q] = q
+		} else {
+			sinkOf[q] = findSink(succ[q])
+		}
+		return sinkOf[q]
+	}
+	bestStart := map[int32]int32{}
+	for q := 0; q < total; q++ {
+		if !inG[q] || onCycleOrLeads[q] || succ[q] == -1 {
+			continue
+		}
+		if r.IsF[q] {
+			continue // only s-posts may become unmatched
+		}
+		s := findSink(int32(q))
+		cur, ok := bestStart[s]
+		if !ok || marginToSink[q] > marginToSink[cur] || (marginToSink[q] == marginToSink[cur] && int32(q) < cur) {
+			bestStart[s] = int32(q)
+		}
+	}
+	for _, q := range bestStart {
+		if marginToSink[q] <= 0 {
+			continue
+		}
+		for u := q; succ[u] != -1; u = succ[u] {
+			switchPosts = append(switchPosts, u)
+		}
+	}
+
+	// Apply all switches (vertex-disjoint by construction).
+	type move struct{ a, to int32 }
+	var moves []move
+	for _, q := range switchPosts {
+		a := m.ApplicantOf[q]
+		if a < 0 {
+			return nil, false, fmt.Errorf("seq: switching a sink")
+		}
+		moves = append(moves, move{a, om(a)})
+	}
+	for _, mv := range moves {
+		if old := m.PostOf[mv.a]; old >= 0 && m.ApplicantOf[old] == mv.a {
+			m.ApplicantOf[old] = -1
+			m.PostOf[mv.a] = -1
+		}
+	}
+	for _, mv := range moves {
+		m.PostOf[mv.a] = mv.to
+		m.ApplicantOf[mv.to] = mv.a
+	}
+	return m, true, nil
+}

@@ -1,0 +1,196 @@
+// Package seq provides sequential baselines for the paper's problems,
+// implemented independently of the parallel package (no shared algorithmic
+// code): the Abraham–Irving–Kavitha–Mehlhorn linear-time popular matching
+// for strictly-ordered lists, and a McDermid–Irving-style switching-graph
+// maximum-cardinality popular matching. They are ground truth for the
+// differential tests and the baseline for the speedup experiments.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/onesided"
+)
+
+// Reduced mirrors the reduced graph G′, built sequentially.
+type Reduced struct {
+	F, S []int32
+	IsF  []bool
+	FInv [][]int32
+}
+
+// BuildReduced computes f, s and f⁻¹ with one linear pass each.
+func BuildReduced(ins *onesided.Instance) (*Reduced, error) {
+	if !ins.Strict() {
+		return nil, fmt.Errorf("seq: strictly-ordered lists required")
+	}
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	r := &Reduced{
+		F:    make([]int32, n1),
+		S:    make([]int32, n1),
+		IsF:  make([]bool, total),
+		FInv: make([][]int32, total),
+	}
+	for a := 0; a < n1; a++ {
+		r.F[a] = ins.Lists[a][0]
+		r.IsF[r.F[a]] = true
+	}
+	for a := 0; a < n1; a++ {
+		r.S[a] = ins.LastResort(a)
+		for _, q := range ins.Lists[a] {
+			if !r.IsF[q] {
+				r.S[a] = q
+				break
+			}
+		}
+		r.FInv[r.F[a]] = append(r.FInv[r.F[a]], int32(a))
+	}
+	return r, nil
+}
+
+// Popular is the sequential Algorithm 1: queue-based degree-1 peeling of G′,
+// 2-coloring of the residual even cycles, then promotion of unmatched
+// f-posts. It runs in O(n1 + n2) after the reduction.
+func Popular(ins *onesided.Instance) (*onesided.Matching, bool, error) {
+	r, err := BuildReduced(ins)
+	if err != nil {
+		return nil, false, err
+	}
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+
+	// Post adjacency in G′ (edges identified by applicant and side).
+	type edge struct {
+		a    int32
+		post int32
+	}
+	adj := make([][]edge, total)
+	for a := 0; a < n1; a++ {
+		adj[r.F[a]] = append(adj[r.F[a]], edge{int32(a), r.F[a]})
+		adj[r.S[a]] = append(adj[r.S[a]], edge{int32(a), r.S[a]})
+	}
+
+	m := onesided.NewMatching(ins)
+	aliveA := make([]bool, n1)
+	for a := range aliveA {
+		aliveA[a] = true
+	}
+	deg := make([]int32, total)
+	alive := make([]bool, total)
+	for q := 0; q < total; q++ {
+		deg[q] = int32(len(adj[q]))
+		alive[q] = deg[q] > 0
+	}
+	otherPost := func(a int32, q int32) int32 {
+		if r.F[a] == q {
+			return r.S[a]
+		}
+		return r.F[a]
+	}
+
+	// Queue-based peeling: repeatedly take a degree-1 post, match it with
+	// its applicant, and follow the chain implicitly via degree updates.
+	queue := make([]int32, 0, total)
+	for q := 0; q < total; q++ {
+		if alive[q] && deg[q] == 1 {
+			queue = append(queue, int32(q))
+		}
+	}
+	for len(queue) > 0 {
+		q := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !alive[q] || deg[q] != 1 {
+			continue
+		}
+		// The unique alive edge of q.
+		var a int32 = -1
+		for _, e := range adj[q] {
+			if aliveA[e.a] && m.PostOf[e.a] < 0 {
+				a = e.a
+				break
+			}
+		}
+		if a < 0 {
+			alive[q] = false
+			continue
+		}
+		m.Match(a, q)
+		aliveA[a] = false
+		alive[q] = false
+		// The applicant's other post loses an edge.
+		op := otherPost(a, q)
+		if alive[op] {
+			deg[op]--
+			switch deg[op] {
+			case 1:
+				queue = append(queue, op)
+			case 0:
+				alive[op] = false
+			}
+		}
+	}
+
+	// Residual: all alive applicants have both posts alive with degree 2.
+	// Count and 2-color the even cycles.
+	aliveApplicants := 0
+	for a := 0; a < n1; a++ {
+		if aliveA[a] {
+			aliveApplicants++
+		}
+	}
+	alivePosts := 0
+	for q := 0; q < total; q++ {
+		if alive[q] {
+			alivePosts++
+		}
+	}
+	if alivePosts < aliveApplicants {
+		return nil, false, nil
+	}
+	for a0 := 0; a0 < n1; a0++ {
+		if !aliveA[int32(a0)] {
+			continue
+		}
+		// Walk the cycle starting by matching a0 to F[a0].
+		a := int32(a0)
+		q := r.F[a]
+		for aliveA[a] {
+			m.Match(a, q)
+			aliveA[a] = false
+			alive[q] = false
+			// The next applicant on the cycle is the other alive applicant
+			// of the applicant's other post.
+			next := otherPost(a, q)
+			var na int32 = -1
+			for _, e := range adj[next] {
+				if aliveA[e.a] && e.a != a {
+					na = e.a
+					break
+				}
+			}
+			if na < 0 {
+				break
+			}
+			a = na
+			q = next
+		}
+	}
+
+	// Promotion.
+	for q := int32(0); int(q) < total; q++ {
+		if !r.IsF[q] || m.ApplicantOf[q] >= 0 {
+			continue
+		}
+		apps := r.FInv[q]
+		if len(apps) == 0 {
+			return nil, false, fmt.Errorf("seq: f-post %d with empty f⁻¹", q)
+		}
+		a := apps[0]
+		m.Match(a, q)
+	}
+	if !m.ApplicantComplete() {
+		return nil, false, fmt.Errorf("seq: matching not applicant-complete after peeling")
+	}
+	return m, true, nil
+}

@@ -1,0 +1,119 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/onesided"
+)
+
+func TestBuildReducedMatchesPaperExample(t *testing.T) {
+	ins := onesided.PaperFigure1()
+	r, err := BuildReduced(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFS := [][2]int32{{0, 1}, {3, 1}, {3, 2}, {0, 2}, {4, 1}, {6, 5}, {6, 7}, {6, 8}}
+	for a, fs := range wantFS {
+		if r.F[a] != fs[0] || r.S[a] != fs[1] {
+			t.Fatalf("a%d: (f,s)=(%d,%d), want (%d,%d)", a+1, r.F[a], r.S[a], fs[0], fs[1])
+		}
+	}
+	if got := r.FInv[6]; len(got) != 3 {
+		t.Fatalf("f⁻¹(p7) = %v, want 3 applicants", got)
+	}
+}
+
+func TestBuildReducedRejectsTies(t *testing.T) {
+	ins, _ := onesided.NewWithTies(2, [][]int32{{0, 1}}, [][]int32{{1, 1}})
+	if _, err := BuildReduced(ins); err == nil {
+		t.Fatal("ties accepted")
+	}
+}
+
+func TestPopularMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 250; trial++ {
+		ins := onesided.RandomSmall(rng, 6, 6, false)
+		m, ok, err := Popular(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := len(onesided.AllPopularBrute(ins)) > 0
+		if ok != brute {
+			t.Fatalf("trial %d: seq exists=%v, brute=%v", trial, ok, brute)
+		}
+		if ok {
+			if err := m.Validate(ins); err != nil {
+				t.Fatal(err)
+			}
+			if !m.ApplicantComplete() {
+				t.Fatal("incomplete output")
+			}
+			if !onesided.IsPopularBrute(ins, m) {
+				t.Fatalf("trial %d: output not popular", trial)
+			}
+		}
+	}
+}
+
+func TestPopularPaperExample(t *testing.T) {
+	ins := onesided.PaperFigure1()
+	m, ok, err := Popular(ins)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m.Size(ins) != 8 {
+		t.Fatalf("size = %d, want 8", m.Size(ins))
+	}
+	if !onesided.IsPopularBrute(ins, m) {
+		t.Fatal("sequential output not popular")
+	}
+}
+
+func TestPopularUnsolvable(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		if _, ok, err := Popular(onesided.Unsolvable(k)); err != nil || ok {
+			t.Fatalf("k=%d: ok=%v err=%v, want unsolvable", k, ok, err)
+		}
+	}
+}
+
+func TestMaxCardinalityMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for trial := 0; trial < 200; trial++ {
+		ins := onesided.RandomSmall(rng, 6, 6, false)
+		m, ok, err := MaxCardinality(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := onesided.MaxPopularSizeBrute(ins)
+		if !ok {
+			if want != -1 {
+				t.Fatalf("trial %d: unsolvable reported but brute max = %d", trial, want)
+			}
+			continue
+		}
+		if !onesided.IsPopularBrute(ins, m) {
+			t.Fatalf("trial %d: max-card output not popular", trial)
+		}
+		if got := m.Size(ins); got != want {
+			t.Fatalf("trial %d: size %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestMaxCardinalityBroom(t *testing.T) {
+	for depth := 1; depth <= 8; depth++ {
+		ins := onesided.BinaryBroom(depth)
+		m, ok, err := MaxCardinality(ins)
+		if err != nil || !ok {
+			t.Fatalf("depth=%d: ok=%v err=%v", depth, ok, err)
+		}
+		// Brooms have no last resorts in any popular matching: s-posts are
+		// real posts, so the size is always the applicant count.
+		if m.Size(ins) != ins.NumApplicants {
+			t.Fatalf("depth=%d: size %d, want %d", depth, m.Size(ins), ins.NumApplicants)
+		}
+	}
+}

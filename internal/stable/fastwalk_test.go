@@ -1,0 +1,122 @@
+package stable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestEliminateAllEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	opt := Options{}
+	for trial := 0; trial < 30; trial++ {
+		ins := Random(rng, 3+rng.Intn(25))
+		m := GaleShapley(ins)
+		rots, err := ExposedRotations(ins, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rots) < 2 {
+			continue
+		}
+		simultaneous := EliminateAll(m, rots, opt)
+		if err := Verify(ins, simultaneous); err != nil {
+			t.Fatalf("trial %d: simultaneous elimination unstable: %v", trial, err)
+		}
+		// Sequential elimination in forward and reverse order must agree.
+		fwd := m
+		for _, rho := range rots {
+			fwd = Eliminate(fwd, rho, opt)
+		}
+		rev := m
+		for i := len(rots) - 1; i >= 0; i-- {
+			rev = Eliminate(rev, rots[i], opt)
+		}
+		if !simultaneous.Equal(fwd) || !simultaneous.Equal(rev) {
+			t.Fatalf("trial %d: simultaneous and sequential eliminations differ", trial)
+		}
+	}
+}
+
+func TestRotationsAreVertexDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	opt := Options{}
+	for trial := 0; trial < 40; trial++ {
+		ins := Random(rng, 3+rng.Intn(30))
+		m := GaleShapley(ins)
+		rots, err := ExposedRotations(ins, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seenM := map[int32]bool{}
+		seenW := map[int32]bool{}
+		for _, rho := range rots {
+			for i := range rho.Men {
+				if seenM[rho.Men[i]] || seenW[rho.Women[i]] {
+					t.Fatalf("trial %d: rotations share a vertex", trial)
+				}
+				seenM[rho.Men[i]] = true
+				seenW[rho.Women[i]] = true
+			}
+		}
+	}
+}
+
+func TestFastLatticeWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	opt := Options{}
+	for trial := 0; trial < 15; trial++ {
+		ins := Random(rng, 3+rng.Intn(40))
+		m0 := GaleShapley(ins)
+		fast, err := FastLatticeWalk(ins, m0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := LatticeWalk(ins, m0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) > len(slow) {
+			t.Fatalf("trial %d: fast walk (%d steps) longer than chain (%d)", trial, len(fast), len(slow))
+		}
+		mz := WomanOptimal(ins)
+		if !fast[len(fast)-1].Equal(mz) {
+			t.Fatalf("trial %d: fast walk missed the woman-optimal matching", trial)
+		}
+		for i, c := range fast {
+			if err := Verify(ins, c); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, i, err)
+			}
+			if i > 0 && !Dominates(ins, fast[i-1], c, opt) {
+				t.Fatalf("trial %d: fast walk not descending", trial)
+			}
+		}
+	}
+}
+
+func TestAlgorithm4RoundsPolylog(t *testing.T) {
+	// Theorem 16's NC claim, measured: one Algorithm 4 invocation
+	// (rank matrices, reduced lists, H_M, cycle detection) uses
+	// polylogarithmic bulk-synchronous rounds.
+	rng := rand.New(rand.NewSource(136))
+	prev := int64(0)
+	for _, n := range []int{64, 256, 1024} {
+		ins := Random(rng, n)
+		m0 := GaleShapley(ins)
+		var tr par.Tracer
+		opt := Options{Tracer: &tr}
+		if _, err := ExposedRotations(ins, m0, opt); err != nil {
+			t.Fatal(err)
+		}
+		lg := int64(par.Iterations(n))
+		budget := 40 * lg * lg
+		if tr.Rounds() > budget {
+			t.Fatalf("n=%d: %d rounds exceeds polylog budget %d", n, tr.Rounds(), budget)
+		}
+		if prev > 0 && tr.Rounds() > prev*3 {
+			t.Fatalf("rounds grew superpolylog: %d -> %d for 4x n", prev, tr.Rounds())
+		}
+		prev = tr.Rounds()
+	}
+}

@@ -1,0 +1,314 @@
+package stable
+
+import (
+	"fmt"
+
+	"repro/internal/pseudoforest"
+)
+
+// Algorithm 4: "next" stable matching.
+
+// ReducedLists computes the reduced preference lists of Algorithm 4 line 4:
+// for every woman w delete all pairs (m′, w) with w preferring pM(w) to m′,
+// then compact every man's list. The deletion flags are one parallel round
+// over all n² entries and the compaction one exclusive scan plus a scatter —
+// the "soft-deletion + parallel prefix sum" of the paper.
+//
+// In the result, list[m][0] = pM(m) (guaranteed by stability) and
+// list[m][1], when present, is s_M(m).
+func ReducedLists(ins *Instance, m *Matching, opt Options) ([][]int32, error) {
+	p := opt.pool()
+	t := opt.Tracer
+	n := ins.N
+	_, wr := ins.RankMatrices(opt)
+
+	flat := make([]int, n*n)
+	p.For(n*n, func(idx int) {
+		mi := idx / n
+		w := ins.MP[mi][idx%n]
+		if wr[w][mi] <= wr[w][m.PW[w]] {
+			flat[idx] = 1
+		}
+	})
+	t.Round(n * n)
+	offsets, _ := p.ExclusiveScan(flat, t)
+
+	lists := make([][]int32, n)
+	p.For(n, func(mi int) {
+		rowStart := offsets[mi*n]
+		rowLen := 0
+		if mi == n-1 {
+			last := n*n - 1
+			rowLen = offsets[last] + flat[last] - rowStart
+		} else {
+			rowLen = offsets[(mi+1)*n] - rowStart
+		}
+		lists[mi] = make([]int32, rowLen)
+	})
+	t.Round(n)
+	p.For(n*n, func(idx int) {
+		if flat[idx] == 0 {
+			return
+		}
+		mi := idx / n
+		lists[mi][offsets[idx]-offsets[mi*n]] = ins.MP[mi][idx%n]
+	})
+	t.Round(n * n)
+
+	// Sanity required by stability: the first reduced entry of every man is
+	// his partner.
+	for mi := 0; mi < n; mi++ {
+		if len(lists[mi]) == 0 || lists[mi][0] != m.PM[mi] {
+			return nil, fmt.Errorf("stable: reduced list of man %d does not start with his partner; matching unstable", mi)
+		}
+	}
+	return lists, nil
+}
+
+// SwitchingGraph builds H_M (§VI-B) as a functional graph over all men:
+// m -> next_M(m) = pM(s_M(m)) when s_M(m) exists, and a sink otherwise.
+//
+// The paper's H_M restricts the vertex set to D, the men whose partners
+// differ between M and the woman-optimal matching M_z; on D every vertex has
+// outdegree one and every component has exactly one cycle (Lemma 17). Our
+// graph is a superset of D — a man outside D may still have s_M defined —
+// but the extra vertices only form acyclic chains: a cycle of next_M is, by
+// Definition 7, an exposed rotation (w_{i+1} = s_M(m_i) gives condition (i)
+// because s_M sits below the partner on m_i's reduced list, and condition
+// (ii) because w_{i+1} prefers m_i to her own partner m_{i+1}), and every
+// exposed rotation is conversely a next_M cycle by the uniqueness of
+// s_M/next_M. So the cycles of this graph are exactly the exposed rotations,
+// and knowing M_z (or D) is unnecessary — the point the paper makes in
+// §VI-B.
+func SwitchingGraph(ins *Instance, m *Matching, opt Options) (*pseudoforest.Graph, [][]int32, error) {
+	reduced, err := ReducedLists(ins, m, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := opt.pool()
+	t := opt.Tracer
+	n := ins.N
+	succ := make([]int32, n)
+	p.For(n, func(mi int) {
+		if len(reduced[mi]) < 2 {
+			succ[mi] = -1 // s_M(mi) undefined
+			return
+		}
+		succ[mi] = m.PW[reduced[mi][1]] // next_M(mi)
+	})
+	t.Round(n)
+	g, err := pseudoforest.New(succ)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stable: switching graph invalid: %w", err)
+	}
+	return g, reduced, nil
+}
+
+// Rotation is an ordered list of matched pairs (Definition 7), exposed in
+// the matching it was found in.
+type Rotation struct {
+	Men   []int32 // m_0 ... m_{k-1} in rotation order
+	Women []int32 // w_i = pM(m_i)
+}
+
+// ExposedRotations finds every rotation exposed in m (the cycles of H_M),
+// each reported starting from its smallest man. The empty slice means m is
+// the woman-optimal matching (Theorem 16).
+func ExposedRotations(ins *Instance, m *Matching, opt Options) ([]Rotation, error) {
+	g, _, err := SwitchingGraph(ins, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	p := opt.pool()
+	an := pseudoforest.Analyze(p, g, opt.Tracer)
+	cycles := an.CycleVertices(g)
+	// Deterministic order: by smallest man in the cycle.
+	keys := make([]int32, 0, len(cycles))
+	for c := range cycles {
+		keys = append(keys, c)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && cycles[keys[j]][0] < cycles[keys[j-1]][0]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	rots := make([]Rotation, 0, len(keys))
+	for _, c := range keys {
+		men := cycles[c]
+		women := make([]int32, len(men))
+		for i, mi := range men {
+			women[i] = m.PM[mi]
+		}
+		rots = append(rots, Rotation{Men: men, Women: women})
+	}
+	return rots, nil
+}
+
+// Eliminate applies Definition 8: matching m_i with w_{i+1 mod k}, leaving
+// everyone else unchanged. The result is stable (Lemma 15 guarantees it is
+// immediately below m in the lattice).
+func Eliminate(m *Matching, rho Rotation, opt Options) *Matching {
+	p := opt.pool()
+	t := opt.Tracer
+	out := m.Clone()
+	k := len(rho.Men)
+	p.For(k, func(i int) {
+		mi := rho.Men[i]
+		w := rho.Women[(i+1)%k]
+		out.PM[mi] = w
+		out.PW[w] = mi
+	})
+	t.Round(k)
+	return out
+}
+
+// NextMatchings is Algorithm 4's output: M\ρ for every rotation ρ exposed in
+// m, or nil when m is woman-optimal.
+func NextMatchings(ins *Instance, m *Matching, opt Options) ([]*Matching, error) {
+	rots, err := ExposedRotations(ins, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Matching, len(rots))
+	for i, rho := range rots {
+		out[i] = Eliminate(m, rho, opt)
+	}
+	return out, nil
+}
+
+// IsWomanOptimal reports whether m is the woman-optimal matching: exactly
+// when H_M exposes no rotation, i.e. the next_M functional graph is acyclic
+// (a stable matching other than M_z always exposes at least one rotation).
+func IsWomanOptimal(ins *Instance, m *Matching, opt Options) (bool, error) {
+	rots, err := ExposedRotations(ins, m, opt)
+	if err != nil {
+		return false, err
+	}
+	return len(rots) == 0, nil
+}
+
+// LatticeWalk repeatedly eliminates the first exposed rotation, walking a
+// maximal chain of the stable matching lattice from m down to the
+// woman-optimal matching. It returns the chain including both endpoints.
+func LatticeWalk(ins *Instance, m *Matching, opt Options) ([]*Matching, error) {
+	chain := []*Matching{m.Clone()}
+	cur := m
+	for {
+		rots, err := ExposedRotations(ins, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(rots) == 0 {
+			return chain, nil
+		}
+		cur = Eliminate(cur, rots[0], opt)
+		chain = append(chain, cur.Clone())
+		if len(chain) > ins.N*ins.N+1 {
+			return nil, fmt.Errorf("stable: lattice walk exceeded the rotation budget n(n-1)/2")
+		}
+	}
+}
+
+// EliminateAll applies every rotation in rs simultaneously. Rotations
+// exposed in the same matching are vertex-disjoint (each man has a unique
+// s_M/next_M) and each remains exposed after eliminating the others
+// (Gusfield–Irving), so the simultaneous application equals eliminating them
+// sequentially in any order; the tests confirm both properties.
+func EliminateAll(m *Matching, rs []Rotation, opt Options) *Matching {
+	p := opt.pool()
+	t := opt.Tracer
+	out := m.Clone()
+	p.For(len(rs), func(i int) {
+		rho := rs[i]
+		k := len(rho.Men)
+		for j, mi := range rho.Men {
+			w := rho.Women[(j+1)%k]
+			out.PM[mi] = w
+			out.PW[w] = mi
+		}
+	})
+	t.Round(len(rs))
+	return out
+}
+
+// FastLatticeWalk descends from m to the woman-optimal matching eliminating
+// *all* exposed rotations per step. Each step is one parallel Algorithm 4
+// round; the number of steps is the height of the rotation poset, which is
+// at most the length of the sequential chain and typically far smaller —
+// the "small parallel time per matching" enumeration §VI motivates.
+func FastLatticeWalk(ins *Instance, m *Matching, opt Options) ([]*Matching, error) {
+	chain := []*Matching{m.Clone()}
+	cur := m
+	for {
+		rots, err := ExposedRotations(ins, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(rots) == 0 {
+			return chain, nil
+		}
+		cur = EliminateAll(cur, rots, opt)
+		chain = append(chain, cur.Clone())
+		if len(chain) > ins.N*ins.N+1 {
+			return nil, fmt.Errorf("stable: fast walk exceeded the rotation budget")
+		}
+	}
+}
+
+// AllRotations returns every rotation of the instance. By Gusfield–Irving
+// every maximal chain of the lattice eliminates exactly the same rotation
+// set, so one walk from the man-optimal matching discovers them all;
+// `pickLast` selects which exposed rotation to eliminate at each step (used
+// by tests to confirm the set is order-independent).
+func AllRotations(ins *Instance, pickLast bool, opt Options) ([]Rotation, error) {
+	cur := GaleShapley(ins)
+	var out []Rotation
+	for {
+		rots, err := ExposedRotations(ins, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(rots) == 0 {
+			return out, nil
+		}
+		pick := rots[0]
+		if pickLast {
+			pick = rots[len(rots)-1]
+		}
+		out = append(out, pick)
+		cur = Eliminate(cur, pick, opt)
+		if len(out) > ins.N*ins.N {
+			return nil, fmt.Errorf("stable: rotation walk exceeded n² steps")
+		}
+	}
+}
+
+// AllStableBrute enumerates every stable matching by trying all complete
+// assignments (test oracle; factorial time, n ≤ 8 or so).
+func AllStableBrute(ins *Instance) []*Matching {
+	n := ins.N
+	var out []*Matching
+	pm := make([]int32, n)
+	usedW := make([]bool, n)
+	var rec func(m int)
+	rec = func(m int) {
+		if m == n {
+			cand := NewMatching(append([]int32(nil), pm...))
+			if Verify(ins, cand) == nil {
+				out = append(out, cand)
+			}
+			return
+		}
+		for w := 0; w < n; w++ {
+			if usedW[w] {
+				continue
+			}
+			usedW[w] = true
+			pm[m] = int32(w)
+			rec(m + 1)
+			usedW[w] = false
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,53 @@
+package stable
+
+// PaperFigure5 returns the size-8 stable marriage instance of Figure 5 of
+// the paper (1-based labels m1..m8 / w1..w8 mapped to 0..7).
+func PaperFigure5() *Instance {
+	mp := [][]int32{
+		{4, 6, 0, 1, 5, 7, 3, 2}, // m1: w5 w7 w1 w2 w6 w8 w4 w3
+		{1, 2, 6, 4, 3, 0, 7, 5}, // m2: w2 w3 w7 w5 w4 w1 w8 w6
+		{7, 4, 0, 3, 5, 1, 2, 6}, // m3: w8 w5 w1 w4 w6 w2 w3 w7
+		{2, 1, 6, 3, 0, 5, 7, 4}, // m4: w3 w2 w7 w4 w1 w6 w8 w5
+		{6, 1, 4, 0, 2, 5, 7, 3}, // m5: w7 w2 w5 w1 w3 w6 w8 w4
+		{0, 5, 6, 4, 7, 3, 1, 2}, // m6: w1 w6 w7 w5 w8 w4 w2 w3
+		{1, 4, 6, 5, 2, 3, 7, 0}, // m7: w2 w5 w7 w6 w3 w4 w8 w1
+		{2, 7, 3, 4, 6, 1, 5, 0}, // m8: w3 w8 w4 w5 w7 w2 w6 w1
+	}
+	wp := [][]int32{
+		{4, 2, 6, 5, 0, 1, 7, 3}, // w1: m5 m3 m7 m6 m1 m2 m8 m4
+		{7, 5, 2, 4, 6, 1, 0, 3}, // w2: m8 m6 m3 m5 m7 m2 m1 m4
+		{0, 4, 5, 1, 3, 7, 6, 2}, // w3: m1 m5 m6 m2 m4 m8 m7 m3
+		{7, 6, 2, 1, 3, 0, 4, 5}, // w4: m8 m7 m3 m2 m4 m1 m5 m6
+		{5, 3, 6, 2, 7, 0, 1, 4}, // w5: m6 m4 m7 m3 m8 m1 m2 m5
+		{1, 7, 4, 2, 3, 5, 6, 0}, // w6: m2 m8 m5 m3 m4 m6 m7 m1
+		{6, 4, 1, 0, 7, 5, 3, 2}, // w7: m7 m5 m2 m1 m8 m6 m4 m3
+		{6, 3, 0, 4, 1, 2, 5, 7}, // w8: m7 m4 m1 m5 m2 m3 m6 m8
+	}
+	ins, err := New(mp, wp)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// PaperFigure5Matching returns the stable matching M underlined in Figure 5
+// (recoverable from Figure 6, whose reduced lists start with each man's
+// partner): m1-w8, m2-w3, m3-w5, m4-w6, m5-w7, m6-w1, m7-w2, m8-w4.
+func PaperFigure5Matching() *Matching {
+	return NewMatching([]int32{7, 2, 4, 5, 6, 0, 1, 3})
+}
+
+// PaperFigure6Reduced returns the reduced lists of Figure 6, for the golden
+// test.
+func PaperFigure6Reduced() [][]int32 {
+	return [][]int32{
+		{7, 2},          // m1: w8 w3
+		{2, 5},          // m2: w3 w6
+		{4, 0, 5, 1},    // m3: w5 w1 w6 w2
+		{5, 7, 4},       // m4: w6 w8 w5
+		{6, 1, 0, 2, 5}, // m5: w7 w2 w1 w3 w6
+		{0, 4, 1, 2},    // m6: w1 w5 w2 w3
+		{1, 4, 6, 7, 0}, // m7: w2 w5 w7 w8 w1
+		{3, 1, 5},       // m8: w4 w2 w6
+	}
+}

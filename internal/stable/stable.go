@@ -1,0 +1,277 @@
+// Package stable implements §VI of the paper: given a stable matching M of a
+// stable marriage instance, find in NC every "next" stable matching M\ρ for
+// each rotation ρ exposed in M (Algorithm 4, Theorem 16), or decide that M
+// is the woman-optimal matching.
+//
+// The substrate — Gale–Shapley, ranking matrices, reduced preference lists,
+// the rotation machinery of Gusfield–Irving, lattice meet/join, and a
+// brute-force enumeration oracle — is implemented here as well.
+package stable
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/par"
+)
+
+// Options mirrors core.Options for the parallel routines.
+type Options struct {
+	Pool   *par.Pool
+	Tracer *par.Tracer
+}
+
+var defaultPool = par.NewPool(0)
+
+func (o Options) pool() *par.Pool {
+	if o.Pool == nil {
+		return defaultPool
+	}
+	return o.Pool
+}
+
+// Instance is a stable marriage instance: n men and n women, each with a
+// complete strictly-ordered preference list over the other side.
+// MP[m][i] is the woman ranked i-th by man m; WP[w][i] the man ranked i-th
+// by woman w.
+type Instance struct {
+	N      int
+	MP, WP [][]int32
+}
+
+// New validates and wraps preference lists.
+func New(mp, wp [][]int32) (*Instance, error) {
+	n := len(mp)
+	if len(wp) != n {
+		return nil, fmt.Errorf("stable: %d men but %d women", n, len(wp))
+	}
+	check := func(side string, lists [][]int32) error {
+		for i, l := range lists {
+			if len(l) != n {
+				return fmt.Errorf("stable: %s %d has list length %d, want %d", side, i, len(l), n)
+			}
+			seen := make([]bool, n)
+			for _, x := range l {
+				if x < 0 || int(x) >= n || seen[x] {
+					return fmt.Errorf("stable: %s %d has invalid or duplicate entry %d", side, i, x)
+				}
+				seen[x] = true
+			}
+		}
+		return nil
+	}
+	if err := check("man", mp); err != nil {
+		return nil, err
+	}
+	if err := check("woman", wp); err != nil {
+		return nil, err
+	}
+	return &Instance{N: n, MP: mp, WP: wp}, nil
+}
+
+// Random generates uniform random complete preference lists.
+func Random(rng *rand.Rand, n int) *Instance {
+	mk := func() [][]int32 {
+		lists := make([][]int32, n)
+		for i := range lists {
+			perm := rng.Perm(n)
+			l := make([]int32, n)
+			for j, v := range perm {
+				l[j] = int32(v)
+			}
+			lists[i] = l
+		}
+		return lists
+	}
+	ins, err := New(mk(), mk())
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// RankMatrices computes mr[m][w] = rank of w in m's list and wr[w][m] =
+// rank of m in w's list, each in one parallel round (Algorithm 4 line 3).
+func (ins *Instance) RankMatrices(opt Options) (mr, wr [][]int32) {
+	p := opt.pool()
+	t := opt.Tracer
+	n := ins.N
+	mr = make([][]int32, n)
+	wr = make([][]int32, n)
+	p.For(n, func(i int) {
+		mrow := make([]int32, n)
+		for r, w := range ins.MP[i] {
+			mrow[w] = int32(r)
+		}
+		mr[i] = mrow
+		wrow := make([]int32, n)
+		for r, m := range ins.WP[i] {
+			wrow[m] = int32(r)
+		}
+		wr[i] = wrow
+	})
+	t.Round(2 * n * n)
+	return mr, wr
+}
+
+// Matching maps every man to his partner: PW[w] inverts PM[m].
+type Matching struct {
+	PM, PW []int32
+}
+
+// NewMatching wraps a man->woman assignment, building the inverse.
+func NewMatching(pm []int32) *Matching {
+	pw := make([]int32, len(pm))
+	for i := range pw {
+		pw[i] = -1
+	}
+	for m, w := range pm {
+		if w >= 0 {
+			pw[w] = int32(m)
+		}
+	}
+	return &Matching{PM: pm, PW: pw}
+}
+
+// Clone deep-copies the matching.
+func (m *Matching) Clone() *Matching {
+	return &Matching{PM: append([]int32(nil), m.PM...), PW: append([]int32(nil), m.PW...)}
+}
+
+// Equal reports whether two matchings pair identically.
+func (m *Matching) Equal(o *Matching) bool {
+	if len(m.PM) != len(o.PM) {
+		return false
+	}
+	for i := range m.PM {
+		if m.PM[i] != o.PM[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GaleShapley computes the man-optimal stable matching by deferred
+// acceptance (the sequential substrate; the paper's point is that the
+// *first* stable matching is hard in parallel, the "next" ones are not).
+func GaleShapley(ins *Instance) *Matching {
+	n := ins.N
+	_, wr := ins.RankMatrices(Options{Pool: par.Sequential()})
+	pm := make([]int32, n)
+	pw := make([]int32, n)
+	next := make([]int32, n) // next proposal index per man
+	for i := range pm {
+		pm[i] = -1
+		pw[i] = -1
+	}
+	free := make([]int32, 0, n)
+	for m := n - 1; m >= 0; m-- {
+		free = append(free, int32(m))
+	}
+	for len(free) > 0 {
+		m := free[len(free)-1]
+		free = free[:len(free)-1]
+		w := ins.MP[m][next[m]]
+		next[m]++
+		cur := pw[w]
+		switch {
+		case cur == -1:
+			pw[w] = m
+			pm[m] = w
+		case wr[w][m] < wr[w][cur]:
+			pw[w] = m
+			pm[m] = w
+			pm[cur] = -1
+			free = append(free, cur)
+		default:
+			free = append(free, m)
+		}
+	}
+	return &Matching{PM: pm, PW: pw}
+}
+
+// WomanOptimal computes the woman-optimal stable matching by running
+// deferred acceptance with the roles swapped.
+func WomanOptimal(ins *Instance) *Matching {
+	swapped, err := New(ins.WP, ins.MP)
+	if err != nil {
+		panic(err)
+	}
+	mw := GaleShapley(swapped) // "men" are the women of ins
+	return NewMatching(mw.PW)
+}
+
+// Verify returns nil iff m is a complete stable matching of ins
+// (Definition 5: no blocking pair).
+func Verify(ins *Instance, m *Matching) error {
+	n := ins.N
+	if len(m.PM) != n || len(m.PW) != n {
+		return fmt.Errorf("stable: matching has wrong size")
+	}
+	for mi, w := range m.PM {
+		if w < 0 {
+			return fmt.Errorf("stable: man %d unmatched", mi)
+		}
+		if m.PW[w] != int32(mi) {
+			return fmt.Errorf("stable: inverse mismatch at man %d", mi)
+		}
+	}
+	mr, wr := ins.RankMatrices(Options{Pool: par.Sequential()})
+	for mi := 0; mi < n; mi++ {
+		for _, w := range ins.MP[mi] {
+			if mr[mi][w] >= mr[mi][m.PM[mi]] {
+				break // all further women are worse for mi
+			}
+			if wr[w][mi] < wr[w][m.PW[w]] {
+				return fmt.Errorf("stable: (%d,%d) is a blocking pair", mi, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Prefers reports whether man m prefers woman a to woman b.
+func (ins *Instance) Prefers(mr [][]int32, m, a, b int32) bool {
+	return mr[m][a] < mr[m][b]
+}
+
+// Dominates reports M ⪯ M′ (Definition 6): every man weakly prefers his
+// M-partner to his M′-partner. The man-optimal matching is the minimum.
+func Dominates(ins *Instance, a, b *Matching, opt Options) bool {
+	mr, _ := ins.RankMatrices(opt)
+	for m := 0; m < ins.N; m++ {
+		if mr[m][a.PM[m]] > mr[m][b.PM[m]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet returns the lattice meet M ∧ M′: every man takes the better of his
+// two partners. For stable inputs the result is stable (the lattice
+// structure of §VI-A); Join is the dual.
+func Meet(ins *Instance, a, b *Matching, opt Options) *Matching {
+	return lattice(ins, a, b, opt, true)
+}
+
+// Join returns the lattice join M ∨ M′: every man takes the worse partner.
+func Join(ins *Instance, a, b *Matching, opt Options) *Matching {
+	return lattice(ins, a, b, opt, false)
+}
+
+func lattice(ins *Instance, a, b *Matching, opt Options, better bool) *Matching {
+	p := opt.pool()
+	t := opt.Tracer
+	mr, _ := ins.RankMatrices(opt)
+	pm := make([]int32, ins.N)
+	p.For(ins.N, func(m int) {
+		wa, wb := a.PM[m], b.PM[m]
+		take := wa
+		if (mr[m][wb] < mr[m][wa]) == better {
+			take = wb
+		}
+		pm[m] = take
+	})
+	t.Round(ins.N)
+	return NewMatching(pm)
+}

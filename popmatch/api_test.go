@@ -1,0 +1,126 @@
+package popmatch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPublicIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ins := RandomTies(rng, 12, 9, 1, 5, 0.3)
+	var sb strings.Builder
+	if err := Write(&sb, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumApplicants != ins.NumApplicants || back.NumPosts != ins.NumPosts {
+		t.Fatal("round trip changed dimensions")
+	}
+}
+
+func TestPublicMaxBipartiteMatching(t *testing.T) {
+	// Perfect matching on a 3-cycle-ish graph.
+	adj := [][]int32{{0, 1}, {1, 2}, {0}}
+	matchL, size, err := MaxBipartiteMatching(adj, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	used := map[int32]bool{}
+	for l, r := range matchL {
+		if r < 0 {
+			t.Fatalf("left %d unmatched", l)
+		}
+		if used[r] {
+			t.Fatal("column reused")
+		}
+		used[r] = true
+	}
+	// Graph with isolated left vertices.
+	adj2 := [][]int32{{}, {0}, {}}
+	matchL2, size2, err := MaxBipartiteMatching(adj2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size2 != 1 || matchL2[0] != -1 || matchL2[1] != 0 || matchL2[2] != -1 {
+		t.Fatalf("matchL = %v size = %d", matchL2, size2)
+	}
+}
+
+func TestPublicMinWeightDistinctFromMax(t *testing.T) {
+	// Two applicants, two posts, cyclic reduced graph: min and max weight
+	// popular matchings differ under an asymmetric weight.
+	ins, err := NewStrict(2, [][]int32{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := func(a, p int32) int64 {
+		if a == 0 && p == 0 {
+			return 10
+		}
+		return 1
+	}
+	mx, err := MaxWeight(ins, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := MinWeight(ins, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mx.Exists || !mn.Exists {
+		t.Fatal("both directions must be solvable")
+	}
+	if mx.Matching.PostOf[0] != 0 {
+		t.Fatal("max-weight should give applicant 0 post 0")
+	}
+	if mn.Matching.PostOf[0] != 1 {
+		t.Fatal("min-weight should give applicant 0 post 1")
+	}
+}
+
+func TestPublicVerifyRejects(t *testing.T) {
+	ins := PaperInstance()
+	res, err := Solve(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Matching.Clone()
+	// Move a1 to its 4th choice: breaks Theorem 1(ii).
+	bad.Match(0, 1)
+	bad.Match(1, 0)
+	if err := Verify(ins, bad, Options{}); err == nil {
+		t.Fatal("Verify accepted a corrupted matching")
+	}
+}
+
+func TestPublicProfile(t *testing.T) {
+	ins := PaperInstance()
+	res, _ := Solve(ins, Options{})
+	prof := Profile(ins, res.Matching)
+	total := 0
+	for _, x := range prof {
+		total += x
+	}
+	if total != ins.NumApplicants {
+		t.Fatalf("profile sums to %d, want %d", total, ins.NumApplicants)
+	}
+}
+
+func TestPublicCountLargeInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ins := Solvable(rng, 50, 20, 4)
+	count, err := Count(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Sign() <= 0 {
+		t.Fatal("solvable instance must have at least one popular matching")
+	}
+}

@@ -1,0 +1,264 @@
+// Package popmatch is the public API for the NC popular matching algorithms
+// of Hu & Garg, "NC Algorithms for Popular Matchings in One-Sided Preference
+// Systems and Related Problems" (IPDPS 2020).
+//
+// An instance is a set of applicants, each ranking a non-empty subset of
+// posts (strictly, or with ties). A matching M is popular if no other
+// matching M′ is preferred by strictly more applicants than prefer M. This
+// package finds popular matchings, maximum-cardinality popular matchings,
+// and optimal (max/min weight, rank-maximal, fair) popular matchings with
+// bulk-synchronous parallel algorithms whose round counts are
+// polylogarithmic — the paper's NC bounds — and solves the ties variant with
+// the Abraham–Irving–Kavitha–Mehlhorn characterization.
+//
+// # Quick start
+//
+//	ins, _ := popmatch.NewStrict(9, lists)       // posts ranked per applicant
+//	res, _ := popmatch.Solve(ins, popmatch.Options{})
+//	if res.Exists {
+//	    for a, p := range res.Matching.PostOf { ... }
+//	}
+//
+// All solvers accept Options controlling the worker pool and cost tracing;
+// the zero value uses every CPU.
+package popmatch
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// Instance is a one-sided preference instance. Construct with NewStrict,
+// NewWithTies, Read, or the generators.
+type Instance = onesided.Instance
+
+// Matching assigns applicants to posts; see PostOf/ApplicantOf.
+type Matching = onesided.Matching
+
+// Rotation-free re-exports of the instance constructors and helpers.
+var (
+	// NewStrict builds a strictly-ordered instance from per-applicant post
+	// lists (most preferred first).
+	NewStrict = onesided.NewStrict
+	// NewWithTies builds an instance with explicit 1-based, contiguous,
+	// nondecreasing ranks (equal rank = tie).
+	NewWithTies = onesided.NewWithTies
+	// Read parses the text format; Write emits it.
+	Read  = onesided.Read
+	Write = onesided.Write
+	// Profile computes the paper's §IV-E matching profile.
+	Profile = onesided.Profile
+	// PaperInstance is the worked example of Figure 1 of the paper.
+	PaperInstance = onesided.PaperFigure1
+)
+
+// Options configures a solver call.
+type Options struct {
+	// Workers sets the goroutine pool size; 0 means all CPUs, 1 is fully
+	// sequential.
+	Workers int
+	// Trace, when non-nil, accumulates bulk-synchronous round and work
+	// counts — the PRAM cost measures the paper's NC results bound.
+	Trace *Stats
+}
+
+// Stats exposes the PRAM cost counters of a solver run.
+type Stats struct {
+	tracer par.Tracer
+}
+
+// Rounds is the number of bulk-synchronous parallel steps executed.
+func (s *Stats) Rounds() int64 { return s.tracer.Rounds() }
+
+// Work is the total number of elementary operations across rounds.
+func (s *Stats) Work() int64 { return s.tracer.Work() }
+
+func (o Options) internal() core.Options {
+	var opt core.Options
+	if o.Workers != 0 {
+		opt.Pool = par.NewPool(o.Workers)
+	}
+	if o.Trace != nil {
+		opt.Tracer = &o.Trace.tracer
+	}
+	return opt
+}
+
+// Result reports a solver outcome.
+type Result struct {
+	// Matching is nil when Exists is false.
+	Matching *Matching
+	// Exists reports whether a popular matching exists at all.
+	Exists bool
+	// Size is the number of applicants matched to real posts.
+	Size int
+	// PeelRounds is the number of while-loop rounds Algorithm 2 used
+	// (Lemma 2 bounds it by ceil(log2 n)+1); -1 when not applicable.
+	PeelRounds int
+}
+
+func wrap(ins *Instance, res core.Result) Result {
+	out := Result{Exists: res.Exists, PeelRounds: -1}
+	if res.Peel != nil {
+		out.PeelRounds = res.Peel.Rounds
+	}
+	if res.Exists {
+		out.Matching = res.Matching
+		out.Size = res.Matching.Size(ins)
+	}
+	return out
+}
+
+// Solve finds a popular matching of a strictly-ordered instance, or reports
+// that none exists (Algorithm 1; Theorem 3).
+func Solve(ins *Instance, o Options) (Result, error) {
+	res, err := core.Popular(ins, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
+func MaxCardinality(ins *Instance, o Options) (Result, error) {
+	res, _, err := core.MaxCardinality(ins, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// WeightFn scores assigning applicant a to post p (p may be a's last
+// resort, id NumPosts+a).
+type WeightFn = core.WeightFn
+
+// MaxWeight finds a maximum-weight popular matching (§IV-E).
+func MaxWeight(ins *Instance, w WeightFn, o Options) (Result, error) {
+	res, _, err := core.Optimize(ins, w, true, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// MinWeight finds a minimum-weight popular matching (§IV-E).
+func MinWeight(ins *Instance, w WeightFn, o Options) (Result, error) {
+	res, _, err := core.Optimize(ins, w, false, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// RankMaximal finds a popular matching whose profile is lexicographically
+// maximal (most rank-1 assignments, then rank-2, ...; §IV-E).
+func RankMaximal(ins *Instance, o Options) (Result, error) {
+	res, _, err := core.RankMaximal(ins, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// Fair finds a fair popular matching (fewest last resorts, then fewest
+// worst-rank assignments, ...; §IV-E). Fair popular matchings are always
+// maximum-cardinality.
+func Fair(ins *Instance, o Options) (Result, error) {
+	res, _, err := core.Fair(ins, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// SolveTies finds a popular matching of an instance whose lists may contain
+// ties (§V; the AIKM characterization), optionally of maximum cardinality.
+func SolveTies(ins *Instance, maximizeCardinality bool, o Options) (Result, error) {
+	res, err := core.SolveTies(ins, maximizeCardinality, o.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Exists: res.Exists, PeelRounds: -1}
+	if res.Exists {
+		out.Matching = res.Matching
+		out.Size = res.Matching.Size(ins)
+	}
+	return out, nil
+}
+
+// Verify checks that m is popular: the Theorem 1 characterization for
+// strict instances, and reports nil exactly for popular matchings.
+func Verify(ins *Instance, m *Matching, o Options) error {
+	return core.VerifyPopular(ins, m, o.internal())
+}
+
+// UnpopularityMargin returns the best vote margin any challenger matching
+// achieves against m (≤ 0 iff m is popular). It runs the independent
+// Hungarian-algorithm oracle, O(n³); intended for verification, not hot
+// paths.
+func UnpopularityMargin(ins *Instance, m *Matching) int {
+	return onesided.UnpopularityMargin(ins, m)
+}
+
+// Count returns the exact number of popular matchings (0 if none), without
+// enumeration, using Theorem 9's product structure over the switching-graph
+// components.
+func Count(ins *Instance, o Options) (*big.Int, error) {
+	return core.CountPopular(ins, o.internal())
+}
+
+// EnumerateAll yields every popular matching exactly once (Theorem 9's
+// bijection). The matching passed to yield is reused; clone to retain it.
+// The count is exponential in the number of switching-graph components.
+func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, error) {
+	return core.EnumerateAllPopular(ins, o.internal(), yield)
+}
+
+// MaxBipartiteMatching computes a maximum-cardinality matching of the
+// bipartite graph given by adj (adj[l] lists the right neighbors of left
+// vertex l; nRight right vertices) via Theorem 11's reduction: every edge
+// becomes a rank-1 preference and the popular-matching black box is invoked.
+// Returns the right partner of each left vertex (-1 unmatched) and the size.
+func MaxBipartiteMatching(adj [][]int32, nRight int, o Options) ([]int32, int, error) {
+	g := bipartite.New(len(adj), nRight)
+	for l, outs := range adj {
+		for _, r := range outs {
+			g.AddEdge(int32(l), r)
+		}
+	}
+	return core.MaxMatchingViaPopular(g, o.internal())
+}
+
+// Generators re-exported for examples, tools and experiments.
+
+// RandomStrict generates uniform random strict lists.
+func RandomStrict(rng *rand.Rand, applicants, posts, minLen, maxLen int) *Instance {
+	return onesided.RandomStrict(rng, applicants, posts, minLen, maxLen)
+}
+
+// RandomZipf generates skewed lists (low-id posts are hot).
+func RandomZipf(rng *rand.Rand, applicants, posts, listLen int, skew float64) *Instance {
+	return onesided.RandomStrictZipf(rng, applicants, posts, listLen, skew)
+}
+
+// RandomTies generates lists with tie classes.
+func RandomTies(rng *rand.Rand, applicants, posts, minLen, maxLen int, tieProb float64) *Instance {
+	return onesided.RandomTies(rng, applicants, posts, minLen, maxLen, tieProb)
+}
+
+// Solvable generates instances guaranteed to admit a popular matching.
+func Solvable(rng *rand.Rand, applicants, extraPosts, listLen int) *Instance {
+	return onesided.Solvable(rng, applicants, extraPosts, listLen)
+}
+
+// Unsolvable generates instances with no popular matching.
+func Unsolvable(groups int) *Instance { return onesided.Unsolvable(groups) }
+
+// BinaryBroom generates the adversarial instance driving Algorithm 2's
+// while loop through `depth` rounds (the Lemma 2 worst case).
+func BinaryBroom(depth int) *Instance { return onesided.BinaryBroom(depth) }

@@ -1,0 +1,170 @@
+package popmatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	ins := PaperInstance()
+	var stats Stats
+	res, err := Solve(ins, Options{Trace: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists || res.Size != 8 {
+		t.Fatalf("exists=%v size=%d, want true/8", res.Exists, res.Size)
+	}
+	if res.PeelRounds != 1 {
+		t.Fatalf("PeelRounds = %d, want 1", res.PeelRounds)
+	}
+	if stats.Rounds() == 0 || stats.Work() == 0 {
+		t.Fatal("tracing recorded nothing")
+	}
+	if err := Verify(ins, res.Matching, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m := UnpopularityMargin(ins, res.Matching); m > 0 {
+		t.Fatalf("margin = %d", m)
+	}
+}
+
+func TestWorkerOptionMatters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ins := RandomStrict(rng, 500, 400, 1, 6)
+	r1, err := Solve(ins, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Solve(ins, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Exists != rn.Exists {
+		t.Fatal("existence depends on worker count")
+	}
+	if r1.Exists && r1.Size != rn.Size {
+		// Both are popular; sizes may legitimately differ only for plain
+		// Solve? No: plain popular matchings can have different sizes, but
+		// our algorithm is deterministic given the instance, independent of
+		// scheduling.
+		t.Fatalf("size differs across worker counts: %d vs %d", r1.Size, rn.Size)
+	}
+}
+
+func TestAllSolversOnOneInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ins := RandomStrict(rng, 120, 80, 2, 6)
+	o := Options{}
+	plain, err := Solve(ins, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Exists {
+		t.Skip("instance unsolvable; generator-dependent")
+	}
+	mc, err := MaxCardinality(ins, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := Fair(ins, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RankMaximal(ins, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]Result{"maxcard": mc, "fair": fair, "rankmax": rm} {
+		if !r.Exists {
+			t.Fatalf("%s: lost existence", name)
+		}
+		if err := Verify(ins, r.Matching, o); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if mc.Size < plain.Size || fair.Size != mc.Size {
+		t.Fatalf("sizes: plain=%d maxcard=%d fair=%d", plain.Size, mc.Size, fair.Size)
+	}
+}
+
+func TestMaxMinWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ins := RandomStrict(rng, 40, 30, 2, 5)
+	o := Options{}
+	w := func(a, p int32) int64 {
+		if int(p) >= ins.NumPosts {
+			return 0
+		}
+		return int64((int(a)*7+int(p)*13)%10 + 1)
+	}
+	mx, err := MaxWeight(ins, w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := MinWeight(ins, w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mx.Exists {
+		t.Skip("unsolvable draw")
+	}
+	score := func(m *Matching) int64 {
+		var s int64
+		for a, p := range m.PostOf {
+			s += w(int32(a), p)
+		}
+		return s
+	}
+	if score(mx.Matching) < score(mn.Matching) {
+		t.Fatalf("max weight %d < min weight %d", score(mx.Matching), score(mn.Matching))
+	}
+}
+
+func TestSolveTiesPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ins := RandomTies(rng, 30, 20, 1, 5, 0.4)
+	res, err := SolveTies(ins, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exists {
+		if m := UnpopularityMargin(ins, res.Matching); m > 0 {
+			t.Fatalf("ties result unpopular, margin %d", m)
+		}
+	}
+}
+
+func TestEnumerateAllPublic(t *testing.T) {
+	ins := PaperInstance()
+	n := 0
+	exists, err := EnumerateAll(ins, Options{}, func(m *Matching) bool {
+		n++
+		return true
+	})
+	if err != nil || !exists || n != 6 {
+		t.Fatalf("enumerated %d (exists=%v, err=%v), want 6", n, exists, err)
+	}
+	count, err := Count(ins, Options{})
+	if err != nil || count.Int64() != 6 {
+		t.Fatalf("Count = %v (err=%v), want 6", count, err)
+	}
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if Unsolvable(2).NumApplicants != 6 {
+		t.Fatal("Unsolvable wrong shape")
+	}
+	if BinaryBroom(3).NumPosts != 15 {
+		t.Fatal("BinaryBroom wrong shape")
+	}
+	if got := RandomZipf(rng, 10, 20, 3, 1.2); got.NumApplicants != 10 {
+		t.Fatal("RandomZipf wrong shape")
+	}
+	s := Solvable(rng, 10, 5, 3)
+	res, err := Solve(s, Options{})
+	if err != nil || !res.Exists {
+		t.Fatal("Solvable instance unsolvable")
+	}
+}

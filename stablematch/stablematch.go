@@ -1,0 +1,131 @@
+// Package stablematch is the public API for §VI of Hu & Garg (IPDPS 2020):
+// given a stable matching M of a stable marriage instance, compute every
+// "next" stable matching M\ρ — one per rotation ρ exposed in M — in NC
+// (Algorithm 4, Theorem 16), plus the surrounding substrate: Gale–Shapley,
+// stability verification, and the lattice operations meet and join.
+//
+// The lattice of stable matchings is ordered by man-dominance; the
+// man-optimal matching (Gale–Shapley) is its minimum and the woman-optimal
+// matching its maximum. NextMatchings(M) are exactly the matchings
+// immediately below M, so repeated calls enumerate maximal chains — the
+// parallel-enumeration use case the paper cites from Gusfield–Irving.
+package stablematch
+
+import (
+	"math/rand"
+
+	"repro/internal/par"
+	"repro/internal/stable"
+)
+
+// Instance is a stable marriage instance with complete strict lists.
+type Instance = stable.Instance
+
+// Matching pairs each man with a woman (PM) and inversely (PW).
+type Matching = stable.Matching
+
+// Rotation is an ordered cycle of matched pairs exposed in a matching
+// (Definition 7 of the paper).
+type Rotation = stable.Rotation
+
+var (
+	// New validates preference lists: MP[m] ranks women, WP[w] ranks men.
+	New = stable.New
+	// Random generates uniform random complete lists.
+	Random = stable.Random
+	// NewMatching wraps a man->woman assignment.
+	NewMatching = stable.NewMatching
+	// PaperInstance is the Figure 5 example of the paper;
+	// PaperMatching its underlined stable matching.
+	PaperInstance = stable.PaperFigure5
+	PaperMatching = stable.PaperFigure5Matching
+)
+
+// Options configures the parallel routines; zero value = all CPUs.
+type Options struct {
+	// Workers sets the goroutine pool size; 0 means all CPUs.
+	Workers int
+}
+
+func (o Options) internal() stable.Options {
+	var opt stable.Options
+	if o.Workers != 0 {
+		opt.Pool = par.NewPool(o.Workers)
+	}
+	return opt
+}
+
+// GaleShapley computes the man-optimal stable matching.
+func GaleShapley(ins *Instance) *Matching { return stable.GaleShapley(ins) }
+
+// WomanOptimal computes the woman-optimal stable matching.
+func WomanOptimal(ins *Instance) *Matching { return stable.WomanOptimal(ins) }
+
+// Verify returns nil iff m is a complete stable matching of ins.
+func Verify(ins *Instance, m *Matching) error { return stable.Verify(ins, m) }
+
+// ExposedRotations finds every rotation exposed in m — the cycles of the
+// switching graph H_M — in NC. Empty means m is woman-optimal.
+func ExposedRotations(ins *Instance, m *Matching, o Options) ([]Rotation, error) {
+	return stable.ExposedRotations(ins, m, o.internal())
+}
+
+// Eliminate applies a rotation (Definition 8), producing the stable matching
+// M\ρ immediately below m.
+func Eliminate(m *Matching, rho Rotation, o Options) *Matching {
+	return stable.Eliminate(m, rho, o.internal())
+}
+
+// NextMatchings is Algorithm 4: all matchings immediately below m in the
+// lattice, or none when m is woman-optimal (Theorem 16).
+func NextMatchings(ins *Instance, m *Matching, o Options) ([]*Matching, error) {
+	return stable.NextMatchings(ins, m, o.internal())
+}
+
+// IsWomanOptimal reports whether m is the lattice maximum.
+func IsWomanOptimal(ins *Instance, m *Matching, o Options) (bool, error) {
+	return stable.IsWomanOptimal(ins, m, o.internal())
+}
+
+// LatticeWalk walks a maximal chain from m down to the woman-optimal
+// matching, eliminating one exposed rotation per step.
+func LatticeWalk(ins *Instance, m *Matching, o Options) ([]*Matching, error) {
+	return stable.LatticeWalk(ins, m, o.internal())
+}
+
+// EliminateAll applies several rotations exposed in the same matching
+// simultaneously (they are always vertex-disjoint and independent).
+func EliminateAll(m *Matching, rs []Rotation, o Options) *Matching {
+	return stable.EliminateAll(m, rs, o.internal())
+}
+
+// FastLatticeWalk descends to the woman-optimal matching eliminating all
+// exposed rotations per step — the parallel enumeration §VI motivates; the
+// step count is the rotation poset height rather than the chain length.
+func FastLatticeWalk(ins *Instance, m *Matching, o Options) ([]*Matching, error) {
+	return stable.FastLatticeWalk(ins, m, o.internal())
+}
+
+// AllRotations discovers the full rotation set of the instance by walking
+// one maximal chain (every chain eliminates the same set exactly once).
+func AllRotations(ins *Instance, o Options) ([]Rotation, error) {
+	return stable.AllRotations(ins, false, o.internal())
+}
+
+// Dominates reports the lattice order M ⪯ M′ (every man weakly prefers M).
+func Dominates(ins *Instance, a, b *Matching, o Options) bool {
+	return stable.Dominates(ins, a, b, o.internal())
+}
+
+// Meet returns M ∧ M′ (every man takes his better partner; stable).
+func Meet(ins *Instance, a, b *Matching, o Options) *Matching {
+	return stable.Meet(ins, a, b, o.internal())
+}
+
+// Join returns M ∨ M′ (every man takes his worse partner; stable).
+func Join(ins *Instance, a, b *Matching, o Options) *Matching {
+	return stable.Join(ins, a, b, o.internal())
+}
+
+// RandomInstance is a convenience generator matching popmatch's style.
+func RandomInstance(rng *rand.Rand, n int) *Instance { return stable.Random(rng, n) }

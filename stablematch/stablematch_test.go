@@ -1,0 +1,121 @@
+package stablematch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPaperExampleFlow(t *testing.T) {
+	ins := PaperInstance()
+	m := PaperMatching()
+	if err := Verify(ins, m); err != nil {
+		t.Fatal(err)
+	}
+	rots, err := ExposedRotations(ins, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rots) != 2 {
+		t.Fatalf("rotations = %d, want 2", len(rots))
+	}
+	nexts, err := NextMatchings(ins, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nexts) != 2 {
+		t.Fatalf("next matchings = %d, want 2", len(nexts))
+	}
+	for _, nx := range nexts {
+		if err := Verify(ins, nx); err != nil {
+			t.Fatal(err)
+		}
+		if !Dominates(ins, m, nx, Options{}) {
+			t.Fatal("next matching not below M")
+		}
+	}
+}
+
+func TestLatticeEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		ins := RandomInstance(rng, 3+rng.Intn(30))
+		m0 := GaleShapley(ins)
+		mz := WomanOptimal(ins)
+		if err := Verify(ins, m0); err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(ins, mz); err != nil {
+			t.Fatal(err)
+		}
+		womanOpt, err := IsWomanOptimal(ins, mz, Options{})
+		if err != nil || !womanOpt {
+			t.Fatalf("IsWomanOptimal(Mz) = %v, %v", womanOpt, err)
+		}
+		chain, err := LatticeWalk(ins, m0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chain[len(chain)-1].Equal(mz) {
+			t.Fatal("walk did not reach Mz")
+		}
+		meet := Meet(ins, m0, mz, Options{})
+		if !meet.Equal(m0) {
+			t.Fatal("M0 ∧ Mz must be M0")
+		}
+		join := Join(ins, m0, mz, Options{})
+		if !join.Equal(mz) {
+			t.Fatal("M0 ∨ Mz must be Mz")
+		}
+	}
+}
+
+func TestFastWalkAndAllRotationsPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ins := RandomInstance(rng, 40)
+	m0 := GaleShapley(ins)
+	fast, err := FastLatticeWalk(ins, m0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := LatticeWalk(ins, m0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) > len(slow) {
+		t.Fatalf("fast walk %d steps > chain %d", len(fast), len(slow))
+	}
+	rots, err := AllRotations(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rots) != len(slow)-1 {
+		t.Fatalf("%d rotations but chain length %d", len(rots), len(slow))
+	}
+	// EliminateAll of the first level equals the first fast step.
+	level0, err := ExposedRotations(ins, m0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(level0) > 0 {
+		step1 := EliminateAll(m0, level0, Options{})
+		if !step1.Equal(fast[1]) {
+			t.Fatal("EliminateAll differs from FastLatticeWalk's first step")
+		}
+	}
+}
+
+func TestEliminatePublic(t *testing.T) {
+	ins := PaperInstance()
+	m := PaperMatching()
+	rots, err := ExposedRotations(ins, m, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := Eliminate(m, rots[0], Options{})
+	if next.Equal(m) {
+		t.Fatal("elimination changed nothing")
+	}
+	if err := Verify(ins, next); err != nil {
+		t.Fatal(err)
+	}
+}
