@@ -47,6 +47,7 @@ func BenchmarkPopular(b *testing.B) {
 		ins := onesided.RandomStrict(rng, n, n, 1, 6)
 		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 			pool := par.NewPool(workers)
+			defer pool.Close()
 			b.Run(fmt.Sprintf("n=%d/P=%d", n, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Popular(ins, core.Options{Pool: pool}); err != nil {
@@ -100,6 +101,7 @@ func BenchmarkMaxCardinality(b *testing.B) {
 func BenchmarkCycleMethods(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	pool := par.NewPool(0)
+	defer pool.Close()
 	n := 256
 	succ := make([]int32, n)
 	for v := range succ {
@@ -119,22 +121,22 @@ func BenchmarkCycleMethods(b *testing.B) {
 	}
 	b.Run("doubling", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pseudoforest.CyclesByDoubling(pool, g, nil)
+			pseudoforest.CyclesByDoubling(pool, g)
 		}
 	})
 	b.Run("closure", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pseudoforest.CyclesByClosure(pool, g, nil)
+			pseudoforest.CyclesByClosure(pool, g)
 		}
 	})
 	b.Run("rank", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pseudoforest.CyclesByRank(pool, g, nil)
+			pseudoforest.CyclesByRank(pool, g)
 		}
 	})
 	b.Run("cc", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pseudoforest.CyclesByCC(pool, g, nil)
+			pseudoforest.CyclesByCC(pool, g)
 		}
 	})
 }

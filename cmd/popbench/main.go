@@ -1,10 +1,16 @@
-// popbench regenerates the experiment tables of EXPERIMENTS.md.
+// popbench regenerates the experiment tables of EXPERIMENTS.md and the
+// machine-readable pool benchmark.
 //
 // Usage:
 //
 //	popbench [-seed N] [-table T1,...] [-markdown]
+//	popbench -json BENCH_pool.json [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
+// With -json it instead benchmarks the execution-context layer (persistent
+// Solver vs one-shot vs SolveBatch) and writes a JSON array of records —
+// instance size, workers, PRAM rounds/work, ns/op, allocs/op — so successive
+// PRs can diff the perf trajectory.
 package main
 
 import (
@@ -20,7 +26,26 @@ func main() {
 	seed := flag.Int64("seed", 2020, "random seed shared by all workloads")
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
+	jsonPath := flag.String("json", "", "write the pool benchmark as JSON to this file ('-' = stdout) and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WritePoolJSON(out, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func(int64) *bench.Table{
 		"T1": bench.T1PeelingRounds,

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	popmatch [-mode popular|maxcard|rankmax|fair|ties|tiesmax] [-workers N]
-//	         [-verify] [-stats] [file]
+//	         [-timeout D] [-verify] [-stats] [file]
 //
 // Reads the instance from `file` or stdin. The text format is:
 //
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ func main() {
 	log.SetPrefix("popmatch: ")
 	mode := flag.String("mode", "popular", "popular|maxcard|rankmax|fair|ties|tiesmax")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	verify := flag.Bool("verify", false, "re-verify the result with the Theorem 1 characterization and the margin oracle")
 	stats := flag.Bool("stats", false, "print parallel round/work accounting")
 	flag.Parse()
@@ -48,21 +50,28 @@ func main() {
 	}
 
 	var trace popmatch.Stats
-	opt := popmatch.Options{Workers: *workers, Trace: &trace}
+	s := popmatch.NewSolver(popmatch.Options{Workers: *workers, Trace: &trace})
+	defer s.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var res popmatch.Result
 	switch *mode {
 	case "popular":
-		res, err = popmatch.Solve(ins, opt)
+		res, err = s.Solve(ctx, ins)
 	case "maxcard":
-		res, err = popmatch.MaxCardinality(ins, opt)
+		res, err = s.MaxCardinality(ctx, ins)
 	case "rankmax":
-		res, err = popmatch.RankMaximal(ins, opt)
+		res, err = s.RankMaximal(ctx, ins)
 	case "fair":
-		res, err = popmatch.Fair(ins, opt)
+		res, err = s.Fair(ctx, ins)
 	case "ties":
-		res, err = popmatch.SolveTies(ins, false, opt)
+		res, err = s.SolveTies(ctx, ins, false)
 	case "tiesmax":
-		res, err = popmatch.SolveTies(ins, true, opt)
+		res, err = s.SolveTies(ctx, ins, true)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -90,11 +99,15 @@ func main() {
 	}
 	if *verify {
 		if ins.Strict() {
-			if err := popmatch.Verify(ins, res.Matching, opt); err != nil {
+			if err := s.Verify(ctx, ins, res.Matching); err != nil {
 				log.Fatalf("verification failed: %v", err)
 			}
 		}
-		if margin := popmatch.UnpopularityMargin(ins, res.Matching); margin > 0 {
+		margin, err := s.UnpopularityMargin(ctx, ins, res.Matching)
+		if err != nil {
+			log.Fatal(err) // -timeout bounds the oracle too
+		}
+		if margin > 0 {
 			log.Fatalf("margin oracle rejects the matching: %d", margin)
 		}
 		fmt.Println("# verified popular")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	stablenext [-n N] [-seed N] [-walk] [-workers N]
+//	stablenext [-n N] [-seed N] [-walk] [-workers N] [-timeout D]
 //
 // For simplicity the tool generates a random instance of size N (the text
 // format of the one-sided tools does not carry two-sided lists); -walk
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	walk := flag.Bool("walk", false, "walk a maximal lattice chain to the woman-optimal matching")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
 
 	var ins *stablematch.Instance
@@ -49,7 +51,13 @@ func main() {
 	if err := stablematch.Verify(ins, m); err != nil {
 		log.Fatal(err)
 	}
-	opt := stablematch.Options{Workers: *workers}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := stablematch.Options{Workers: *workers, Ctx: ctx}
 	printMatching("M:", m)
 
 	if *walk {

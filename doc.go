@@ -1,9 +1,23 @@
 // Package repro reproduces Hu & Garg, "NC Algorithms for Popular Matchings
 // in One-Sided Preference Systems and Related Problems" (IPDPS 2020).
 //
-// The public API lives in the popmatch and stablematch packages; the
-// parallel substrate and algorithm internals are under internal/. The
-// benchmarks in bench_test.go regenerate the experiment tables of
-// EXPERIMENTS.md (one benchmark family per table); cmd/popbench prints the
-// tables directly.
+// The public API lives in the popmatch and stablematch packages. The
+// recommended entry point for anything beyond a single computation is the
+// reusable handle:
+//
+//	s := popmatch.NewSolver(popmatch.Options{})
+//	defer s.Close()
+//	res, err := s.Solve(ctx, ins)              // context-cancellable
+//	results, err := s.SolveBatch(ctx, instances)
+//
+// A Solver runs on a persistent execution context (internal/exec): worker
+// goroutines and scratch buffers survive across solves, and every parallel
+// round boundary checks the context for cancellation. The pre-existing
+// one-shot functions (popmatch.Solve, ...) remain as thin wrappers.
+//
+// The parallel substrate and algorithm internals are under internal/; see
+// README.md for the package map. The benchmarks in bench_test.go regenerate
+// the experiment tables of EXPERIMENTS.md (one benchmark family per table);
+// cmd/popbench prints the tables directly, and `popbench -json` emits the
+// machine-readable execution-context benchmark recorded in BENCH_pool.json.
 package repro

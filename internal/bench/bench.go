@@ -144,6 +144,7 @@ func T2Speedup(seed int64) *Table {
 				panic(err)
 			}
 			times = append(times, time.Since(t1))
+			pool.Close() // pools are persistent now; don't leak workers
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), ms(seqD), ms(times[0]), ms(times[1]), ms(times[2]), ms(times[3]),
@@ -204,6 +205,7 @@ func T4CycleMethods(seed int64) *Table {
 		Notes:   "doubling is the O(log n)-round method Algorithm 3 uses; closure/rank/cc are the Theorem 5/7/8 routes the paper discusses",
 	}
 	pool := par.NewPool(0)
+	defer pool.Close()
 	for _, n := range []int{64, 128, 256, 512} {
 		succ := make([]int32, n)
 		for v := range succ {
@@ -226,10 +228,10 @@ func T4CycleMethods(seed int64) *Table {
 			fn   func() []bool
 		}
 		methods := []method{
-			{"doubling", func() []bool { return pseudoforest.CyclesByDoubling(pool, g, nil) }},
-			{"closure", func() []bool { return pseudoforest.CyclesByClosure(pool, g, nil) }},
-			{"rank", func() []bool { return pseudoforest.CyclesByRank(pool, g, nil) }},
-			{"cc", func() []bool { return pseudoforest.CyclesByCC(pool, g, nil) }},
+			{"doubling", func() []bool { return pseudoforest.CyclesByDoubling(pool, g) }},
+			{"closure", func() []bool { return pseudoforest.CyclesByClosure(pool, g) }},
+			{"rank", func() []bool { return pseudoforest.CyclesByRank(pool, g) }},
+			{"cc", func() []bool { return pseudoforest.CyclesByCC(pool, g) }},
 		}
 		var durs []time.Duration
 		var results [][]bool

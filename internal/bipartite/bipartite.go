@@ -8,6 +8,8 @@
 // reduction is differentially tested against Hopcroft–Karp.
 package bipartite
 
+import "repro/internal/exec"
+
 // Graph is a bipartite graph with NLeft left vertices and NRight right
 // vertices; Adj[l] lists the right neighbors of left vertex l.
 type Graph struct {
@@ -39,6 +41,14 @@ const inf = int32(1) << 30
 // HopcroftKarp computes a maximum-cardinality matching. matchL[l] is the
 // right partner of l or -1; matchR is the inverse. It runs in O(E sqrt(V)).
 func HopcroftKarp(g *Graph) (matchL, matchR []int32, size int) {
+	return HopcroftKarpCtx(nil, g)
+}
+
+// HopcroftKarpCtx is HopcroftKarp on an execution context: cancellation is
+// checked at every BFS/DFS phase boundary (there are O(sqrt(V)) phases) and
+// each phase is accounted as one round of O(E) work in the tracer. A nil cx
+// behaves like HopcroftKarp.
+func HopcroftKarpCtx(cx *exec.Ctx, g *Graph) (matchL, matchR []int32, size int) {
 	matchL = make([]int32, g.NLeft)
 	matchR = make([]int32, g.NRight)
 	for i := range matchL {
@@ -98,7 +108,14 @@ func HopcroftKarp(g *Graph) (matchL, matchR []int32, size int) {
 		dist[l] = inf
 		return false
 	}
-	for bfs() {
+	for {
+		if cx != nil {
+			cx.Check()
+			cx.Round(g.NumEdges())
+		}
+		if !bfs() {
+			break
+		}
 		for l := 0; l < g.NLeft; l++ {
 			if matchL[l] == -1 && dfs(int32(l)) {
 				size++

@@ -107,13 +107,13 @@ func (m *Matrix) Equal(o *Matrix) bool {
 // Mul returns the boolean product a·b (OR of ANDs). Rows of the result are
 // computed in parallel: for each set bit k of a's row i, b's row k is OR-ed
 // into the accumulator — O(n²/64 + nnz·n/64) word operations.
-func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+func Mul(x par.Runner, a, b *Matrix) *Matrix {
 	if a.N != b.N {
 		panic(fmt.Sprintf("bitmat: size mismatch %d vs %d", a.N, b.N))
 	}
 	n := a.N
 	c := New(n)
-	p.ForGrain(n, 8, func(i int) {
+	x.ForGrain(n, 8, func(i int) {
 		dst := c.Row(i)
 		src := a.Row(i)
 		for wi, w := range src {
@@ -127,18 +127,18 @@ func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
 			}
 		}
 	})
-	t.Round(n * a.words)
+	x.Round(n * a.words)
 	return c
 }
 
 // Or returns the element-wise disjunction a | b.
-func Or(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+func Or(x par.Runner, a, b *Matrix) *Matrix {
 	if a.N != b.N {
 		panic(fmt.Sprintf("bitmat: size mismatch %d vs %d", a.N, b.N))
 	}
 	c := a.Clone()
-	p.For(len(c.bits), func(i int) { c.bits[i] |= b.bits[i] })
-	t.Round(len(c.bits))
+	x.For(len(c.bits), func(i int) { c.bits[i] |= b.bits[i] })
+	x.Round(len(c.bits))
 	return c
 }
 
@@ -146,11 +146,11 @@ func Or(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
 // whose adjacency matrix is adj: entry (i, j) of the result is true iff j is
 // reachable from i by a (possibly empty) directed path. It squares (adj | I)
 // ceil(log2 n) times — the O(log² n)-round construction of Theorem 5.
-func TransitiveClosure(p *par.Pool, adj *Matrix, t *par.Tracer) *Matrix {
+func TransitiveClosure(x par.Runner, adj *Matrix) *Matrix {
 	n := adj.N
-	r := Or(p, adj, Identity(n), t)
+	r := Or(x, adj, Identity(n))
 	for k := par.Iterations(n); k > 0; k-- {
-		r = Mul(p, r, r, t)
+		r = Mul(x, r, r)
 	}
 	return r
 }

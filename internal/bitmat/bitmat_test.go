@@ -101,10 +101,10 @@ func TestIdentityMul(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	a := randomMatrix(rng, 97, 0.1)
 	i97 := Identity(97)
-	if !Mul(p, a, i97, nil).Equal(a) {
+	if !Mul(p, a, i97).Equal(a) {
 		t.Fatal("A·I != A")
 	}
-	if !Mul(p, i97, a, nil).Equal(a) {
+	if !Mul(p, i97, a).Equal(a) {
 		t.Fatal("I·A != A")
 	}
 }
@@ -116,7 +116,7 @@ func TestMulAgainstNaive(t *testing.T) {
 			n := 1 + rng.Intn(90)
 			a := randomMatrix(rng, n, 0.15)
 			b := randomMatrix(rng, n, 0.15)
-			got := Mul(pool, a, b, nil)
+			got := Mul(pool, a, b)
 			want := naiveMul(a, b)
 			if !got.Equal(want) {
 				t.Fatalf("workers=%d n=%d: parallel product differs from naive", pool.Workers(), n)
@@ -131,7 +131,7 @@ func TestMulSizeMismatchPanics(t *testing.T) {
 			t.Fatal("Mul on mismatched sizes did not panic")
 		}
 	}()
-	Mul(par.Sequential(), New(3), New(4), nil)
+	Mul(par.Sequential(), New(3), New(4))
 }
 
 func TestOr(t *testing.T) {
@@ -140,7 +140,7 @@ func TestOr(t *testing.T) {
 	b := New(70)
 	a.Set(0, 0, true)
 	b.Set(69, 69, true)
-	c := Or(p, a, b, nil)
+	c := Or(p, a, b)
 	if !c.Get(0, 0) || !c.Get(69, 69) {
 		t.Fatal("Or lost bits")
 	}
@@ -155,7 +155,7 @@ func TestTransitiveClosureAgainstFloydWarshall(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		n := 1 + rng.Intn(70)
 		adj := randomMatrix(rng, n, 2.0/float64(n+1))
-		got := TransitiveClosure(p, adj, nil)
+		got := TransitiveClosure(p, adj)
 		want := floydWarshall(adj)
 		if !got.Equal(want) {
 			t.Fatalf("n=%d: closure differs from Floyd-Warshall", n)
@@ -170,7 +170,7 @@ func TestTransitiveClosureCycle(t *testing.T) {
 	for v := 0; v < n; v++ {
 		adj.Set(v, (v+1)%n, true)
 	}
-	r := TransitiveClosure(p, adj, nil)
+	r := TransitiveClosure(p, adj)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if !r.Get(i, j) {
@@ -218,7 +218,7 @@ func BenchmarkMul256(b *testing.B) {
 	c := randomMatrix(rng, 256, 0.05)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Mul(p, a, c, nil)
+		Mul(p, a, c)
 	}
 }
 
@@ -228,6 +228,6 @@ func BenchmarkTransitiveClosure256(b *testing.B) {
 	adj := randomMatrix(rng, 256, 0.008)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TransitiveClosure(p, adj, nil)
+		TransitiveClosure(p, adj)
 	}
 }

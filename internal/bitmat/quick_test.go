@@ -22,8 +22,8 @@ func TestQuickMulAssociative(t *testing.T) {
 		a := randomMatrix(rng, n, 0.2)
 		b := randomMatrix(rng, n, 0.2)
 		c := randomMatrix(rng, n, 0.2)
-		left := Mul(p, Mul(p, a, b, nil), c, nil)
-		right := Mul(p, a, Mul(p, b, c, nil), nil)
+		left := Mul(p, Mul(p, a, b), c)
+		right := Mul(p, a, Mul(p, b, c))
 		return left.Equal(right)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -49,7 +49,7 @@ func TestQuickTransposeReversesProduct(t *testing.T) {
 		a := randomMatrix(rng, n, 0.2)
 		b := randomMatrix(rng, n, 0.2)
 		// (AB)^T == B^T A^T for boolean products too.
-		return Mul(p, a, b, nil).Transpose().Equal(Mul(p, b.Transpose(), a.Transpose(), nil))
+		return Mul(p, a, b).Transpose().Equal(Mul(p, b.Transpose(), a.Transpose()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -60,8 +60,8 @@ func TestQuickClosureIdempotent(t *testing.T) {
 	p := par.NewPool(0)
 	f := func(seed int64) bool {
 		a := fromSeed(seed, 50)
-		tc := TransitiveClosure(p, a, nil)
-		return TransitiveClosure(p, tc, nil).Equal(tc) && Mul(p, tc, tc, nil).Equal(tc)
+		tc := TransitiveClosure(p, a)
+		return TransitiveClosure(p, tc).Equal(tc) && Mul(p, tc, tc).Equal(tc)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -79,8 +79,8 @@ func TestQuickClosureMonotone(t *testing.T) {
 		for k := 0; k < 3; k++ {
 			b.Set(rng.Intn(n), rng.Intn(n), true)
 		}
-		ta := TransitiveClosure(p, a, nil)
-		tb := TransitiveClosure(p, b, nil)
+		ta := TransitiveClosure(p, a)
+		tb := TransitiveClosure(p, b)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if ta.Get(i, j) && !tb.Get(i, j) {

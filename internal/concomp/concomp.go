@@ -53,7 +53,7 @@ func BFS(n int, edges [][2]int32) []int32 {
 
 // Parallel returns, for each vertex, the minimum vertex id of its component,
 // computed with hook-to-minimum + pointer-jumping rounds on the pool.
-func Parallel(p *par.Pool, n int, edges [][2]int32, t *par.Tracer) []int32 {
+func Parallel(x par.Runner, n int, edges [][2]int32) []int32 {
 	parent := make([]int32, n)
 	for v := range parent {
 		parent[v] = int32(v)
@@ -72,7 +72,7 @@ func Parallel(p *par.Pool, n int, edges [][2]int32, t *par.Tracer) []int32 {
 		// root at the smaller (atomic min, any interleaving converges to the
 		// same fixpoint because min is associative/commutative/idempotent).
 		changedFlag.Store(false)
-		p.For(m, func(i int) {
+		x.For(m, func(i int) {
 			u, v := edges[i][0], edges[i][1]
 			ru, rv := parent[u], parent[v]
 			if ru == rv {
@@ -84,18 +84,18 @@ func Parallel(p *par.Pool, n int, edges [][2]int32, t *par.Tracer) []int32 {
 			}
 			atomicMin(&ap[rv], ru)
 		})
-		t.Round(m)
+		x.Round(m)
 		if !changedFlag.Load() {
 			break
 		}
 		// Publish hooks into parent.
-		p.For(n, func(v int) { parent[v] = ap[v].Load() })
-		t.Round(n)
+		x.For(n, func(v int) { parent[v] = ap[v].Load() })
+		x.Round(n)
 		// Compress: pointer doubling until the forest is a set of stars.
 		for {
 			stable := new(atomic.Bool)
 			stable.Store(true)
-			p.For(n, func(v int) {
+			x.For(n, func(v int) {
 				pv := parent[v]
 				ppv := parent[pv]
 				if pv != ppv {
@@ -105,9 +105,9 @@ func Parallel(p *par.Pool, n int, edges [][2]int32, t *par.Tracer) []int32 {
 					ap[v].Store(pv)
 				}
 			})
-			t.Round(n)
-			p.For(n, func(v int) { parent[v] = ap[v].Load() })
-			t.Round(n)
+			x.Round(n)
+			x.For(n, func(v int) { parent[v] = ap[v].Load() })
+			x.Round(n)
 			if stable.Load() {
 				break
 			}

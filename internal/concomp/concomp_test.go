@@ -51,7 +51,7 @@ func TestParallelMatchesBFSRandom(t *testing.T) {
 			m := rng.Intn(2 * n)
 			edges := randomEdges(rng, n, m)
 			want := BFS(n, edges)
-			got := Parallel(p, n, edges, nil)
+			got := Parallel(p, n, edges)
 			if !labelsEqual(got, want) {
 				t.Fatalf("workers=%d n=%d m=%d: parallel labels differ from BFS", p.Workers(), n, m)
 			}
@@ -61,10 +61,10 @@ func TestParallelMatchesBFSRandom(t *testing.T) {
 
 func TestParallelEmptyAndSingle(t *testing.T) {
 	p := par.NewPool(4)
-	if got := Parallel(p, 0, nil, nil); len(got) != 0 {
+	if got := Parallel(p, 0, nil); len(got) != 0 {
 		t.Fatalf("n=0: got %v", got)
 	}
-	if got := Parallel(p, 1, nil, nil); len(got) != 1 || got[0] != 0 {
+	if got := Parallel(p, 1, nil); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("n=1: got %v", got)
 	}
 }
@@ -77,7 +77,7 @@ func TestParallelPath(t *testing.T) {
 	for i := 0; i < n-1; i++ {
 		edges[i] = [2]int32{int32(i), int32(i + 1)}
 	}
-	got := Parallel(p, n, edges, nil)
+	got := Parallel(p, n, edges)
 	for v := range got {
 		if got[v] != 0 {
 			t.Fatalf("path: label[%d] = %d, want 0", v, got[v])
@@ -93,7 +93,7 @@ func TestParallelPathReversedIDs(t *testing.T) {
 	for i := 0; i < n-1; i++ {
 		edges[i] = [2]int32{int32(n - 1 - i), int32(n - 2 - i)}
 	}
-	got := Parallel(p, n, edges, nil)
+	got := Parallel(p, n, edges)
 	for v := range got {
 		if got[v] != 0 {
 			t.Fatalf("reversed path: label[%d] = %d, want 0", v, got[v])
@@ -104,7 +104,7 @@ func TestParallelPathReversedIDs(t *testing.T) {
 func TestParallelMultigraphAndParallelEdges(t *testing.T) {
 	p := par.NewPool(4)
 	edges := [][2]int32{{0, 1}, {0, 1}, {1, 0}, {2, 3}}
-	got := Parallel(p, 4, edges, nil)
+	got := Parallel(p, 4, edges)
 	want := []int32{0, 0, 2, 2}
 	if !labelsEqual(got, want) {
 		t.Fatalf("multigraph labels = %v, want %v", got, want)
@@ -133,7 +133,7 @@ func TestParallelRoundsPolylog(t *testing.T) {
 			}
 		}
 		var tr par.Tracer
-		Parallel(p, n, edges, &tr)
+		Parallel(par.WithTracer(p, &tr), n, edges)
 		// Generous polylog budget: c · log2(n)^2 rounds.
 		log2 := 0
 		for 1<<log2 < n {
@@ -153,7 +153,7 @@ func BenchmarkParallelCC(b *testing.B) {
 	p := par.NewPool(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Parallel(p, n, edges, nil)
+		Parallel(p, n, edges)
 	}
 }
 

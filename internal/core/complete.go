@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 	"repro/internal/par"
 )
@@ -51,8 +52,7 @@ type PeelStats struct {
 // applicantComplete runs Algorithm 2. It returns the matching (nil if no
 // applicant-complete matching exists) and the peeling statistics.
 func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats, error) {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	ins := r.Ins
 	n1 := ins.NumApplicants
 	total := ins.TotalPosts()
@@ -65,19 +65,24 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 	nEdges := 2 * n1
 	nDarts := 2 * nEdges
 	// Static post adjacency (CSR over edge ids).
-	postAdjStart, postAdjEdges := buildPostAdj(p, r, t)
+	postAdjStart, postAdjEdges := buildPostAdj(cx, r)
+	defer cx.PutInt32s(postAdjStart)
+	defer cx.PutInt32s(postAdjEdges)
 
-	aliveA := make([]bool, n1)
-	alivePost := make([]bool, total)
-	aliveBits := make([]uint32, total)
-	p.For(n1, func(a int) {
+	aliveA := cx.Bools(n1)
+	defer cx.PutBools(aliveA)
+	alivePost := cx.Bools(total)
+	defer cx.PutBools(alivePost)
+	aliveBits := cx.Uint32s(total)
+	cx.For(n1, func(a int) {
 		aliveA[a] = true
 		atomic.StoreUint32(&aliveBits[r.F[a]], 1)
 		atomic.StoreUint32(&aliveBits[r.S[a]], 1)
 	})
-	t.Round(n1)
-	p.For(total, func(q int) { alivePost[q] = aliveBits[q] == 1 })
-	t.Round(total)
+	cx.Round(n1)
+	cx.For(total, func(q int) { alivePost[q] = aliveBits[q] == 1 })
+	cx.Round(total)
+	cx.PutUint32s(aliveBits)
 
 	edgeApplicant := func(e int32) int32 { return e / 2 }
 	edgePost := func(e int32) int32 {
@@ -90,35 +95,45 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 		return aliveA[edgeApplicant(e)] && alivePost[edgePost(e)]
 	}
 
-	deg := make([]int32, total)
-	degAtomic := make([]atomic.Int32, total)
-	succ := make([]int32, nDarts)
-	dartDead := make([]bool, nDarts)
-	otherEdge := make([]int32, total) // scratch: per degree-2 post, its other edge
-	matchedDart := make([]bool, nDarts)
-	startDist := make([]int, nDarts) // per terminal dart: distance of chain start
-	active := make([]bool, nDarts)
+	deg := cx.Int32s(total)
+	defer cx.PutInt32s(deg)
+	degAtomic := cx.AtomicInt32s(total)
+	defer cx.PutAtomicInt32s(degAtomic)
+	succ := cx.Int32s(nDarts)
+	defer cx.PutInt32s(succ)
+	dartDead := cx.Bools(nDarts)
+	defer cx.PutBools(dartDead)
+	otherEdge := cx.Int32s(total) // scratch: per degree-2 post, its other edge
+	defer cx.PutInt32s(otherEdge)
+	matchedDart := cx.Bools(nDarts)
+	defer cx.PutBools(matchedDart)
+	startDist := cx.Ints(nDarts) // per terminal dart: distance of chain start
+	defer cx.PutInts(startDist)
+	active := cx.Bools(nDarts)
+	defer cx.PutBools(active)
+	dvals := cx.Ints(nDarts)
+	defer cx.PutInts(dvals)
 
 	for {
 		// --- degrees over alive edges ---
-		p.For(total, func(q int) { degAtomic[q].Store(0) })
-		t.Round(total)
-		p.For(nEdges, func(ei int) {
+		cx.For(total, func(q int) { degAtomic[q].Store(0) })
+		cx.Round(total)
+		cx.For(nEdges, func(ei int) {
 			e := int32(ei)
 			if edgeAlive(e) {
 				degAtomic[edgePost(e)].Add(1)
 			}
 		})
-		t.Round(nEdges)
-		p.For(total, func(q int) {
+		cx.Round(nEdges)
+		cx.For(total, func(q int) {
 			deg[q] = degAtomic[q].Load()
 			if deg[q] == 0 {
 				alivePost[q] = false // drop isolated posts (Algorithm 2 line 9)
 			}
 		})
-		t.Round(total)
+		cx.Round(total)
 
-		deg1 := p.Compact(total, func(q int) bool { return alivePost[q] && deg[q] == 1 }, t)
+		deg1 := par.Compact(cx, total, func(q int) bool { return alivePost[q] && deg[q] == 1 })
 		if len(deg1) == 0 {
 			break
 		}
@@ -127,14 +142,14 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 		// --- dart successors on the alive subgraph ---
 		// For each degree-2 post, find its two alive edges (scan its CSR
 		// range; total work is O(m) per round).
-		p.For(total, func(q int) {
+		cx.For(total, func(q int) {
 			if !alivePost[q] || deg[q] != 2 {
 				return
 			}
 			otherEdge[q] = -1
 		})
-		t.Round(total)
-		p.For(nDarts, func(di int) {
+		cx.Round(total)
+		cx.For(nDarts, func(di int) {
 			d := int32(di)
 			e := d / 2
 			if !edgeAlive(e) {
@@ -172,23 +187,24 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 				succ[d] = 2 * other // applicant -> post
 			}
 		})
-		t.Round(nDarts)
+		cx.Round(nDarts)
 
 		// --- doubling: terminal dart + distance for every chain ---
-		dvals := make([]int, nDarts)
-		p.For(nDarts, func(d int) {
+		cx.For(nDarts, func(d int) {
 			if succ[d] != int32(d) {
 				dvals[d] = 1
+			} else {
+				dvals[d] = 0
 			}
 		})
-		t.Round(nDarts)
-		ptr, dist := par.Double(p, succ, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1, t)
+		cx.Round(nDarts)
+		ptr, dist := par.Double(cx, succ, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1)
 
 		// --- activate chains from degree-1 posts ---
-		p.For(nDarts, func(d int) { active[d] = false })
-		t.Round(nDarts)
+		cx.For(nDarts, func(d int) { active[d] = false })
+		cx.Round(nDarts)
 		var invariant atomic.Int32
-		p.For(len(deg1), func(i int) {
+		cx.For(len(deg1), func(i int) {
 			q := deg1[i]
 			// The unique alive edge of q.
 			var e0 int32 = -1
@@ -220,7 +236,7 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 			active[term] = true
 			startDist[term] = dist[d0]
 		})
-		t.Round(len(deg1))
+		cx.Round(len(deg1))
 		switch invariant.Load() {
 		case 1:
 			return nil, stats, fmt.Errorf("core: degree-1 post with no alive edge")
@@ -229,7 +245,7 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 		}
 
 		// --- match darts at even distance from the chain start ---
-		p.For(nDarts, func(d int) {
+		cx.For(nDarts, func(d int) {
 			matchedDart[d] = false
 			if dartDead[d] {
 				return
@@ -242,11 +258,11 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 				matchedDart[d] = true
 			}
 		})
-		t.Round(nDarts)
+		cx.Round(nDarts)
 
 		// --- apply matches, delete matched vertices ---
 		var peeled atomic.Int32
-		p.For(nDarts, func(d int) {
+		cx.For(nDarts, func(d int) {
 			if !matchedDart[d] {
 				return
 			}
@@ -257,9 +273,9 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 			m.ApplicantOf[q] = a
 			peeled.Add(1)
 		})
-		t.Round(nDarts)
+		cx.Round(nDarts)
 		stats.PeeledPairs += int(peeled.Load())
-		p.For(nDarts, func(d int) {
+		cx.For(nDarts, func(d int) {
 			if !matchedDart[d] {
 				return
 			}
@@ -267,12 +283,12 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 			aliveA[edgeApplicant(e)] = false
 			alivePost[edgePost(e)] = false
 		})
-		t.Round(nDarts)
+		cx.Round(nDarts)
 	}
 
 	// --- residual check: Hall condition by counting (§III-B-1) ---
-	aliveApplicants := par.CountTrue(p, n1, func(a int) bool { return aliveA[a] }, t)
-	alivePosts := par.CountTrue(p, total, func(q int) bool { return alivePost[q] }, t)
+	aliveApplicants := par.CountTrue(cx, n1, func(a int) bool { return aliveA[a] })
+	alivePosts := par.CountTrue(cx, total, func(q int) bool { return alivePost[q] })
 	if alivePosts < aliveApplicants {
 		return nil, stats, nil // no applicant-complete matching
 	}
@@ -282,40 +298,44 @@ func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats,
 	// |P| = |A| and every post has degree exactly 2: disjoint even cycles.
 
 	// --- perfect matching on the 2-regular residual ---
-	if err := matchEvenCycles(p, t, r, aliveA, alivePost, postAdjStart, postAdjEdges, m, stats); err != nil {
+	if err := matchEvenCycles(cx, r, aliveA, alivePost, postAdjStart, postAdjEdges, m, stats); err != nil {
 		return nil, stats, err
 	}
 	return m, stats, nil
 }
 
-// buildPostAdj builds the static CSR adjacency from posts to edge ids.
-func buildPostAdj(p *par.Pool, r *Reduced, t *par.Tracer) (start []int32, edges []int32) {
+// buildPostAdj builds the static CSR adjacency from posts to edge ids. Both
+// returned slices come from cx's arena; the caller recycles them.
+func buildPostAdj(cx *exec.Ctx, r *Reduced) (start []int32, edges []int32) {
 	ins := r.Ins
 	n1 := ins.NumApplicants
 	total := ins.TotalPosts()
-	counts := make([]int, total)
-	ac := make([]atomic.Int32, total)
-	p.For(n1, func(a int) {
+	counts := cx.Ints(total)
+	defer cx.PutInts(counts)
+	ac := cx.AtomicInt32s(total)
+	defer cx.PutAtomicInt32s(ac)
+	cx.For(n1, func(a int) {
 		ac[r.F[a]].Add(1)
 		ac[r.S[a]].Add(1)
 	})
-	t.Round(n1)
-	p.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
-	t.Round(total)
-	off, totalEdges := p.ExclusiveScan(counts, t)
-	start = make([]int32, total+1)
-	p.For(total, func(q int) { start[q] = int32(off[q]) })
-	t.Round(total)
+	cx.Round(n1)
+	cx.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
+	cx.Round(total)
+	off, totalEdges := par.ExclusiveScan(cx, counts)
+	defer cx.PutInts(off)
+	start = cx.Int32s(total + 1)
+	cx.For(total, func(q int) { start[q] = int32(off[q]) })
+	cx.Round(total)
 	start[total] = int32(totalEdges)
-	edges = make([]int32, totalEdges)
-	p.For(total, func(q int) { ac[q].Store(0) })
-	t.Round(total)
-	p.For(n1, func(a int) {
+	edges = cx.Int32s(totalEdges)
+	cx.For(total, func(q int) { ac[q].Store(0) })
+	cx.Round(total)
+	cx.For(n1, func(a int) {
 		qf := r.F[a]
 		edges[int32(off[qf])+ac[qf].Add(1)-1] = int32(2 * a)
 		qs := r.S[a]
 		edges[int32(off[qs])+ac[qs].Add(1)-1] = int32(2*a + 1)
 	})
-	t.Round(n1)
+	cx.Round(n1)
 	return start, edges
 }

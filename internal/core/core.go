@@ -5,29 +5,39 @@
 // popular matchings (§IV-E), and the ties results of §V (the AIKM solver
 // used as the black box of Theorem 11's reduction).
 //
-// Every algorithm runs bulk-synchronous parallel rounds on a par.Pool and
-// threads a par.Tracer so the experiment harness can verify the NC round
-// bounds empirically.
+// Every algorithm runs bulk-synchronous parallel rounds on an exec.Ctx —
+// persistent worker pool, PRAM cost tracer, context cancellation checked at
+// round boundaries, scratch arena — so the experiment harness can verify the
+// NC round bounds empirically and a service can cancel and reuse solves.
 package core
 
 import (
+	"context"
+
+	"repro/internal/exec"
 	"repro/internal/par"
 )
 
-// Options carries the execution context for the parallel algorithms.
-// The zero value runs on a default pool using all CPUs with no tracing.
+// Options carries the execution context for the parallel algorithms. The
+// zero value runs on the process-wide shared pool with no tracing and no
+// cancellation.
 type Options struct {
-	// Pool supplies the workers; nil means a shared all-CPU pool.
+	// Exec, when non-nil, is the full execution context and overrides the
+	// other fields. Reusable solvers construct one per solve around a
+	// persistent pool and arena.
+	Exec *exec.Ctx
+	// Pool supplies the workers; nil means the shared persistent pool.
 	Pool *par.Pool
 	// Tracer, if non-nil, accumulates parallel rounds and work.
 	Tracer *par.Tracer
+	// Ctx carries cancellation/deadlines, checked at every round boundary;
+	// nil means context.Background().
+	Ctx context.Context
 }
 
-var defaultPool = par.NewPool(0)
-
-func (o Options) pool() *par.Pool {
-	if o.Pool == nil {
-		return defaultPool
+func (o Options) exec() *exec.Ctx {
+	if o.Exec != nil {
+		return o.Exec
 	}
-	return o.Pool
+	return exec.New(exec.Config{Context: o.Ctx, Pool: o.Pool, Tracer: o.Tracer})
 }

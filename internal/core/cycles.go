@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 	"repro/internal/par"
 )
@@ -23,7 +24,7 @@ import (
 // Vertex ids: applicant a is vid a, post q is vid n1+q, so cycle leaders are
 // always applicants.
 func matchEvenCycles(
-	p *par.Pool, t *par.Tracer, r *Reduced,
+	cx *exec.Ctx, r *Reduced,
 	aliveA []bool, alivePost []bool,
 	postAdjStart, postAdjEdges []int32,
 	m *onesided.Matching, stats *PeelStats,
@@ -52,10 +53,12 @@ func matchEvenCycles(
 	}
 
 	// Dart successors; every alive vertex has degree exactly 2.
-	succ := make([]int32, nDarts)
-	dead := make([]bool, nDarts)
+	succ := cx.Int32s(nDarts)
+	defer cx.PutInt32s(succ)
+	dead := cx.Bools(nDarts)
+	defer cx.PutBools(dead)
 	var malformed atomic.Int32
-	p.For(nDarts, func(di int) {
+	cx.For(nDarts, func(di int) {
 		d := int32(di)
 		e := d / 2
 		if !edgeAlive(e) {
@@ -90,7 +93,7 @@ func matchEvenCycles(
 			succ[d] = 2 * other
 		}
 	})
-	t.Round(nDarts)
+	cx.Round(nDarts)
 	if malformed.Load() != 0 {
 		return fmt.Errorf("core: residual graph is not 2-regular")
 	}
@@ -99,27 +102,29 @@ func matchEvenCycles(
 	// overrunning the cycle length is harmless). Dead darts fold with a
 	// +inf sentinel.
 	const infVid = int32(1) << 30
-	vals := make([]int32, nDarts)
-	p.For(nDarts, func(d int) {
+	vals := cx.Int32s(nDarts)
+	defer cx.PutInt32s(vals)
+	cx.For(nDarts, func(d int) {
 		if dead[d] {
 			vals[d] = infVid
 		} else {
 			vals[d] = headVid(int32(d))
 		}
 	})
-	t.Round(nDarts)
+	cx.Round(nDarts)
 	minFold := func(a, b int32) int32 {
 		if a < b {
 			return a
 		}
 		return b
 	}
-	_, leader := par.Double(p, succ, vals, minFold, par.Iterations(nDarts)+1, t)
+	_, leader := par.Double(cx, succ, vals, minFold, par.Iterations(nDarts)+1)
 
 	// Canonical darts: the leader applicant's outgoing dart toward its
 	// smaller post.
-	canonical := make([]bool, nDarts)
-	p.For(nDarts, func(di int) {
+	canonical := cx.Bools(nDarts)
+	defer cx.PutBools(canonical)
+	cx.For(nDarts, func(di int) {
 		d := int32(di)
 		if dead[d] || d%2 != 0 {
 			return // only applicant->post darts can leave the leader
@@ -135,12 +140,14 @@ func matchEvenCycles(
 		}
 		canonical[d] = edgePost(e) == minPost
 	})
-	t.Round(nDarts)
+	cx.Round(nDarts)
 
 	// Distance to the canonical dart, which absorbs.
-	succ2 := make([]int32, nDarts)
-	dvals := make([]int, nDarts)
-	p.For(nDarts, func(d int) {
+	succ2 := cx.Int32s(nDarts)
+	defer cx.PutInt32s(succ2)
+	dvals := cx.Ints(nDarts)
+	defer cx.PutInts(dvals)
+	cx.For(nDarts, func(d int) {
 		if canonical[d] || dead[d] {
 			succ2[d] = int32(d)
 		} else {
@@ -148,11 +155,11 @@ func matchEvenCycles(
 			dvals[d] = 1
 		}
 	})
-	t.Round(nDarts)
-	ptr2, dist2 := par.Double(p, succ2, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1, t)
+	cx.Round(nDarts)
+	ptr2, dist2 := par.Double(cx, succ2, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1)
 
 	var pairs, cycles atomic.Int32
-	p.For(nDarts, func(di int) {
+	cx.For(nDarts, func(di int) {
 		d := int32(di)
 		if dead[d] {
 			return
@@ -173,7 +180,7 @@ func matchEvenCycles(
 		m.ApplicantOf[q] = a
 		pairs.Add(1)
 	})
-	t.Round(nDarts)
+	cx.Round(nDarts)
 	stats.CyclePairs = int(pairs.Load())
 	stats.CycleCount = int(cycles.Load())
 	return nil

@@ -3,6 +3,7 @@ package core
 import (
 	"math/big"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 	"repro/internal/par"
 	"repro/internal/pseudoforest"
@@ -63,8 +64,7 @@ type SwitchStats struct {
 // component of sw. edgeW[v] is the margin contribution of switching vertex
 // v's applicant (weight(a, O_M(a)) − weight(a, M(a))).
 func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Options) SwitchStats {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	an := sw.Analysis
 	nv := len(sw.Posts)
 	stats := SwitchStats{}
@@ -73,14 +73,14 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 	}
 
 	// Weighted lifting over the switching graph for O(log n) path sums.
-	lift, sums := buildWeightedLift(p, sw.Graph, edgeW, ops, t)
+	lift, sums := buildWeightedLift(cx, sw.Graph, edgeW, ops)
 
 	// Margins of every switching path: for each s-post vertex q in a tree
 	// component (other than the sink), the sum of edge weights along
 	// q -> sink.
 	margin := make([]T, nv)
 	isCandidate := make([]bool, nv)
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		d := an.DistToSink[v]
 		if d <= 0 || !sw.IsSPostVertex(v) {
 			return // cycle component, the sink itself, or an f-post
@@ -88,7 +88,7 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 		isCandidate[v] = true
 		margin[v] = pathSum(lift, sums, ops, v, d)
 	})
-	t.Round(nv)
+	cx.Round(nv)
 
 	// Cycle margins per component (sequential fold; the parallel work was
 	// the lift).
@@ -139,7 +139,7 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 	// Mark the switched vertex set: positive cycles entirely; for chosen
 	// paths, v is on path(q -> sink) iff jump(q, dist q − dist v) = v.
 	on := make([]bool, nv)
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		c := an.Comp[v]
 		if an.OnCycle[v] {
 			on[v] = applyCycle[c]
@@ -155,7 +155,7 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 		}
 		on[v] = lift.Jump(q, dq-dv) == v
 	})
-	t.Round(nv)
+	cx.Round(nv)
 	sw.applySwitchVertices(on, opt)
 	return stats
 }
@@ -163,7 +163,7 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 // buildWeightedLift builds binary-lifting jump tables with per-level weight
 // sums for arbitrary weight types (the int64 case is
 // pseudoforest.BuildWeightedLift; this generic twin serves big.Int).
-func buildWeightedLift[T any](p *par.Pool, g *pseudoforest.Graph, w []T, ops weightOps[T], t *par.Tracer) (*par.Lifting, [][]T) {
+func buildWeightedLift[T any](cx *exec.Ctx, g *pseudoforest.Graph, w []T, ops weightOps[T]) (*par.Lifting, [][]T) {
 	n := g.N()
 	abs := make([]int32, n)
 	for v, s := range g.Succ {
@@ -173,24 +173,24 @@ func buildWeightedLift[T any](p *par.Pool, g *pseudoforest.Graph, w []T, ops wei
 			abs[v] = s
 		}
 	}
-	lift := par.BuildLifting(p, abs, t)
+	lift := par.BuildLifting(cx, abs)
 	sums := make([][]T, lift.K)
 	level0 := make([]T, n)
-	p.For(n, func(v int) {
+	cx.For(n, func(v int) {
 		if g.Succ[v] >= 0 {
 			level0[v] = w[v]
 		} else {
 			level0[v] = ops.zero()
 		}
 	})
-	t.Round(n)
+	cx.Round(n)
 	sums[0] = level0
 	for k := 1; k < lift.K; k++ {
 		prev := sums[k-1]
 		up := lift.Up[k-1]
 		cur := make([]T, n)
-		p.For(n, func(v int) { cur[v] = ops.add(prev[v], prev[up[v]]) })
-		t.Round(n)
+		cx.For(n, func(v int) { cur[v] = ops.add(prev[v], prev[up[v]]) })
+		cx.Round(n)
 		sums[k] = cur
 	}
 	return lift, sums
@@ -211,11 +211,10 @@ func pathSum[T any](lift *par.Lifting, sums [][]T, ops weightOps[T], v, steps in
 // edgeWeights computes, for every switching-graph vertex with an out-edge,
 // the margin contribution of switching its applicant.
 func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T, zero func() T, opt Options) []T {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	nv := len(sw.Posts)
 	out := make([]T, nv)
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		a := sw.EdgeApplicant[v]
 		if a < 0 {
 			out[v] = zero()
@@ -223,19 +222,21 @@ func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T,
 		}
 		out[v] = sub(w(a, sw.OM(a)), w(a, sw.M.PostOf[a]))
 	})
-	t.Round(nv)
+	cx.Round(nv)
 	return out
 }
 
 // Optimize finds a popular matching maximizing (or minimizing) the total
 // weight Σ w(a, M(a)) over all popular matchings, per §IV-E. It returns
 // Exists=false when the instance has no popular matching.
-func Optimize(ins *onesided.Instance, w WeightFn, maximize bool, opt Options) (Result, SwitchStats, error) {
+func Optimize(ins *onesided.Instance, w WeightFn, maximize bool, opt Options) (res Result, st SwitchStats, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return Result{}, SwitchStats{}, err
 	}
-	res, err := popularFromReduced(r, opt)
+	defer r.release(opt.exec())
+	res, err = popularFromReduced(r, opt)
 	if err != nil || !res.Exists {
 		return res, SwitchStats{}, err
 	}
@@ -266,12 +267,14 @@ func MaxCardinality(ins *onesided.Instance, opt Options) (Result, SwitchStats, e
 }
 
 // bigOptimize runs the switch optimizer with big.Int weights.
-func bigOptimize(ins *onesided.Instance, w func(a, p int32) *big.Int, maximize bool, opt Options) (Result, SwitchStats, error) {
+func bigOptimize(ins *onesided.Instance, w func(a, p int32) *big.Int, maximize bool, opt Options) (res Result, st SwitchStats, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return Result{}, SwitchStats{}, err
 	}
-	res, err := popularFromReduced(r, opt)
+	defer r.release(opt.exec())
+	res, err = popularFromReduced(r, opt)
 	if err != nil || !res.Exists {
 		return res, SwitchStats{}, err
 	}
@@ -336,11 +339,13 @@ func powerTable(base *big.Int, n int) []*big.Int {
 // instance without enumerating them, via Theorem 9's product structure: each
 // tree component contributes 1 + (number of its switching paths) choices and
 // each cycle component contributes 2. Returns 0 when none exists.
-func CountPopular(ins *onesided.Instance, opt Options) (*big.Int, error) {
+func CountPopular(ins *onesided.Instance, opt Options) (count *big.Int, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer r.release(opt.exec())
 	res, err := popularFromReduced(r, opt)
 	if err != nil {
 		return nil, err
@@ -394,7 +399,8 @@ func cycleLeader(an *pseudoforest.Analysis, g *pseudoforest.Graph, v int) int32 
 // The yielded matching is reused; clone to retain. Returns whether a popular
 // matching exists. Intended for tests and small ablations — the count is
 // exponential in the number of components.
-func EnumerateAllPopular(ins *onesided.Instance, opt Options, yield func(*onesided.Matching) bool) (bool, error) {
+func EnumerateAllPopular(ins *onesided.Instance, opt Options, yield func(*onesided.Matching) bool) (ok bool, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return false, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 )
 
@@ -22,12 +23,15 @@ type Result struct {
 
 // Popular runs Algorithm 1 of the paper: it finds a popular matching of a
 // strictly-ordered instance or reports that none exists, in NC.
-func Popular(ins *onesided.Instance, opt Options) (Result, error) {
+func Popular(ins *onesided.Instance, opt Options) (res Result, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return popularFromReduced(r, opt)
+	res, err = popularFromReduced(r, opt)
+	r.release(opt.exec())
+	return res, err
 }
 
 func popularFromReduced(r *Reduced, opt Options) (Result, error) {
@@ -51,12 +55,11 @@ func popularFromReduced(r *Reduced, opt Options) (Result, error) {
 // are pairwise distinct because the sets f⁻¹(p) partition the applicants, so
 // all promotions commute.
 func promote(r *Reduced, m *onesided.Matching, opt Options) (int, error) {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	ins := r.Ins
 	total := ins.TotalPosts()
 	var count, bad atomic.Int32
-	p.For(total, func(qi int) {
+	cx.For(total, func(qi int) {
 		q := int32(qi)
 		if !r.IsF[q] || m.ApplicantOf[q] >= 0 {
 			return
@@ -79,7 +82,7 @@ func promote(r *Reduced, m *onesided.Matching, opt Options) (int, error) {
 		m.ApplicantOf[q] = a
 		count.Add(1)
 	})
-	t.Round(total)
+	cx.Round(total)
 	switch bad.Load() {
 	case 1:
 		return 0, fmt.Errorf("core: f-post with empty f⁻¹")
@@ -92,7 +95,8 @@ func promote(r *Reduced, m *onesided.Matching, opt Options) (int, error) {
 // VerifyPopular checks the Theorem 1 characterization of m against a
 // strictly-ordered instance: (i) every f-post is matched, and (ii) every
 // applicant holds f(a) or s(a). It returns nil iff m is popular.
-func VerifyPopular(ins *onesided.Instance, m *onesided.Matching, opt Options) error {
+func VerifyPopular(ins *onesided.Instance, m *onesided.Matching, opt Options) (err error) {
+	defer exec.CatchCancel(&err)
 	if err := m.Validate(ins); err != nil {
 		return err
 	}
@@ -103,21 +107,21 @@ func VerifyPopular(ins *onesided.Instance, m *onesided.Matching, opt Options) er
 	if err != nil {
 		return err
 	}
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
+	defer r.release(cx)
 	var iViolation, iiViolation atomic.Int32
-	p.For(ins.TotalPosts(), func(q int) {
+	cx.For(ins.TotalPosts(), func(q int) {
 		if r.IsF[q] && m.ApplicantOf[q] < 0 {
 			iViolation.Store(int32(q) + 1)
 		}
 	})
-	t.Round(ins.TotalPosts())
-	p.For(ins.NumApplicants, func(a int) {
+	cx.Round(ins.TotalPosts())
+	cx.For(ins.NumApplicants, func(a int) {
 		if got := m.PostOf[a]; got != r.F[a] && got != r.S[a] {
 			iiViolation.Store(int32(a) + 1)
 		}
 	})
-	t.Round(ins.NumApplicants)
+	cx.Round(ins.NumApplicants)
 	if q := iViolation.Load(); q != 0 {
 		return fmt.Errorf("core: f-post %d unmatched (Theorem 1(i))", q-1)
 	}

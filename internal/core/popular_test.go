@@ -78,7 +78,7 @@ func TestPaperFigure1PopularMatching(t *testing.T) {
 		for a := range want.PostOf {
 			if res.Matching.PostOf[a] != want.PostOf[a] {
 				t.Fatalf("workers=%d: a%d -> p%d, paper has p%d",
-					opt.pool().Workers(), a+1, res.Matching.PostOf[a]+1, want.PostOf[a]+1)
+					opt.exec().Workers(), a+1, res.Matching.PostOf[a]+1, want.PostOf[a]+1)
 			}
 		}
 		if err := VerifyPopular(ins, res.Matching, opt); err != nil {
@@ -156,7 +156,7 @@ func TestPopularDifferentialMedium(t *testing.T) {
 				t.Fatal(err)
 			}
 			if res.Exists != seqOK {
-				t.Fatalf("trial %d workers=%d: exists mismatch", trial, opt.pool().Workers())
+				t.Fatalf("trial %d workers=%d: exists mismatch", trial, opt.exec().Workers())
 			}
 			if res.Exists {
 				if err := VerifyPopular(ins, res.Matching, opt); err != nil {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
+	"repro/internal/par"
 )
 
 // Reduced is the reduced graph G′ of §III-A for a strictly-ordered instance:
@@ -23,41 +25,54 @@ type Reduced struct {
 	FInvApps  []int32
 }
 
+// release recycles the Reduced's arrays into cx's arena. Callers that own
+// both the Reduced and the solve's arena call it once the result matching
+// has been extracted; afterwards the Reduced must not be used.
+func (r *Reduced) release(cx *exec.Ctx) {
+	cx.PutInt32s(r.F)
+	cx.PutInt32s(r.S)
+	cx.PutBools(r.IsF)
+	cx.PutInt32s(r.FInvStart)
+	cx.PutInt32s(r.FInvApps)
+	r.F, r.S, r.IsF, r.FInvStart, r.FInvApps = nil, nil, nil, nil, nil
+}
+
 // BuildReduced constructs G′ in parallel (§III-B, Algorithm 1 line 3):
 // one round marks f-posts, one round per applicant scans for s(a), and a
 // count/scan/scatter builds f⁻¹. Only strictly-ordered instances are valid
 // input (Algorithm 1 assumes them); instances with ties are rejected.
-func BuildReduced(ins *onesided.Instance, opt Options) (*Reduced, error) {
+func BuildReduced(ins *onesided.Instance, opt Options) (r *Reduced, err error) {
 	if !ins.Strict() {
 		return nil, fmt.Errorf("core: Algorithm 1 requires strictly-ordered preference lists")
 	}
-	p := opt.pool()
-	t := opt.Tracer
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
 	n1 := ins.NumApplicants
 	total := ins.TotalPosts()
 
-	r := &Reduced{
+	r = &Reduced{
 		Ins: ins,
-		F:   make([]int32, n1),
-		S:   make([]int32, n1),
-		IsF: make([]bool, total),
+		F:   cx.Int32s(n1),
+		S:   cx.Int32s(n1),
+		IsF: cx.Bools(total),
 	}
 
 	// Round 1: mark every first-choice post (arbitrary-CRCW same-value
 	// writes via atomics).
-	isF := make([]uint32, total)
-	p.For(n1, func(a int) {
+	isF := cx.Uint32s(total)
+	defer cx.PutUint32s(isF)
+	cx.For(n1, func(a int) {
 		r.F[a] = ins.Lists[a][0]
 		atomic.StoreUint32(&isF[r.F[a]], 1)
 	})
-	t.Round(n1)
-	p.For(total, func(q int) { r.IsF[q] = isF[q] == 1 })
-	t.Round(total)
+	cx.Round(n1)
+	cx.For(total, func(q int) { r.IsF[q] = isF[q] == 1 })
+	cx.Round(total)
 
 	// Round 2: s(a) = highest-ranked non-f-post, else l(a). (Lists are
 	// short in practice; the scan is the per-processor O(list) work the
 	// paper's construction performs with one processor per list entry.)
-	p.For(n1, func(a int) {
+	cx.For(n1, func(a int) {
 		r.S[a] = ins.LastResort(a)
 		for _, q := range ins.Lists[a] {
 			if !r.IsF[q] {
@@ -66,32 +81,35 @@ func BuildReduced(ins *onesided.Instance, opt Options) (*Reduced, error) {
 			}
 		}
 	})
-	t.Round(n1)
+	cx.Round(n1)
 
 	// f⁻¹ as CSR: count, scan, scatter.
-	counts := make([]int, total)
-	ac := make([]atomic.Int32, total)
-	p.For(n1, func(a int) { ac[r.F[a]].Add(1) })
-	t.Round(n1)
-	p.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
-	t.Round(total)
-	start, totalApps := p.ExclusiveScan(counts, t)
-	r.FInvStart = make([]int32, total+1)
-	p.For(total, func(q int) { r.FInvStart[q] = int32(start[q]) })
-	t.Round(total)
+	counts := cx.Ints(total)
+	defer cx.PutInts(counts)
+	ac := cx.AtomicInt32s(total)
+	defer cx.PutAtomicInt32s(ac)
+	cx.For(n1, func(a int) { ac[r.F[a]].Add(1) })
+	cx.Round(n1)
+	cx.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
+	cx.Round(total)
+	start, totalApps := par.ExclusiveScan(cx, counts)
+	defer cx.PutInts(start)
+	r.FInvStart = cx.Int32s(total + 1)
+	cx.For(total, func(q int) { r.FInvStart[q] = int32(start[q]) })
+	cx.Round(total)
 	r.FInvStart[total] = int32(totalApps)
-	r.FInvApps = make([]int32, totalApps)
-	p.For(total, func(q int) { ac[q].Store(0) })
-	t.Round(total)
-	p.For(n1, func(a int) {
+	r.FInvApps = cx.Int32s(totalApps)
+	cx.For(total, func(q int) { ac[q].Store(0) })
+	cx.Round(total)
+	cx.For(n1, func(a int) {
 		q := r.F[a]
 		slot := int32(start[q]) + ac[q].Add(1) - 1
 		r.FInvApps[slot] = int32(a)
 	})
-	t.Round(n1)
+	cx.Round(n1)
 	// Scatter order is nondeterministic; sort each (typically tiny) bucket
 	// so "any applicant in f⁻¹(p)" picks deterministically.
-	p.For(total, func(q int) {
+	cx.For(total, func(q int) {
 		bucket := r.FInvApps[r.FInvStart[q]:r.FInvStart[q+1]]
 		for i := 1; i < len(bucket); i++ {
 			for j := i; j > 0 && bucket[j] < bucket[j-1]; j-- {
@@ -99,7 +117,7 @@ func BuildReduced(ins *onesided.Instance, opt Options) (*Reduced, error) {
 			}
 		}
 	})
-	t.Round(totalApps)
+	cx.Round(totalApps)
 	return r, nil
 }
 
@@ -110,18 +128,18 @@ func (r *Reduced) FInv(q int32) []int32 {
 
 // PostsInG returns the post ids that occur in G′ (as some F[a] or S[a]).
 func (r *Reduced) PostsInG(opt Options) []int32 {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	total := r.Ins.TotalPosts()
-	used := make([]uint32, total)
-	p.For(len(r.F), func(a int) {
+	used := cx.Uint32s(total)
+	defer cx.PutUint32s(used)
+	cx.For(len(r.F), func(a int) {
 		atomic.StoreUint32(&used[r.F[a]], 1)
 		atomic.StoreUint32(&used[r.S[a]], 1)
 	})
-	t.Round(len(r.F))
-	idx := p.Compact(total, func(q int) bool { return used[q] == 1 }, t)
+	cx.Round(len(r.F))
+	idx := par.Compact(cx, total, func(q int) bool { return used[q] == 1 })
 	out := make([]int32, len(idx))
-	p.For(len(idx), func(i int) { out[i] = int32(idx[i]) })
-	t.Round(len(idx))
+	cx.For(len(idx), func(i int) { out[i] = int32(idx[i]) })
+	cx.Round(len(idx))
 	return out
 }

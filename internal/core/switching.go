@@ -38,23 +38,22 @@ func (sw *Switching) OM(a int32) int32 {
 // BuildSwitching constructs G_M and its pseudoforest decomposition in
 // parallel. m must be a popular matching of r's instance.
 func BuildSwitching(r *Reduced, m *onesided.Matching, opt Options) (*Switching, error) {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	total := r.Ins.TotalPosts()
 
 	sw := &Switching{R: r, M: m}
 	sw.Posts = r.PostsInG(opt)
 	nv := len(sw.Posts)
 	sw.VertexOf = make([]int32, total)
-	p.For(total, func(q int) { sw.VertexOf[q] = -1 })
-	t.Round(total)
-	p.For(nv, func(v int) { sw.VertexOf[sw.Posts[v]] = int32(v) })
-	t.Round(nv)
+	cx.For(total, func(q int) { sw.VertexOf[q] = -1 })
+	cx.Round(total)
+	cx.For(nv, func(v int) { sw.VertexOf[sw.Posts[v]] = int32(v) })
+	cx.Round(nv)
 
 	succ := make([]int32, nv)
 	sw.EdgeApplicant = make([]int32, nv)
 	var bad atomic.Int32
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		q := sw.Posts[v]
 		a := m.ApplicantOf[q]
 		sw.EdgeApplicant[v] = a
@@ -69,7 +68,7 @@ func BuildSwitching(r *Reduced, m *onesided.Matching, opt Options) (*Switching, 
 		}
 		succ[v] = sw.VertexOf[sw.OM(a)]
 	})
-	t.Round(nv)
+	cx.Round(nv)
 	if a := bad.Load(); a != 0 {
 		return nil, fmt.Errorf("core: applicant %d not on a reduced-list post; switching graph undefined", a-1)
 	}
@@ -79,7 +78,7 @@ func BuildSwitching(r *Reduced, m *onesided.Matching, opt Options) (*Switching, 
 		return nil, fmt.Errorf("core: switching graph malformed: %w", err)
 	}
 	sw.Graph = g
-	sw.Analysis = pseudoforest.Analyze(p, g, t)
+	sw.Analysis = pseudoforest.Analyze(cx, g)
 	return sw, nil
 }
 
@@ -117,20 +116,19 @@ func (sw *Switching) IsSPostVertex(v int) bool {
 // cycles and switching paths (vertex-disjoint, closed under the switch
 // semantics), which makes the two write rounds race-free.
 func (sw *Switching) applySwitchVertices(on []bool, opt Options) {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	m := sw.M
 	nv := len(sw.Posts)
 	// Round 1: vacate the switched posts.
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		if !on[v] || sw.EdgeApplicant[v] < 0 {
 			return
 		}
 		m.ApplicantOf[sw.Posts[v]] = -1
 	})
-	t.Round(nv)
+	cx.Round(nv)
 	// Round 2: move each switched applicant to its other post.
-	p.For(nv, func(v int) {
+	cx.For(nv, func(v int) {
 		a := sw.EdgeApplicant[v]
 		if !on[v] || a < 0 {
 			return
@@ -139,5 +137,5 @@ func (sw *Switching) applySwitchVertices(on []bool, opt Options) {
 		m.PostOf[a] = om
 		m.ApplicantOf[om] = a
 	})
-	t.Round(nv)
+	cx.Round(nv)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bipartite"
+	"repro/internal/exec"
 	"repro/internal/hungarian"
 	"repro/internal/onesided"
 )
@@ -39,7 +40,9 @@ type TiesResult struct {
 // SolveTies finds a popular matching of an instance whose lists may contain
 // ties, or reports that none exists. maximizeCardinality additionally makes
 // the result a maximum-cardinality popular matching (fewest last resorts).
-func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (TiesResult, error) {
+func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (res TiesResult, err error) {
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
 	n1 := ins.NumApplicants
 	total := ins.TotalPosts()
 	if n1 == 0 {
@@ -55,7 +58,7 @@ func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (T
 			}
 		}
 	}
-	matchL, matchR, m1 := bipartite.HopcroftKarp(g1)
+	matchL, matchR, m1 := bipartite.HopcroftKarpCtx(cx, g1)
 	_, rightLabel := bipartite.EOU(g1, matchL, matchR)
 
 	// Even posts over all ids; last resorts are isolated in G1, hence even.
@@ -114,7 +117,17 @@ func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (T
 		w[a] = row
 	}
 
-	rowTo, totalW, ok := hungarian.MaxAssign(n1, total, func(i, j int) int64 { return w[i][j] })
+	// The Hungarian assignment dominates the ties path (O(n³)); checking the
+	// context every few thousand weight lookups keeps it cancellable without
+	// measurable overhead.
+	var probes int
+	rowTo, totalW, ok := hungarian.MaxAssign(n1, total, func(i, j int) int64 {
+		probes++
+		if probes&0xfff == 0 {
+			cx.Check()
+		}
+		return w[i][j]
+	})
 	if !ok {
 		// No applicant-complete matching within E′.
 		return TiesResult{Exists: false, MaxRank1: m1}, nil
@@ -143,6 +156,7 @@ func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (T
 // last resorts count) and calling the popular-matching black box. By
 // Lemmas 12 and 13 the returned popular matching is a maximum matching.
 func MaxMatchingViaPopular(g *bipartite.Graph, opt Options) (matchL []int32, size int, err error) {
+	defer exec.CatchCancel(&err)
 	// Applicants with no edges stay unmatched; the instance model requires
 	// non-empty lists, so compress them away.
 	idx := make([]int32, 0, g.NLeft)

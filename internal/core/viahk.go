@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/bipartite"
+	"repro/internal/exec"
 	"repro/internal/onesided"
 )
 
@@ -17,11 +18,13 @@ import (
 // NC for ties. The function serves as a third independent engine for
 // differential testing (alongside the parallel Algorithm 2 and the
 // sequential peeling baseline).
-func PopularViaMatching(ins *onesided.Instance, opt Options) (Result, error) {
+func PopularViaMatching(ins *onesided.Instance, opt Options) (res Result, err error) {
+	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return Result{}, err
 	}
+	defer r.release(opt.exec())
 	n1 := ins.NumApplicants
 	g := bipartite.New(n1, ins.TotalPosts())
 	for a := 0; a < n1; a++ {

@@ -1,0 +1,71 @@
+package exec
+
+import "sync/atomic"
+
+// atomicInt32 aliases sync/atomic.Int32 so the Ctx accessors can hand out
+// atomic scratch without forcing callers to import this package's dependency
+// order.
+type atomicInt32 = atomic.Int32
+
+// Arena recycles scratch slices across solves. Get-style calls (via the Ctx
+// accessors) pop a recycled slice with sufficient capacity — zeroed, so they
+// behave exactly like make — and Put-style calls return dead slices for
+// later reuse. The arena grows organically: the first solve allocates, later
+// solves on the same arena mostly reuse.
+//
+// An Arena is NOT safe for concurrent use; each in-flight solve needs its
+// own (popmatch.Solver maintains a sync.Pool of them).
+type Arena struct {
+	ints    bucket[int]
+	int32s  bucket[int32]
+	int64s  bucket[int64]
+	bools   bucket[bool]
+	uint32s bucket[uint32]
+	atomics bucket[atomicInt32]
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset drops every recycled buffer, releasing the memory to the GC.
+func (a *Arena) Reset() {
+	a.ints.free = nil
+	a.int32s.free = nil
+	a.int64s.free = nil
+	a.bools.free = nil
+	a.uint32s.free = nil
+	a.atomics.free = nil
+}
+
+// bucket is a per-type free list. Lookup is a linear scan over the free
+// slices (they number at most a few dozen per solve), preferring the
+// smallest capacity that fits to keep big buffers available for big asks.
+type bucket[T any] struct {
+	free [][]T
+}
+
+func (b *bucket[T]) get(n int) []T {
+	best := -1
+	for i, s := range b.free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(b.free[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return make([]T, n)
+	}
+	s := b.free[best][:n]
+	last := len(b.free) - 1
+	b.free[best] = b.free[last]
+	b.free[last] = nil
+	b.free = b.free[:last]
+	clear(s)
+	return s
+}
+
+func (b *bucket[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	b.free = append(b.free, s[:0])
+}

@@ -82,7 +82,7 @@ func (m *Matrix) row(i int) []uint64 {
 // Rank computes the GF(2) rank of m by Gaussian elimination. m is not
 // modified. Elimination of each pivot column across the remaining rows is one
 // parallel round; there are at most min(r, c) pivots.
-func Rank(p *par.Pool, m *Matrix, t *par.Tracer) int {
+func Rank(x par.Runner, m *Matrix) int {
 	a := m.Clone()
 	rank := 0
 	for col := 0; col < a.Cols && rank < a.Rows; col++ {
@@ -106,7 +106,7 @@ func Rank(p *par.Pool, m *Matrix, t *par.Tracer) int {
 		prow := a.row(rank)
 		rows := a.Rows
 		rk := rank
-		p.ForGrain(rows, 16, func(i int) {
+		x.ForGrain(rows, 16, func(i int) {
 			if i == rk || !a.Get(i, col) {
 				return
 			}
@@ -115,19 +115,19 @@ func Rank(p *par.Pool, m *Matrix, t *par.Tracer) int {
 				ri[w] ^= prow[w]
 			}
 		})
-		t.Round(rows * a.words)
+		x.Round(rows * a.words)
 		rank++
 	}
 	return rank
 }
 
 // Mul returns the GF(2) product a·b (XOR of ANDs).
-func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
+func Mul(x par.Runner, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("gf2: size mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
-	p.ForGrain(a.Rows, 8, func(i int) {
+	x.ForGrain(a.Rows, 8, func(i int) {
 		dst := c.row(i)
 		src := a.row(i)
 		for wi, w := range src {
@@ -141,7 +141,7 @@ func Mul(p *par.Pool, a, b *Matrix, t *par.Tracer) *Matrix {
 			}
 		}
 	})
-	t.Round(a.Rows * c.words)
+	x.Round(a.Rows * c.words)
 	return c
 }
 

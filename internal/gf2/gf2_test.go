@@ -107,7 +107,7 @@ func TestRankAgainstNaive(t *testing.T) {
 			r := 1 + rng.Intn(60)
 			c := 1 + rng.Intn(60)
 			m := randomMatrix(rng, r, c, 0.3)
-			got := Rank(p, m, nil)
+			got := Rank(p, m)
 			want := naiveRank(m)
 			if got != want {
 				t.Fatalf("workers=%d %dx%d: Rank = %d, want %d", p.Workers(), r, c, got, want)
@@ -120,7 +120,7 @@ func TestRankDoesNotModifyInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	m := randomMatrix(rng, 20, 20, 0.4)
 	before := m.Clone()
-	Rank(par.NewPool(4), m, nil)
+	Rank(par.NewPool(4), m)
 	for i := 0; i < 20; i++ {
 		for j := 0; j < 20; j++ {
 			if m.Get(i, j) != before.Get(i, j) {
@@ -132,14 +132,14 @@ func TestRankDoesNotModifyInput(t *testing.T) {
 
 func TestRankSpecialCases(t *testing.T) {
 	p := par.NewPool(4)
-	if got := Rank(p, New(5, 7), nil); got != 0 {
+	if got := Rank(p, New(5, 7)); got != 0 {
 		t.Fatalf("rank(0) = %d, want 0", got)
 	}
 	id := New(6, 6)
 	for i := 0; i < 6; i++ {
 		id.Set(i, i, true)
 	}
-	if got := Rank(p, id, nil); got != 6 {
+	if got := Rank(p, id); got != 6 {
 		t.Fatalf("rank(I) = %d, want 6", got)
 	}
 	// Duplicated rows collapse.
@@ -149,7 +149,7 @@ func TestRankSpecialCases(t *testing.T) {
 		dup.Set(1, j, true)
 		dup.Set(2, j+1, true)
 	}
-	if got := Rank(p, dup, nil); got != 2 {
+	if got := Rank(p, dup); got != 2 {
 		t.Fatalf("rank(dup rows) = %d, want 2", got)
 	}
 }
@@ -159,7 +159,7 @@ func TestRankTransposeInvariant(t *testing.T) {
 	p := par.NewPool(0)
 	for trial := 0; trial < 15; trial++ {
 		m := randomMatrix(rng, 1+rng.Intn(40), 1+rng.Intn(40), 0.25)
-		if Rank(p, m, nil) != Rank(p, m.Transpose(), nil) {
+		if Rank(p, m) != Rank(p, m.Transpose()) {
 			t.Fatal("rank(A) != rank(A^T)")
 		}
 	}
@@ -181,7 +181,7 @@ func TestLemma6IncidenceRank(t *testing.T) {
 			}
 		}
 		inc := Incidence(n, edges)
-		got := Rank(p, inc, nil)
+		got := Rank(p, inc)
 		want := n - bfsComponents(n, edges)
 		if got != want {
 			t.Fatalf("n=%d m=%d: rank = %d, want n-cc = %d", n, len(edges), got, want)
@@ -194,16 +194,16 @@ func TestIncidenceWithout(t *testing.T) {
 	// Triangle plus pendant: removing a cycle edge keeps cc; removing the
 	// pendant edge increases cc.
 	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}
-	full := Rank(p, Incidence(4, edges), nil)
+	full := Rank(p, Incidence(4, edges))
 	if full != 4-1 {
 		t.Fatalf("full rank = %d, want 3", full)
 	}
 	for e := 0; e < 3; e++ { // cycle edges
-		if got := Rank(p, IncidenceWithout(4, edges, e), nil); got != full {
+		if got := Rank(p, IncidenceWithout(4, edges, e)); got != full {
 			t.Fatalf("removing cycle edge %d: rank = %d, want %d", e, got, full)
 		}
 	}
-	if got := Rank(p, IncidenceWithout(4, edges, 3), nil); got != full-1 {
+	if got := Rank(p, IncidenceWithout(4, edges, 3)); got != full-1 {
 		t.Fatalf("removing bridge: rank = %d, want %d", got, full-1)
 	}
 }
@@ -225,7 +225,7 @@ func TestMulIdentity(t *testing.T) {
 	for i := 0; i < 33; i++ {
 		id.Set(i, i, true)
 	}
-	prod := Mul(p, a, id, nil)
+	prod := Mul(p, a, id)
 	for i := 0; i < 33; i++ {
 		for j := 0; j < 33; j++ {
 			if prod.Get(i, j) != a.Get(i, j) {
@@ -241,8 +241,8 @@ func TestMulRankSubmultiplicative(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		a := randomMatrix(rng, 20, 30, 0.3)
 		b := randomMatrix(rng, 30, 25, 0.3)
-		ra, rb := Rank(p, a, nil), Rank(p, b, nil)
-		rab := Rank(p, Mul(p, a, b, nil), nil)
+		ra, rb := Rank(p, a), Rank(p, b)
+		rab := Rank(p, Mul(p, a, b))
 		if rab > ra || rab > rb {
 			t.Fatalf("rank(AB)=%d exceeds min(rank A=%d, rank B=%d)", rab, ra, rb)
 		}
@@ -255,6 +255,6 @@ func BenchmarkRank512(b *testing.B) {
 	m := randomMatrix(rng, 512, 512, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Rank(p, m, nil)
+		Rank(p, m)
 	}
 }

@@ -14,7 +14,7 @@ func TestQuickRankBounds(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		r, c := 1+rng.Intn(50), 1+rng.Intn(50)
 		m := randomMatrix(rng, r, c, 0.3)
-		rk := Rank(p, m, nil)
+		rk := Rank(p, m)
 		lim := r
 		if c < r {
 			lim = c
@@ -33,7 +33,7 @@ func TestQuickRankRowOpsInvariant(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		r, c := 2+rng.Intn(30), 1+rng.Intn(30)
 		m := randomMatrix(rng, r, c, 0.3)
-		before := Rank(p, m, nil)
+		before := Rank(p, m)
 		i, j := rng.Intn(r), rng.Intn(r)
 		if i == j {
 			j = (j + 1) % r
@@ -43,7 +43,7 @@ func TestQuickRankRowOpsInvariant(t *testing.T) {
 		for w := range ri {
 			ri[w] ^= rj[w]
 		}
-		return Rank(p, mm, nil) == before
+		return Rank(p, mm) == before
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestQuickRankDuplicateRowInvariant(t *testing.T) {
 		for j := 0; j < c; j++ {
 			grown.Set(r, j, m.Get(src, j))
 		}
-		return Rank(p, grown, nil) == Rank(p, m, nil)
+		return Rank(p, grown) == Rank(p, m)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
@@ -88,9 +88,9 @@ func TestQuickIncidenceParallelEdgeInvariant(t *testing.T) {
 				edges = append(edges, [2]int{u, v})
 			}
 		}
-		base := Rank(p, Incidence(n, edges), nil)
+		base := Rank(p, Incidence(n, edges))
 		dup := append(append([][2]int{}, edges...), edges[rng.Intn(len(edges))])
-		return Rank(p, Incidence(n, dup), nil) == base
+		return Rank(p, Incidence(n, dup)) == base
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,9 @@
 package onesided
 
-import "repro/internal/hungarian"
+import (
+	"repro/internal/exec"
+	"repro/internal/hungarian"
+)
 
 // UnpopularityMargin returns max over all applicant-complete matchings M' of
 // |P(M', m)| − |P(m, M')|: the best vote margin any challenger achieves
@@ -13,6 +16,14 @@ import "repro/internal/hungarian"
 // O(n1²·(n1+n2)) via the Hungarian algorithm, so callers are tests and small
 // experiment sweeps.
 func UnpopularityMargin(ins *Instance, m *Matching) int {
+	return UnpopularityMarginCtx(exec.Background(), ins, m)
+}
+
+// UnpopularityMarginCtx is UnpopularityMargin on an execution context: the
+// Hungarian sweep polls cancellation every few thousand weight lookups, so a
+// service can abort the O(n³) oracle mid-flight (the cancellation surfaces
+// at the caller's exec.CatchCancel boundary).
+func UnpopularityMarginCtx(cx *exec.Ctx, ins *Instance, m *Matching) int {
 	n1 := ins.NumApplicants
 	cols := ins.TotalPosts()
 	// Dense vote table; Forbidden for non-edges.
@@ -39,7 +50,14 @@ func UnpopularityMargin(ins *Instance, m *Matching) int {
 		consider(ins.LastResort(a), ins.LastResortRank(a))
 		votes[a] = row
 	}
-	_, total, ok := hungarian.MaxAssign(n1, cols, func(i, j int) int64 { return votes[i][j] })
+	var probes int
+	_, total, ok := hungarian.MaxAssign(n1, cols, func(i, j int) int64 {
+		probes++
+		if probes&0xfff == 0 {
+			cx.Check()
+		}
+		return votes[i][j]
+	})
 	if !ok {
 		// Cannot happen: every applicant's last resort is always free.
 		panic("onesided: margin oracle found no feasible assignment")

@@ -40,7 +40,7 @@ func Iterations(n int) int {
 // The inputs are not modified. Double uses double buffering internally so
 // that each round reads a consistent snapshot, matching the synchronous PRAM
 // semantics.
-func Double[T any](p *Pool, succ []int32, vals []T, combine func(a, b T) T, k int, t *Tracer) (ptr []int32, val []T) {
+func Double[T any](x Runner, succ []int32, vals []T, combine func(a, b T) T, k int) (ptr []int32, val []T) {
 	n := len(succ)
 	ptr = make([]int32, n)
 	val = make([]T, n)
@@ -49,12 +49,12 @@ func Double[T any](p *Pool, succ []int32, vals []T, combine func(a, b T) T, k in
 	nextPtr := make([]int32, n)
 	nextVal := make([]T, n)
 	for round := 0; round < k; round++ {
-		p.For(n, func(v int) {
+		x.For(n, func(v int) {
 			w := ptr[v]
 			nextVal[v] = combine(val[v], val[w])
 			nextPtr[v] = ptr[w]
 		})
-		t.Round(n)
+		x.Round(n)
 		ptr, nextPtr = nextPtr, ptr
 		val, nextVal = nextVal, val
 	}
@@ -64,18 +64,18 @@ func Double[T any](p *Pool, succ []int32, vals []T, combine func(a, b T) T, k in
 // DistanceToTerminal computes, for every vertex of the functional graph succ
 // (succ[v] == v terminal), the number of steps to reach a terminal, or -1 if
 // v lies on or leads into a cycle. It runs Iterations(n)+1 doubling rounds.
-func DistanceToTerminal(p *Pool, succ []int32, t *Tracer) []int {
+func DistanceToTerminal(x Runner, succ []int32) []int {
 	n := len(succ)
 	vals := make([]int, n)
-	p.For(n, func(v int) {
+	x.For(n, func(v int) {
 		if succ[v] != int32(v) {
 			vals[v] = 1
 		}
 	})
-	t.Round(n)
-	ptr, dist := Double(p, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1, t)
+	x.Round(n)
+	ptr, dist := Double(x, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1)
 	out := make([]int, n)
-	p.For(n, func(v int) {
+	x.For(n, func(v int) {
 		if succ[ptr[v]] != ptr[v] {
 			// The final pointer is not a terminal, so the chain from v never
 			// terminates: v lies on or leads into a cycle.
@@ -84,7 +84,7 @@ func DistanceToTerminal(p *Pool, succ []int32, t *Tracer) []int {
 		}
 		out[v] = dist[v]
 	})
-	t.Round(n)
+	x.Round(n)
 	return out
 }
 
@@ -98,7 +98,7 @@ type Lifting struct {
 }
 
 // BuildLifting constructs the jump table with Iterations(n)+1 levels.
-func BuildLifting(p *Pool, succ []int32, t *Tracer) *Lifting {
+func BuildLifting(x Runner, succ []int32) *Lifting {
 	n := len(succ)
 	k := Iterations(n) + 1
 	up := make([][]int32, k)
@@ -107,8 +107,8 @@ func BuildLifting(p *Pool, succ []int32, t *Tracer) *Lifting {
 	for lvl := 1; lvl < k; lvl++ {
 		prev := up[lvl-1]
 		cur := make([]int32, n)
-		p.For(n, func(v int) { cur[v] = prev[prev[v]] })
-		t.Round(n)
+		x.For(n, func(v int) { cur[v] = prev[prev[v]] })
+		x.Round(n)
 		up[lvl] = cur
 	}
 	return &Lifting{K: k, Up: up}

@@ -27,7 +27,7 @@ func TestIterations(t *testing.T) {
 func TestDistanceToTerminalChain(t *testing.T) {
 	for _, p := range pools() {
 		for _, n := range []int{1, 2, 3, 17, 100, 1000} {
-			dist := DistanceToTerminal(p, chainSucc(n), nil)
+			dist := DistanceToTerminal(p, chainSucc(n))
 			for v := 0; v < n; v++ {
 				if dist[v] != n-1-v {
 					t.Fatalf("workers=%d n=%d: dist[%d] = %d, want %d", p.Workers(), n, v, dist[v], n-1-v)
@@ -41,7 +41,7 @@ func TestDistanceToTerminalCycleFlagged(t *testing.T) {
 	p := NewPool(4)
 	// 0 -> 1 -> 2 -> 0 (cycle), 3 -> 0 (tail into cycle), 4 terminal.
 	succ := []int32{1, 2, 0, 0, 4}
-	dist := DistanceToTerminal(p, succ, nil)
+	dist := DistanceToTerminal(p, succ)
 	for v := 0; v <= 3; v++ {
 		if dist[v] != -1 {
 			t.Fatalf("dist[%d] = %d, want -1 (cycle)", v, dist[v])
@@ -61,7 +61,7 @@ func TestDoubleSumAlongChain(t *testing.T) {
 		vals[v] = v + 1 // weight of edge v -> v+1
 	}
 	vals[n-1] = 0 // identity at terminal
-	_, val := Double(p, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1, nil)
+	_, val := Double(p, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1)
 	for v := 0; v < n; v++ {
 		want := 0
 		for u := v; u < n-1; u++ {
@@ -94,7 +94,7 @@ func TestDoubleMinOnCycle(t *testing.T) {
 				return a
 			}
 			return b
-		}, Iterations(n)+1, nil)
+		}, Iterations(n)+1)
 		for v := 0; v < n; v++ {
 			if val[v] != 0 {
 				t.Fatalf("n=%d: val[%d] = %d, want 0 (cycle min)", n, v, val[v])
@@ -117,7 +117,7 @@ func TestDoubleRandomForestAgainstNaiveWalk(t *testing.T) {
 			succ[v] = int32(rng.Intn(v))
 			vals[v] = rng.Intn(20)
 		}
-		ptr, val := Double(p, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1, nil)
+		ptr, val := Double(p, succ, vals, func(a, b int) int { return a + b }, Iterations(n)+1)
 		for v := 0; v < n; v++ {
 			// Naive walk.
 			sum, u := 0, v
@@ -145,7 +145,7 @@ func TestBuildLiftingJump(t *testing.T) {
 		for v := 1; v < n; v++ {
 			succ[v] = int32(rng.Intn(v))
 		}
-		l := BuildLifting(p, succ, nil)
+		l := BuildLifting(p, succ)
 		for q := 0; q < 50; q++ {
 			v := rng.Intn(n)
 			steps := rng.Intn(n + 5)
@@ -163,7 +163,7 @@ func TestBuildLiftingJump(t *testing.T) {
 func TestBuildLiftingOnCycle(t *testing.T) {
 	p := NewPool(4)
 	succ := []int32{1, 2, 3, 4, 0} // 5-cycle
-	l := BuildLifting(p, succ, nil)
+	l := BuildLifting(p, succ)
 	if got := l.Jump(0, 5); got != 0 {
 		t.Fatalf("Jump(0,5) on 5-cycle = %d, want 0", got)
 	}
@@ -183,6 +183,6 @@ func BenchmarkDoubling(b *testing.B) {
 	vals[n-1] = 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Double(p, succ, vals, func(a, c int) int { return a + c }, Iterations(n)+1, nil)
+		Double(p, succ, vals, func(a, c int) int { return a + c }, Iterations(n)+1)
 	}
 }

@@ -1,0 +1,114 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gate forces the parallel path in Range regardless of grain collapse: a
+// loop big enough that n > grain with grain 1.
+func forceParallel(p *Pool, n int) int64 {
+	var sum atomic.Int64
+	p.ForGrain(n, 1, func(i int) { sum.Add(int64(i)) })
+	return sum.Load()
+}
+
+func TestPersistentPoolReusedAcrossRounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	want := int64(4999 * 5000 / 2)
+	for round := 0; round < 50; round++ {
+		if got := forceParallel(p, 5000); got != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, want)
+		}
+	}
+}
+
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(8)
+	forceParallel(p, 10000) // spawn the workers
+	p.Close()
+	// Workers exit asynchronously on the done signal; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after close=%d", before, runtime.NumGoroutine())
+}
+
+func TestPoolCloseIdempotentAndUnused(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // double close must not panic
+	q := NewPool(4)
+	forceParallel(q, 2048)
+	q.Close()
+	q.Close()
+}
+
+func TestConcurrentLoopsOnOnePool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				if got := forceParallel(p, 3000); got != int64(2999*3000/2) {
+					t.Errorf("concurrent loop corrupted: %d", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNestedRangeDoesNotDeadlock(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	done := make(chan int64, 1)
+	go func() {
+		var sum atomic.Int64
+		p.ForGrain(64, 1, func(i int) {
+			// Nested parallel loop on the same pool from inside a worker.
+			var inner atomic.Int64
+			p.ForGrain(512, 1, func(j int) { inner.Add(1) })
+			sum.Add(inner.Load())
+		})
+		done <- sum.Load()
+	}()
+	select {
+	case got := <-done:
+		if got != 64*512 {
+			t.Fatalf("nested sum = %d, want %d", got, 64*512)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Range deadlocked")
+	}
+}
+
+func TestSharedSized(t *testing.T) {
+	if SharedSized(0) != Shared() {
+		t.Fatal("SharedSized(0) should be the shared pool")
+	}
+	a := SharedSized(3)
+	b := SharedSized(3)
+	if a != b {
+		t.Fatal("SharedSized(3) not cached")
+	}
+	if a.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", a.Workers())
+	}
+	if SharedSized(5) == a {
+		t.Fatal("distinct sizes must get distinct pools")
+	}
+}

@@ -8,6 +8,11 @@
 // rounds (the PRAM time, i.e. span) and the total work, so NC claims —
 // polylogarithmic rounds with polynomial work — can be checked empirically,
 // independent of wall-clock noise.
+//
+// Pools are persistent: worker goroutines are spawned lazily on the first
+// parallel loop and then live until Close, so repeated solves on one pool pay
+// no per-round spawn cost. The process-wide Shared pool serves callers that
+// do not manage a pool themselves.
 package par
 
 import (
@@ -21,11 +26,45 @@ import (
 // run on the calling goroutine.
 const DefaultGrain = 256
 
-// Pool executes bulk-synchronous parallel loops on a fixed number of workers.
-// A Pool is stateless between calls and safe for concurrent use; the zero
-// value is not usable, construct one with NewPool.
+// Pool executes bulk-synchronous parallel loops on a fixed number of
+// persistent workers. The zero value is not usable; construct one with
+// NewPool. A Pool is safe for concurrent use: independent loops from
+// different goroutines share the same workers without interfering.
+//
+// Worker goroutines start lazily on the first loop large enough to
+// parallelize and run until Close. A pool that is never Closed keeps its
+// workers for the life of the process (this is intentional for the Shared
+// pool; close short-lived pools when done with them).
 type Pool struct {
 	workers int
+	start   sync.Once
+	rounds  chan *round
+	done    chan struct{}
+	closed  atomic.Bool
+}
+
+// round is one bulk-synchronous parallel step: workers (and the caller)
+// atomically claim grain-sized chunks of [0, n) until none remain.
+type round struct {
+	n, grain, chunks int
+	fn               func(lo, hi int)
+	next             atomic.Int64
+	wg               sync.WaitGroup
+}
+
+func (r *round) run() {
+	for {
+		c := int(r.next.Add(1)) - 1
+		if c >= r.chunks {
+			return
+		}
+		lo := c * r.grain
+		hi := lo + r.grain
+		if hi > r.n {
+			hi = r.n
+		}
+		r.fn(lo, hi)
+	}
 }
 
 // NewPool returns a pool with the given number of workers. If workers <= 0,
@@ -41,8 +80,53 @@ func NewPool(workers int) *Pool {
 // experiments and to make tests deterministic under the race detector.
 func Sequential() *Pool { return &Pool{workers: 1} }
 
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+
+	sharedSizedMu sync.Mutex
+	sharedSized   map[int]*Pool
+)
+
+// Shared returns the process-wide pool with runtime.GOMAXPROCS(0) workers.
+// It is the default execution substrate for callers that do not supply their
+// own pool and is never closed.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// SharedSized returns a process-wide persistent pool with exactly `workers`
+// workers, creating it on first request. Like Shared it is never closed, so
+// one-shot API wrappers can honor an explicit worker count without leaking a
+// fresh pool per call; the population is bounded by the number of distinct
+// sizes ever requested. workers <= 0 returns Shared().
+func SharedSized(workers int) *Pool {
+	if workers <= 0 {
+		return Shared()
+	}
+	sharedSizedMu.Lock()
+	defer sharedSizedMu.Unlock()
+	if sharedSized == nil {
+		sharedSized = make(map[int]*Pool)
+	}
+	p, ok := sharedSized[workers]
+	if !ok {
+		p = NewPool(workers)
+		sharedSized[workers] = p
+	}
+	return p
+}
+
 // Workers reports the number of workers the pool schedules onto.
 func (p *Pool) Workers() int { return p.workers }
+
+// Round is a no-op: a bare pool records no PRAM cost trace. Wrap the pool
+// with WithTracer (or run on an exec.Ctx) to account rounds and work.
+func (p *Pool) Round(work int) {}
+
+// AddWork is a no-op; see Round.
+func (p *Pool) AddWork(work int) {}
 
 // For runs fn(i) for every i in [0, n) in parallel. It corresponds to one
 // PRAM step ("for each x in parallel do"). fn must be safe to call
@@ -67,6 +151,11 @@ func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
 // and calls fn(lo, hi) for each chunk in parallel. It is the loop primitive
 // underlying For; use it directly when per-chunk setup (local accumulators,
 // scratch buffers) matters.
+//
+// The caller always participates in chunk processing and idle workers are
+// recruited with non-blocking handoffs, so Range never deadlocks — including
+// when fn itself calls back into the same pool (nested parallel loops simply
+// run on whoever is free, ultimately the caller itself).
 func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -78,33 +167,61 @@ func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	chunks := (n + grain - 1) / grain
-	workers := p.workers
-	if workers > chunks {
-		workers = chunks
+	p.start.Do(p.startWorkers)
+	r := &round{n: n, grain: grain, chunks: (n + grain - 1) / grain, fn: fn}
+	// Recruit at most workers-1 helpers (the caller is a participant too).
+	// Handoffs are non-blocking rendezvous: a send succeeds only if a worker
+	// is idle in its receive right now, so every recruited helper is
+	// guaranteed to run the round and signal the WaitGroup.
+	helpers := p.workers - 1
+	if c := r.chunks - 1; c < helpers {
+		helpers = c
 	}
-	// Dynamic (work-stealing-ish) distribution: workers atomically claim the
-	// next chunk. This balances irregular per-index costs, which matter for
-	// graph workloads with skewed degree distributions.
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
+	for i := 0; i < helpers; i++ {
+		r.wg.Add(1)
+		select {
+		case p.rounds <- r:
+		default:
+			r.wg.Add(-1)
+			i = helpers // nobody idle; stop recruiting
+		}
 	}
-	wg.Wait()
+	r.run() // the caller claims chunks like any worker
+	r.wg.Wait()
+}
+
+func (p *Pool) startWorkers() {
+	p.rounds = make(chan *round)
+	p.done = make(chan struct{})
+	if p.closed.Load() {
+		return // Close on a never-used pool: create channels, spawn nobody
+	}
+	for w := 0; w < p.workers-1; w++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case r := <-p.rounds:
+			r.run()
+			r.wg.Done()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Close stops the pool's worker goroutines. It is idempotent and safe to
+// call on a pool whose workers never started. The pool must not be used for
+// further loops after Close (in-flight loops must have completed).
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Ensure start.Do can no longer race with a concurrent first use; Close
+	// requires quiescence, so running it here at worst creates the channels.
+	p.start.Do(p.startWorkers)
+	close(p.done)
 }

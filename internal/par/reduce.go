@@ -8,55 +8,62 @@ package par
 // combine, starting from the identity element id. combine must be
 // associative; it need not be commutative (blocks are combined in index
 // order).
-func Reduce[T any](p *Pool, n int, id T, f func(i int) T, combine func(a, b T) T, t *Tracer) T {
+func Reduce[T any](x Runner, n int, id T, f func(i int) T, combine func(a, b T) T) T {
 	if n <= 0 {
 		return id
 	}
-	grain := scanGrain(n, p.workers)
+	grain := scanGrain(n, x.Workers())
 	nblocks := (n + grain - 1) / grain
 	partial := make([]T, nblocks)
-	p.Range(n, grain, func(lo, hi int) {
+	// Pre-fill with the identity: Range may legally cover several blocks
+	// with a single fn(0, n) call (sequential pools, small n), leaving later
+	// partial slots unwritten — they must fold as identities, not as T's
+	// zero value.
+	for b := range partial {
+		partial[b] = id
+	}
+	x.Range(n, grain, func(lo, hi int) {
 		acc := id
 		for i := lo; i < hi; i++ {
 			acc = combine(acc, f(i))
 		}
 		partial[lo/grain] = acc
 	})
-	t.Round(n)
+	x.Round(n)
 	acc := id
 	for _, v := range partial {
 		acc = combine(acc, v)
 	}
-	t.Round(nblocks)
+	x.Round(nblocks)
 	return acc
 }
 
 // SumInt returns f(0)+...+f(n-1).
-func SumInt(p *Pool, n int, f func(i int) int, t *Tracer) int {
-	return Reduce(p, n, 0, f, func(a, b int) int { return a + b }, t)
+func SumInt(x Runner, n int, f func(i int) int) int {
+	return Reduce(x, n, 0, f, func(a, b int) int { return a + b })
 }
 
 // CountTrue returns the number of i in [0,n) with f(i) true.
-func CountTrue(p *Pool, n int, f func(i int) bool, t *Tracer) int {
-	return SumInt(p, n, func(i int) int {
+func CountTrue(x Runner, n int, f func(i int) bool) int {
+	return SumInt(x, n, func(i int) int {
 		if f(i) {
 			return 1
 		}
 		return 0
-	}, t)
+	})
 }
 
 // Any reports whether f(i) holds for at least one i in [0,n).
-func Any(p *Pool, n int, f func(i int) bool, t *Tracer) bool {
-	return CountTrue(p, n, f, t) > 0
+func Any(x Runner, n int, f func(i int) bool) bool {
+	return CountTrue(x, n, f) > 0
 }
 
 // MinIndex returns the smallest index i minimizing key(i), breaking ties by
 // smaller index. It returns -1 for n == 0.
-func MinIndex(p *Pool, n int, key func(i int) int, t *Tracer) int {
+func MinIndex(x Runner, n int, key func(i int) int) int {
 	type kv struct{ k, i int }
 	id := kv{0, -1}
-	best := Reduce(p, n, id, func(i int) kv { return kv{key(i), i} }, func(a, b kv) kv {
+	best := Reduce(x, n, id, func(i int) kv { return kv{key(i), i} }, func(a, b kv) kv {
 		switch {
 		case a.i == -1:
 			return b
@@ -67,12 +74,12 @@ func MinIndex(p *Pool, n int, key func(i int) int, t *Tracer) int {
 		default:
 			return a
 		}
-	}, t)
+	})
 	return best.i
 }
 
 // MaxIndex returns the smallest index i maximizing key(i). It returns -1 for
 // n == 0.
-func MaxIndex(p *Pool, n int, key func(i int) int, t *Tracer) int {
-	return MinIndex(p, n, func(i int) int { return -key(i) }, t)
+func MaxIndex(x Runner, n int, key func(i int) int) int {
+	return MinIndex(x, n, func(i int) int { return -key(i) })
 }

@@ -8,7 +8,7 @@ import (
 
 func TestSumInt(t *testing.T) {
 	for _, p := range pools() {
-		got := SumInt(p, 1000, func(i int) int { return i }, nil)
+		got := SumInt(p, 1000, func(i int) int { return i })
 		if got != 499500 {
 			t.Fatalf("workers=%d: SumInt = %d, want 499500", p.Workers(), got)
 		}
@@ -17,20 +17,20 @@ func TestSumInt(t *testing.T) {
 
 func TestSumIntEmpty(t *testing.T) {
 	p := NewPool(4)
-	if got := SumInt(p, 0, func(i int) int { return 1 }, nil); got != 0 {
+	if got := SumInt(p, 0, func(i int) int { return 1 }); got != 0 {
 		t.Fatalf("SumInt(0) = %d, want 0", got)
 	}
 }
 
 func TestCountTrueAndAny(t *testing.T) {
 	p := NewPool(4)
-	if got := CountTrue(p, 100, func(i int) bool { return i%10 == 0 }, nil); got != 10 {
+	if got := CountTrue(p, 100, func(i int) bool { return i%10 == 0 }); got != 10 {
 		t.Fatalf("CountTrue = %d, want 10", got)
 	}
-	if !Any(p, 100, func(i int) bool { return i == 99 }, nil) {
+	if !Any(p, 100, func(i int) bool { return i == 99 }) {
 		t.Fatal("Any missed the last index")
 	}
-	if Any(p, 100, func(i int) bool { return false }, nil) {
+	if Any(p, 100, func(i int) bool { return false }) {
 		t.Fatal("Any reported true with no hits")
 	}
 }
@@ -38,13 +38,13 @@ func TestCountTrueAndAny(t *testing.T) {
 func TestMinMaxIndex(t *testing.T) {
 	p := NewPool(4)
 	xs := []int{5, 3, 9, 3, 7}
-	if got := MinIndex(p, len(xs), func(i int) int { return xs[i] }, nil); got != 1 {
+	if got := MinIndex(p, len(xs), func(i int) int { return xs[i] }); got != 1 {
 		t.Fatalf("MinIndex = %d, want 1 (first of the tied minima)", got)
 	}
-	if got := MaxIndex(p, len(xs), func(i int) int { return xs[i] }, nil); got != 2 {
+	if got := MaxIndex(p, len(xs), func(i int) int { return xs[i] }); got != 2 {
 		t.Fatalf("MaxIndex = %d, want 2", got)
 	}
-	if got := MinIndex(p, 0, func(i int) int { return 0 }, nil); got != -1 {
+	if got := MinIndex(p, 0, func(i int) int { return 0 }); got != -1 {
 		t.Fatalf("MinIndex(0) = %d, want -1", got)
 	}
 }
@@ -58,7 +58,7 @@ func TestMinIndexTieBreaksBySmallestIndex(t *testing.T) {
 		for i := range xs {
 			xs[i] = rng.Intn(10)
 		}
-		got := MinIndex(p, n, func(i int) int { return xs[i] }, nil)
+		got := MinIndex(p, n, func(i int) int { return xs[i] })
 		want := 0
 		for i := 1; i < n; i++ {
 			if xs[i] < xs[want] {
@@ -78,7 +78,7 @@ func TestReduceNonCommutativeStaysOrdered(t *testing.T) {
 	n := 3000
 	got := Reduce(p, n, "", func(i int) string {
 		return string(rune('a' + i%26))
-	}, func(a, b string) string { return a + b }, nil)
+	}, func(a, b string) string { return a + b })
 	if len(got) != n {
 		t.Fatalf("len = %d, want %d", len(got), n)
 	}
@@ -93,7 +93,7 @@ func TestReduceQuickSum(t *testing.T) {
 	p := NewPool(0)
 	f := func(xs []int32) bool {
 		got := Reduce(p, len(xs), int64(0), func(i int) int64 { return int64(xs[i]) },
-			func(a, b int64) int64 { return a + b }, nil)
+			func(a, b int64) int64 { return a + b })
 		var want int64
 		for _, x := range xs {
 			want += int64(x)

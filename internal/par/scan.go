@@ -12,24 +12,24 @@ package par
 
 // ExclusiveScan returns out where out[i] = xs[0] + ... + xs[i-1] (out[0] = 0)
 // and the total sum of xs. xs is not modified.
-func (p *Pool) ExclusiveScan(xs []int, t *Tracer) (out []int, total int) {
+func ExclusiveScan(x Runner, xs []int) (out []int, total int) {
 	n := len(xs)
 	out = make([]int, n)
 	if n == 0 {
 		return out, 0
 	}
-	grain := scanGrain(n, p.workers)
+	grain := scanGrain(n, x.Workers())
 	nblocks := (n + grain - 1) / grain
 	blockSum := make([]int, nblocks)
 
-	p.Range(n, grain, func(lo, hi int) {
+	x.Range(n, grain, func(lo, hi int) {
 		s := 0
 		for i := lo; i < hi; i++ {
 			s += xs[i]
 		}
 		blockSum[lo/grain] = s
 	})
-	t.Round(n)
+	x.Round(n)
 
 	running := 0
 	for b := 0; b < nblocks; b++ {
@@ -37,59 +37,59 @@ func (p *Pool) ExclusiveScan(xs []int, t *Tracer) (out []int, total int) {
 		blockSum[b] = running
 		running += s
 	}
-	t.Round(nblocks)
+	x.Round(nblocks)
 
-	p.Range(n, grain, func(lo, hi int) {
+	x.Range(n, grain, func(lo, hi int) {
 		s := blockSum[lo/grain]
 		for i := lo; i < hi; i++ {
 			out[i] = s
 			s += xs[i]
 		}
 	})
-	t.Round(n)
+	x.Round(n)
 	return out, running
 }
 
 // InclusiveScan returns out where out[i] = xs[0] + ... + xs[i].
-func (p *Pool) InclusiveScan(xs []int, t *Tracer) []int {
-	out, _ := p.ExclusiveScan(xs, t)
-	p.For(len(xs), func(i int) { out[i] += xs[i] })
-	t.Round(len(xs))
+func InclusiveScan(x Runner, xs []int) []int {
+	out, _ := ExclusiveScan(x, xs)
+	x.For(len(xs), func(i int) { out[i] += xs[i] })
+	x.Round(len(xs))
 	return out
 }
 
 // Compact returns, in increasing order, the indices i in [0, n) for which
 // keep(i) is true. It is the parallel pack/stream-compaction primitive: a
 // flag round, an exclusive scan, and a scatter round.
-func (p *Pool) Compact(n int, keep func(i int) bool, t *Tracer) []int {
+func Compact(x Runner, n int, keep func(i int) bool) []int {
 	if n == 0 {
 		return nil
 	}
 	flags := make([]int, n)
-	p.For(n, func(i int) {
+	x.For(n, func(i int) {
 		if keep(i) {
 			flags[i] = 1
 		}
 	})
-	t.Round(n)
-	offsets, total := p.ExclusiveScan(flags, t)
+	x.Round(n)
+	offsets, total := ExclusiveScan(x, flags)
 	out := make([]int, total)
-	p.For(n, func(i int) {
+	x.For(n, func(i int) {
 		if flags[i] == 1 {
 			out[offsets[i]] = i
 		}
 	})
-	t.Round(n)
+	x.Round(n)
 	return out
 }
 
 // CompactSlice packs the elements xs[i] with keep(i) into a fresh slice,
 // preserving order.
-func CompactSlice[T any](p *Pool, xs []T, keep func(i int) bool, t *Tracer) []T {
-	idx := p.Compact(len(xs), keep, t)
+func CompactSlice[T any](x Runner, xs []T, keep func(i int) bool) []T {
+	idx := Compact(x, len(xs), keep)
 	out := make([]T, len(idx))
-	p.For(len(idx), func(j int) { out[j] = xs[idx[j]] })
-	t.Round(len(idx))
+	x.For(len(idx), func(j int) { out[j] = xs[idx[j]] })
+	x.Round(len(idx))
 	return out
 }
 

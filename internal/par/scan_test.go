@@ -25,7 +25,7 @@ func TestExclusiveScanMatchesSequential(t *testing.T) {
 				xs[i] = rng.Intn(100) - 50
 			}
 			var tr Tracer
-			got, total := p.ExclusiveScan(xs, &tr)
+			got, total := ExclusiveScan(WithTracer(p, &tr), xs)
 			want, wantTotal := seqExclusiveScan(xs)
 			if total != wantTotal {
 				t.Fatalf("workers=%d n=%d: total = %d, want %d", p.Workers(), n, total, wantTotal)
@@ -42,7 +42,7 @@ func TestExclusiveScanMatchesSequential(t *testing.T) {
 func TestInclusiveScan(t *testing.T) {
 	p := NewPool(4)
 	xs := []int{3, -1, 4, 1, 5}
-	got := p.InclusiveScan(xs, nil)
+	got := InclusiveScan(p, xs)
 	want := []int{3, 2, 6, 7, 12}
 	for i := range want {
 		if got[i] != want[i] {
@@ -58,7 +58,7 @@ func TestScanQuick(t *testing.T) {
 		for i, x := range xs {
 			ys[i] = int(x)
 		}
-		got, total := p.ExclusiveScan(ys, nil)
+		got, total := ExclusiveScan(p, ys)
 		want, wantTotal := seqExclusiveScan(ys)
 		if total != wantTotal {
 			return false
@@ -79,7 +79,7 @@ func TestScanDoesNotModifyInput(t *testing.T) {
 	p := NewPool(4)
 	xs := []int{1, 2, 3, 4}
 	orig := append([]int(nil), xs...)
-	p.ExclusiveScan(xs, nil)
+	ExclusiveScan(p, xs)
 	for i := range xs {
 		if xs[i] != orig[i] {
 			t.Fatal("ExclusiveScan modified its input")
@@ -89,7 +89,7 @@ func TestScanDoesNotModifyInput(t *testing.T) {
 
 func TestCompact(t *testing.T) {
 	for _, p := range pools() {
-		got := p.Compact(10, func(i int) bool { return i%3 == 0 }, nil)
+		got := Compact(p, 10, func(i int) bool { return i%3 == 0 })
 		want := []int{0, 3, 6, 9}
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: Compact = %v, want %v", p.Workers(), got, want)
@@ -104,13 +104,13 @@ func TestCompact(t *testing.T) {
 
 func TestCompactEmptyAndFull(t *testing.T) {
 	p := NewPool(4)
-	if got := p.Compact(0, func(int) bool { return true }, nil); len(got) != 0 {
+	if got := Compact(p, 0, func(int) bool { return true }); len(got) != 0 {
 		t.Fatalf("Compact(0) = %v, want empty", got)
 	}
-	if got := p.Compact(5, func(int) bool { return false }, nil); len(got) != 0 {
+	if got := Compact(p, 5, func(int) bool { return false }); len(got) != 0 {
 		t.Fatalf("Compact none = %v, want empty", got)
 	}
-	got := p.Compact(5, func(int) bool { return true }, nil)
+	got := Compact(p, 5, func(int) bool { return true })
 	if len(got) != 5 {
 		t.Fatalf("Compact all = %v, want 0..4", got)
 	}
@@ -124,7 +124,7 @@ func TestCompactLargeRandom(t *testing.T) {
 	for i := range keep {
 		keep[i] = rng.Intn(4) == 0
 	}
-	got := p.Compact(n, func(i int) bool { return keep[i] }, nil)
+	got := Compact(p, n, func(i int) bool { return keep[i] })
 	var want []int
 	for i := 0; i < n; i++ {
 		if keep[i] {
@@ -144,7 +144,7 @@ func TestCompactLargeRandom(t *testing.T) {
 func TestCompactSlice(t *testing.T) {
 	p := NewPool(4)
 	xs := []string{"a", "b", "c", "d"}
-	got := CompactSlice(p, xs, func(i int) bool { return i%2 == 1 }, nil)
+	got := CompactSlice(p, xs, func(i int) bool { return i%2 == 1 })
 	if len(got) != 2 || got[0] != "b" || got[1] != "d" {
 		t.Fatalf("CompactSlice = %v, want [b d]", got)
 	}
@@ -158,6 +158,6 @@ func BenchmarkExclusiveScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.ExclusiveScan(xs, nil)
+		ExclusiveScan(p, xs)
 	}
 }

@@ -1,0 +1,47 @@
+package pram
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/par"
+)
+
+func TestAttachMirrorsStepsIntoTracer(t *testing.T) {
+	var tr par.Tracer
+	cx := exec.New(exec.Config{Tracer: &tr})
+	m := New(CRCWCommon, 4, 8)
+	m.Attach(cx)
+	for i := 0; i < 3; i++ {
+		if err := m.Step(func(c *Ctx, pid int) { c.Write(pid, int64(pid)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Rounds() != 3 || tr.Work() != 12 {
+		t.Fatalf("tracer recorded %s, want rounds=3 work=12 (one round of P=4 per step)", tr.String())
+	}
+}
+
+func TestAttachCancellationStopsSteps(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cx := exec.New(exec.Config{Context: ctx})
+	m := New(CREW, 2, 4)
+	m.Attach(cx)
+	if err := m.Step(func(c *Ctx, pid int) { c.Write(pid, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	err := m.Step(func(c *Ctx, pid int) { c.Write(pid, 2) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Step after cancel = %v, want context.Canceled", err)
+	}
+	if m.Load(0) != 1 {
+		t.Fatalf("cancelled step committed writes: mem[0] = %d", m.Load(0))
+	}
+	m.Attach(nil)
+	if err := m.Step(func(c *Ctx, pid int) { c.Write(pid, 3) }); err != nil {
+		t.Fatalf("detached machine still cancelled: %v", err)
+	}
+}

@@ -26,6 +26,8 @@ package pram
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/exec"
 )
 
 // Model selects the PRAM access discipline.
@@ -79,6 +81,10 @@ type Machine struct {
 	step  int
 	// Work/steps accounting, comparable to par.Tracer.
 	reads, writes int64
+	// cx, when attached, is consulted at every Step boundary: cancellation
+	// aborts the program and each step is mirrored into the context's
+	// tracer as one round of P work.
+	cx *exec.Ctx
 }
 
 // New returns a machine with memSize zeroed shared cells.
@@ -88,6 +94,13 @@ func New(model Model, processors, memSize int) *Machine {
 	}
 	return &Machine{Model: model, P: processors, mem: make([]int64, memSize)}
 }
+
+// Attach binds the machine to an execution context: every subsequent Step
+// first checks cancellation (returning the context error) and records one
+// bulk-synchronous round of P work in the context's tracer, unifying the
+// model checker's accounting with the goroutine solvers'. Attach(nil)
+// detaches.
+func (m *Machine) Attach(cx *exec.Ctx) { m.cx = cx }
 
 // Mem returns the shared memory (mutate only between steps).
 func (m *Machine) Mem() []int64 { return m.mem }
@@ -140,6 +153,12 @@ func (c *Ctx) Write(addr int, v int64) {
 // is a model checker, not a throughput tool), so kernels must not rely on
 // any intra-step ordering — exactly the PRAM contract.
 func (m *Machine) Step(fn func(c *Ctx, pid int)) error {
+	if m.cx != nil {
+		if err := m.cx.Err(); err != nil {
+			return err
+		}
+		m.cx.Round(m.P)
+	}
 	m.step++
 	reads := make(map[int][]int)
 	writes := make(map[int][]writeRec)

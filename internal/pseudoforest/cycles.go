@@ -18,30 +18,30 @@ import (
 // least n steps, the image of every component sweeps out exactly its cycle
 // (tree components land on their sink, which has no out-edge and is
 // excluded). This is the method Analyze uses internally.
-func CyclesByDoubling(p *par.Pool, g *Graph, t *par.Tracer) []bool {
+func CyclesByDoubling(x par.Runner, g *Graph) []bool {
 	n := g.N()
 	abs := g.absorbing()
 	zeros := make([]int, n)
-	ptr, _ := par.Double(p, abs, zeros, func(x, y int) int { return 0 }, par.Iterations(n)+1, t)
+	ptr, _ := par.Double(x, abs, zeros, func(a, b int) int { return 0 }, par.Iterations(n)+1)
 	hit := make([]uint32, n)
-	p.For(n, func(v int) { atomicStore1(&hit[ptr[v]]) })
-	t.Round(n)
+	x.For(n, func(v int) { atomicStore1(&hit[ptr[v]]) })
+	x.Round(n)
 	on := make([]bool, n)
-	p.For(n, func(v int) { on[v] = hit[v] == 1 && g.Succ[v] >= 0 })
-	t.Round(n)
+	x.For(n, func(v int) { on[v] = hit[v] == 1 && g.Succ[v] >= 0 })
+	x.Round(n)
 	return on
 }
 
 // CyclesByClosure marks cycle vertices with the transitive-closure approach
 // (Theorem 5): i and j (i != j) lie on a common cycle iff G*(i,j) and
 // G*(j,i). A vertex is on a cycle iff it mutually reaches some other vertex.
-func CyclesByClosure(p *par.Pool, g *Graph, t *par.Tracer) []bool {
+func CyclesByClosure(x par.Runner, g *Graph) []bool {
 	n := g.N()
 	adj := bitmat.FromFunctional(g.Succ)
-	closure := bitmat.TransitiveClosure(p, adj, t)
+	closure := bitmat.TransitiveClosure(x, adj)
 	closureT := closure.Transpose()
 	on := make([]bool, n)
-	p.For(n, func(v int) {
+	x.For(n, func(v int) {
 		row := closure.Row(v)
 		col := closureT.Row(v)
 		for w := range row {
@@ -56,7 +56,7 @@ func CyclesByClosure(p *par.Pool, g *Graph, t *par.Tracer) []bool {
 			}
 		}
 	})
-	t.Round(n * ((n + 63) / 64))
+	x.Round(n * ((n + 63) / 64))
 	return on
 }
 
@@ -64,7 +64,7 @@ func CyclesByClosure(p *par.Pool, g *Graph, t *par.Tracer) []bool {
 // (Lemma 6 + Theorem 7): edge e lies on its component's unique cycle iff
 // rank(I_{G−e}) = rank(I_G), since removing a cycle edge preserves the
 // component count. Each edge's rank is computed independently in parallel.
-func CyclesByRank(p *par.Pool, g *Graph, t *par.Tracer) []bool {
+func CyclesByRank(x par.Runner, g *Graph) []bool {
 	n := g.N()
 	edges, _ := g.UndirectedEdges()
 	intEdges := make([][2]int, len(edges))
@@ -72,31 +72,31 @@ func CyclesByRank(p *par.Pool, g *Graph, t *par.Tracer) []bool {
 		intEdges[i] = [2]int{int(e[0]), int(e[1])}
 	}
 	seq := par.Sequential()
-	base := gf2.Rank(seq, gf2.Incidence(n, intEdges), t)
+	base := gf2.Rank(seq, gf2.Incidence(n, intEdges))
 	onEdge := make([]bool, len(edges))
-	p.ForGrain(len(edges), 1, func(i int) {
-		r := gf2.Rank(seq, gf2.IncidenceWithout(n, intEdges, i), nil)
+	x.ForGrain(len(edges), 1, func(i int) {
+		r := gf2.Rank(seq, gf2.IncidenceWithout(n, intEdges, i))
 		onEdge[i] = r == base
 	})
-	t.Round(len(edges) * n)
-	return vertexMarksFromEdges(p, n, edges, onEdge, t)
+	x.Round(len(edges) * n)
+	return vertexMarksFromEdges(x, n, edges, onEdge)
 }
 
 // CyclesByCC marks cycle vertices with the component-count approach
 // (Theorem 8): edge e is on a cycle iff cc(G−e) = cc(G).
-func CyclesByCC(p *par.Pool, g *Graph, t *par.Tracer) []bool {
+func CyclesByCC(x par.Runner, g *Graph) []bool {
 	n := g.N()
 	edges, _ := g.UndirectedEdges()
-	base := concomp.Count(concomp.Parallel(p, n, edges, t))
+	base := concomp.Count(concomp.Parallel(x, n, edges))
 	onEdge := make([]bool, len(edges))
-	p.ForGrain(len(edges), 1, func(i int) {
+	x.ForGrain(len(edges), 1, func(i int) {
 		without := make([][2]int32, 0, len(edges)-1)
 		without = append(without, edges[:i]...)
 		without = append(without, edges[i+1:]...)
 		onEdge[i] = concomp.Count(concomp.BFS(n, without)) == base
 	})
-	t.Round(len(edges) * n)
-	return vertexMarksFromEdges(p, n, edges, onEdge, t)
+	x.Round(len(edges) * n)
+	return vertexMarksFromEdges(x, n, edges, onEdge)
 }
 
 // PathByCycleCompletion extracts the path from q to its component's sink
@@ -106,8 +106,8 @@ func CyclesByCC(p *par.Pool, g *Graph, t *par.Tracer) []bool {
 // is exactly the switching path. It exists to cross-validate the
 // binary-lifting path extraction used by Algorithm 3; q must lie in a tree
 // component.
-func PathByCycleCompletion(p *par.Pool, g *Graph, q int, t *par.Tracer) ([]int32, error) {
-	a := Analyze(p, g, t)
+func PathByCycleCompletion(x par.Runner, g *Graph, q int) ([]int32, error) {
+	a := Analyze(x, g)
 	sink := a.Sink[q]
 	if sink < 0 {
 		return nil, fmt.Errorf("pseudoforest: vertex %d is in a cycle component", q)
@@ -122,7 +122,7 @@ func PathByCycleCompletion(p *par.Pool, g *Graph, q int, t *par.Tracer) ([]int32
 	if err != nil {
 		return nil, err
 	}
-	on := CyclesByDoubling(p, g2, t)
+	on := CyclesByDoubling(x, g2)
 	if !on[q] {
 		return nil, fmt.Errorf("pseudoforest: completion cycle misses %d", q)
 	}
@@ -135,17 +135,17 @@ func PathByCycleCompletion(p *par.Pool, g *Graph, q int, t *par.Tracer) ([]int32
 
 // vertexMarksFromEdges lifts an on-cycle edge marking to vertices: both
 // endpoints of a cycle edge are cycle vertices.
-func vertexMarksFromEdges(p *par.Pool, n int, edges [][2]int32, onEdge []bool, t *par.Tracer) []bool {
+func vertexMarksFromEdges(x par.Runner, n int, edges [][2]int32, onEdge []bool) []bool {
 	hit := make([]uint32, n)
-	p.For(len(edges), func(i int) {
+	x.For(len(edges), func(i int) {
 		if onEdge[i] {
 			atomicStore1(&hit[edges[i][0]])
 			atomicStore1(&hit[edges[i][1]])
 		}
 	})
-	t.Round(len(edges))
+	x.Round(len(edges))
 	on := make([]bool, n)
-	p.For(n, func(v int) { on[v] = hit[v] == 1 })
-	t.Round(n)
+	x.For(n, func(v int) { on[v] = hit[v] == 1 })
+	x.Round(n)
 	return on
 }

@@ -100,7 +100,7 @@ type Analysis struct {
 // parallel connected-components primitive — the fully parallel (method 1)
 // route. All other cycle-finding methods are provided separately for
 // cross-validation.
-func Analyze(p *par.Pool, g *Graph, t *par.Tracer) *Analysis {
+func Analyze(x par.Runner, g *Graph) *Analysis {
 	n := g.N()
 	a := &Analysis{
 		Comp:       make([]int32, n),
@@ -115,10 +115,10 @@ func Analyze(p *par.Pool, g *Graph, t *par.Tracer) *Analysis {
 
 	// Components of the underlying undirected graph.
 	edges, _ := g.UndirectedEdges()
-	a.Comp = concomp.Parallel(p, n, edges, t)
+	a.Comp = concomp.Parallel(x, n, edges)
 
 	// Distance to sink (-1 flags cycle components' vertices).
-	a.DistToSink = par.DistanceToTerminal(p, abs, t)
+	a.DistToSink = par.DistanceToTerminal(x, abs)
 
 	// Cycle membership: jump at least n steps from every vertex; the final
 	// pointers of a cycle component sweep out exactly its cycle, while tree
@@ -126,30 +126,30 @@ func Analyze(p *par.Pool, g *Graph, t *par.Tracer) *Analysis {
 	// The concurrent same-value marking is the arbitrary-CRCW write idiom,
 	// realized with atomic stores.
 	zeros := make([]int, n)
-	ptr, _ := par.Double(p, abs, zeros, func(x, y int) int { return 0 }, par.Iterations(n)+1, t)
+	ptr, _ := par.Double(x, abs, zeros, func(a, b int) int { return 0 }, par.Iterations(n)+1)
 	hit := make([]uint32, n)
-	p.For(n, func(v int) { atomicStore1(&hit[ptr[v]]) })
-	t.Round(n)
-	p.For(n, func(v int) {
+	x.For(n, func(v int) { atomicStore1(&hit[ptr[v]]) })
+	x.Round(n)
+	x.For(n, func(v int) {
 		a.OnCycle[v] = hit[v] == 1 && g.Succ[v] >= 0
 	})
-	t.Round(n)
+	x.Round(n)
 
 	// Sinks: a sink is its own component's terminal; broadcast per component.
 	sinkOf := make([]int32, n)
 	for i := range sinkOf {
 		sinkOf[i] = -1
 	}
-	p.For(n, func(v int) {
+	x.For(n, func(v int) {
 		if g.Succ[v] < 0 {
 			sinkOf[a.Comp[v]] = int32(v) // unique sink per component (Lemma 4)
 		}
 	})
-	t.Round(n)
-	p.For(n, func(v int) { a.Sink[v] = sinkOf[a.Comp[v]] })
-	t.Round(n)
+	x.Round(n)
+	x.For(n, func(v int) { a.Sink[v] = sinkOf[a.Comp[v]] })
+	x.Round(n)
 
-	a.Lift = par.BuildLifting(p, abs, t)
+	a.Lift = par.BuildLifting(x, abs)
 	return a
 }
 
@@ -190,25 +190,25 @@ type WeightedLift struct {
 // BuildWeightedLift augments a lifting table with per-level weight sums:
 // sum[k][v] is the total weight of the 2^k edges leaving v (sink-absorbing
 // steps contribute 0).
-func BuildWeightedLift(p *par.Pool, g *Graph, w []int64, t *par.Tracer) *WeightedLift {
+func BuildWeightedLift(x par.Runner, g *Graph, w []int64) *WeightedLift {
 	n := g.N()
 	abs := g.absorbing()
-	lift := par.BuildLifting(p, abs, t)
+	lift := par.BuildLifting(x, abs)
 	sums := make([][]int64, lift.K)
 	level0 := make([]int64, n)
-	p.For(n, func(v int) {
+	x.For(n, func(v int) {
 		if g.Succ[v] >= 0 {
 			level0[v] = w[v]
 		}
 	})
-	t.Round(n)
+	x.Round(n)
 	sums[0] = level0
 	for k := 1; k < lift.K; k++ {
 		prev := sums[k-1]
 		up := lift.Up[k-1]
 		cur := make([]int64, n)
-		p.For(n, func(v int) { cur[v] = prev[v] + prev[up[v]] })
-		t.Round(n)
+		x.For(n, func(v int) { cur[v] = prev[v] + prev[up[v]] })
+		x.Round(n)
 		sums[k] = cur
 	}
 	return &WeightedLift{lift: lift, sum: sums}

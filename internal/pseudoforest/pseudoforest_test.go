@@ -105,10 +105,10 @@ func TestCycleMethodsAgree(t *testing.T) {
 		g := randomFunctional(rng, n)
 		want := refOnCycle(g.Succ)
 		methods := map[string][]bool{
-			"doubling": CyclesByDoubling(p, g, nil),
-			"closure":  CyclesByClosure(p, g, nil),
-			"rank":     CyclesByRank(p, g, nil),
-			"cc":       CyclesByCC(p, g, nil),
+			"doubling": CyclesByDoubling(p, g),
+			"closure":  CyclesByClosure(p, g),
+			"rank":     CyclesByRank(p, g),
+			"cc":       CyclesByCC(p, g),
 		}
 		for name, got := range methods {
 			if !boolsEqual(got, want) {
@@ -126,10 +126,10 @@ func TestCycleMethodsTwoCycle(t *testing.T) {
 	g, _ := New([]int32{1, 0, 0, -1}) // 0 <-> 1, 2 -> 0 tail, 3 sink
 	want := []bool{true, true, false, false}
 	for name, got := range map[string][]bool{
-		"doubling": CyclesByDoubling(p, g, nil),
-		"closure":  CyclesByClosure(p, g, nil),
-		"rank":     CyclesByRank(p, g, nil),
-		"cc":       CyclesByCC(p, g, nil),
+		"doubling": CyclesByDoubling(p, g),
+		"closure":  CyclesByClosure(p, g),
+		"rank":     CyclesByRank(p, g),
+		"cc":       CyclesByCC(p, g),
 	} {
 		if !boolsEqual(got, want) {
 			t.Fatalf("method=%s: got %v, want %v", name, got, want)
@@ -142,7 +142,7 @@ func TestAnalyzeComponentsAndSinks(t *testing.T) {
 	// Component A: 0 -> 1 -> 2 -> 0 cycle with tail 3 -> 0.
 	// Component B: 4 -> 5, 5 sink, 6 -> 5.
 	g, _ := New([]int32{1, 2, 0, 0, 5, -1, 5})
-	a := Analyze(p, g, nil)
+	a := Analyze(p, g)
 
 	for v := 0; v <= 3; v++ {
 		if a.Comp[v] != 0 {
@@ -178,7 +178,7 @@ func TestAnalyzeMatchesReferenceRandom(t *testing.T) {
 		for trial := 0; trial < 25; trial++ {
 			n := 1 + rng.Intn(300)
 			g := randomFunctional(rng, n)
-			a := Analyze(p, g, nil)
+			a := Analyze(p, g)
 			want := refOnCycle(g.Succ)
 			if !boolsEqual(a.OnCycle, want) {
 				t.Fatalf("workers=%d n=%d: Analyze.OnCycle differs from reference", p.Workers(), n)
@@ -210,7 +210,7 @@ func TestCycleVerticesOrder(t *testing.T) {
 	p := par.NewPool(4)
 	// Cycle 2 -> 5 -> 3 -> 2 plus tail 7 -> 2; separate cycle 0 -> 1 -> 0.
 	g, _ := New([]int32{1, 0, 5, 2, -1, 3, -1, 2})
-	a := Analyze(p, g, nil)
+	a := Analyze(p, g)
 	cycles := a.CycleVertices(g)
 	if len(cycles) != 2 {
 		t.Fatalf("found %d cycles, want 2", len(cycles))
@@ -241,7 +241,7 @@ func TestWeightedLiftPathSum(t *testing.T) {
 		for v := range w {
 			w[v] = int64(rng.Intn(21) - 10)
 		}
-		wl := BuildWeightedLift(p, g, w, nil)
+		wl := BuildWeightedLift(p, g, w)
 		for q := 0; q < 30; q++ {
 			v := rng.Intn(n)
 			steps := rng.Intn(n + 3)
@@ -282,7 +282,7 @@ func TestUndirectedEdges(t *testing.T) {
 func TestAnalyzeEmpty(t *testing.T) {
 	p := par.NewPool(4)
 	g, _ := New(nil)
-	a := Analyze(p, g, nil)
+	a := Analyze(p, g)
 	if len(a.Comp) != 0 || len(a.OnCycle) != 0 {
 		t.Fatal("empty graph should produce empty analysis")
 	}
@@ -305,7 +305,7 @@ func TestPathByCycleCompletionMatchesLiftingWalk(t *testing.T) {
 		}
 		g, _ := New(succ)
 		for q := 0; q < n; q++ {
-			got, err := PathByCycleCompletion(p, g, q, nil)
+			got, err := PathByCycleCompletion(p, g, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -329,7 +329,7 @@ func TestPathByCycleCompletionMatchesLiftingWalk(t *testing.T) {
 func TestPathByCycleCompletionRejectsCycleVertices(t *testing.T) {
 	p := par.NewPool(2)
 	g, _ := New([]int32{1, 0}) // 2-cycle
-	if _, err := PathByCycleCompletion(p, g, 0, nil); err == nil {
+	if _, err := PathByCycleCompletion(p, g, 0); err == nil {
 		t.Fatal("cycle-component vertex accepted")
 	}
 }
@@ -340,6 +340,6 @@ func BenchmarkAnalyze(b *testing.B) {
 	p := par.NewPool(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Analyze(p, g, nil)
+		Analyze(p, g)
 	}
 }

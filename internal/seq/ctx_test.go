@@ -1,0 +1,43 @@
+package seq
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/onesided"
+)
+
+// The ctx-aware baselines raise the cancellation sentinel at phase
+// boundaries; callers recover it with exec.CatchCancel. This pins the
+// contract a batch service relies on.
+func TestPopularCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ins := onesided.Solvable(rng, 500, 50, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cx := exec.New(exec.Config{Context: ctx})
+	run := func() (err error) {
+		defer exec.CatchCancel(&err)
+		_, _, err = PopularCtx(cx, ins)
+		return err
+	}
+	if err := run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	runMC := func() (err error) {
+		defer exec.CatchCancel(&err)
+		_, _, err = MaxCardinalityCtx(cx, ins)
+		return err
+	}
+	if err := runMC(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MaxCardinalityCtx err = %v, want context.Canceled", err)
+	}
+	// And an un-cancelled ctx completes normally.
+	m, ok, err := PopularCtx(exec.Background(), ins)
+	if err != nil || !ok || m == nil {
+		t.Fatalf("background run: m=%v ok=%v err=%v", m, ok, err)
+	}
+}

@@ -3,6 +3,7 @@ package seq
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 )
 
@@ -12,10 +13,17 @@ import (
 // discovering cycles and path margins with ordinary walks instead of pointer
 // jumping.
 func MaxCardinality(ins *onesided.Instance) (*onesided.Matching, bool, error) {
-	m, ok, err := Popular(ins)
+	return MaxCardinalityCtx(exec.Background(), ins)
+}
+
+// MaxCardinalityCtx is MaxCardinality on an execution context; see
+// PopularCtx for the cancellation contract.
+func MaxCardinalityCtx(cx *exec.Ctx, ins *onesided.Instance) (*onesided.Matching, bool, error) {
+	m, ok, err := PopularCtx(cx, ins)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
+	cx.Check()
 	r, err := BuildReduced(ins)
 	if err != nil {
 		return nil, false, err

@@ -9,6 +9,7 @@ package seq
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/onesided"
 )
 
@@ -53,6 +54,16 @@ func BuildReduced(ins *onesided.Instance) (*Reduced, error) {
 // 2-coloring of the residual even cycles, then promotion of unmatched
 // f-posts. It runs in O(n1 + n2) after the reduction.
 func Popular(ins *onesided.Instance) (*onesided.Matching, bool, error) {
+	return PopularCtx(exec.Background(), ins)
+}
+
+// PopularCtx is Popular on an execution context: cancellation is checked
+// between the algorithm's sequential phases (reduction, peeling, cycle
+// 2-coloring, promotion), surfacing at the caller's exec.CatchCancel
+// boundary. The baseline stays single-threaded; only the control plane is
+// shared with the parallel solvers.
+func PopularCtx(cx *exec.Ctx, ins *onesided.Instance) (*onesided.Matching, bool, error) {
+	cx.Check()
 	r, err := BuildReduced(ins)
 	if err != nil {
 		return nil, false, err
@@ -89,6 +100,7 @@ func Popular(ins *onesided.Instance) (*onesided.Matching, bool, error) {
 		return r.F[a]
 	}
 
+	cx.Check()
 	// Queue-based peeling: repeatedly take a degree-1 post, match it with
 	// its applicant, and follow the chain implicitly via degree updates.
 	queue := make([]int32, 0, total)
@@ -131,6 +143,7 @@ func Popular(ins *onesided.Instance) (*onesided.Matching, bool, error) {
 		}
 	}
 
+	cx.Check()
 	// Residual: all alive applicants have both posts alive with degree 2.
 	// Count and 2-color the even cycles.
 	aliveApplicants := 0
@@ -177,6 +190,7 @@ func Popular(ins *onesided.Instance) (*onesided.Matching, bool, error) {
 		}
 	}
 
+	cx.Check()
 	// Promotion.
 	for q := int32(0); int(q) < total; q++ {
 		if !r.IsF[q] || m.ApplicantOf[q] >= 0 {

@@ -3,6 +3,8 @@ package stable
 import (
 	"fmt"
 
+	"repro/internal/exec"
+	"repro/internal/par"
 	"repro/internal/pseudoforest"
 )
 
@@ -16,25 +18,25 @@ import (
 //
 // In the result, list[m][0] = pM(m) (guaranteed by stability) and
 // list[m][1], when present, is s_M(m).
-func ReducedLists(ins *Instance, m *Matching, opt Options) ([][]int32, error) {
-	p := opt.pool()
-	t := opt.Tracer
+func ReducedLists(ins *Instance, m *Matching, opt Options) (lists [][]int32, err error) {
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
 	n := ins.N
 	_, wr := ins.RankMatrices(opt)
 
 	flat := make([]int, n*n)
-	p.For(n*n, func(idx int) {
+	cx.For(n*n, func(idx int) {
 		mi := idx / n
 		w := ins.MP[mi][idx%n]
 		if wr[w][mi] <= wr[w][m.PW[w]] {
 			flat[idx] = 1
 		}
 	})
-	t.Round(n * n)
-	offsets, _ := p.ExclusiveScan(flat, t)
+	cx.Round(n * n)
+	offsets, _ := par.ExclusiveScan(cx, flat)
 
-	lists := make([][]int32, n)
-	p.For(n, func(mi int) {
+	lists = make([][]int32, n)
+	cx.For(n, func(mi int) {
 		rowStart := offsets[mi*n]
 		rowLen := 0
 		if mi == n-1 {
@@ -45,15 +47,15 @@ func ReducedLists(ins *Instance, m *Matching, opt Options) ([][]int32, error) {
 		}
 		lists[mi] = make([]int32, rowLen)
 	})
-	t.Round(n)
-	p.For(n*n, func(idx int) {
+	cx.Round(n)
+	cx.For(n*n, func(idx int) {
 		if flat[idx] == 0 {
 			return
 		}
 		mi := idx / n
 		lists[mi][offsets[idx]-offsets[mi*n]] = ins.MP[mi][idx%n]
 	})
-	t.Round(n * n)
+	cx.Round(n * n)
 
 	// Sanity required by stability: the first reduced entry of every man is
 	// his partner.
@@ -85,18 +87,17 @@ func SwitchingGraph(ins *Instance, m *Matching, opt Options) (*pseudoforest.Grap
 	if err != nil {
 		return nil, nil, err
 	}
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.exec()
 	n := ins.N
 	succ := make([]int32, n)
-	p.For(n, func(mi int) {
+	cx.For(n, func(mi int) {
 		if len(reduced[mi]) < 2 {
 			succ[mi] = -1 // s_M(mi) undefined
 			return
 		}
 		succ[mi] = m.PW[reduced[mi][1]] // next_M(mi)
 	})
-	t.Round(n)
+	cx.Round(n)
 	g, err := pseudoforest.New(succ)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stable: switching graph invalid: %w", err)
@@ -114,13 +115,13 @@ type Rotation struct {
 // ExposedRotations finds every rotation exposed in m (the cycles of H_M),
 // each reported starting from its smallest man. The empty slice means m is
 // the woman-optimal matching (Theorem 16).
-func ExposedRotations(ins *Instance, m *Matching, opt Options) ([]Rotation, error) {
+func ExposedRotations(ins *Instance, m *Matching, opt Options) (rots []Rotation, err error) {
+	defer exec.CatchCancel(&err)
 	g, _, err := SwitchingGraph(ins, m, opt)
 	if err != nil {
 		return nil, err
 	}
-	p := opt.pool()
-	an := pseudoforest.Analyze(p, g, opt.Tracer)
+	an := pseudoforest.Analyze(opt.exec(), g)
 	cycles := an.CycleVertices(g)
 	// Deterministic order: by smallest man in the cycle.
 	keys := make([]int32, 0, len(cycles))
@@ -132,7 +133,7 @@ func ExposedRotations(ins *Instance, m *Matching, opt Options) ([]Rotation, erro
 			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}
-	rots := make([]Rotation, 0, len(keys))
+	rots = make([]Rotation, 0, len(keys))
 	for _, c := range keys {
 		men := cycles[c]
 		women := make([]int32, len(men))
@@ -148,17 +149,16 @@ func ExposedRotations(ins *Instance, m *Matching, opt Options) ([]Rotation, erro
 // everyone else unchanged. The result is stable (Lemma 15 guarantees it is
 // immediately below m in the lattice).
 func Eliminate(m *Matching, rho Rotation, opt Options) *Matching {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.execNoCancel()
 	out := m.Clone()
 	k := len(rho.Men)
-	p.For(k, func(i int) {
+	cx.For(k, func(i int) {
 		mi := rho.Men[i]
 		w := rho.Women[(i+1)%k]
 		out.PM[mi] = w
 		out.PW[w] = mi
 	})
-	t.Round(k)
+	cx.Round(k)
 	return out
 }
 
@@ -215,10 +215,9 @@ func LatticeWalk(ins *Instance, m *Matching, opt Options) ([]*Matching, error) {
 // (Gusfield–Irving), so the simultaneous application equals eliminating them
 // sequentially in any order; the tests confirm both properties.
 func EliminateAll(m *Matching, rs []Rotation, opt Options) *Matching {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.execNoCancel()
 	out := m.Clone()
-	p.For(len(rs), func(i int) {
+	cx.For(len(rs), func(i int) {
 		rho := rs[i]
 		k := len(rho.Men)
 		for j, mi := range rho.Men {
@@ -227,7 +226,7 @@ func EliminateAll(m *Matching, rs []Rotation, opt Options) *Matching {
 			out.PW[w] = mi
 		}
 	})
-	t.Round(len(rs))
+	cx.Round(len(rs))
 	return out
 }
 

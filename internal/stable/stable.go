@@ -9,26 +9,41 @@
 package stable
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/par"
 )
 
-// Options mirrors core.Options for the parallel routines.
+// Options mirrors core.Options for the parallel routines. The zero value
+// runs on the process-wide shared pool with no tracing and no cancellation.
 type Options struct {
-	Pool   *par.Pool
+	// Exec, when non-nil, is the full execution context and overrides the
+	// other fields.
+	Exec *exec.Ctx
+	// Pool supplies the workers; nil means the shared persistent pool.
+	Pool *par.Pool
+	// Tracer, if non-nil, accumulates parallel rounds and work.
 	Tracer *par.Tracer
+	// Ctx carries cancellation/deadlines, checked at round boundaries.
+	Ctx context.Context
 }
 
-var defaultPool = par.NewPool(0)
-
-func (o Options) pool() *par.Pool {
-	if o.Pool == nil {
-		return defaultPool
+func (o Options) exec() *exec.Ctx {
+	if o.Exec != nil {
+		return o.Exec
 	}
-	return o.Pool
+	return exec.New(exec.Config{Context: o.Ctx, Pool: o.Pool, Tracer: o.Tracer})
 }
+
+// execNoCancel is the execution context for operations that cannot return
+// an error (RankMatrices, Eliminate, Meet/Join, ...): they must not let the
+// cancellation sentinel escape as a panic, so their loops run to completion
+// — they are all single cheap rounds — while the surrounding error-returning
+// entry points keep observing the real context.
+func (o Options) execNoCancel() *exec.Ctx { return o.exec().NoCancel() }
 
 // Instance is a stable marriage instance: n men and n women, each with a
 // complete strictly-ordered preference list over the other side.
@@ -93,12 +108,11 @@ func Random(rng *rand.Rand, n int) *Instance {
 // RankMatrices computes mr[m][w] = rank of w in m's list and wr[w][m] =
 // rank of m in w's list, each in one parallel round (Algorithm 4 line 3).
 func (ins *Instance) RankMatrices(opt Options) (mr, wr [][]int32) {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.execNoCancel()
 	n := ins.N
 	mr = make([][]int32, n)
 	wr = make([][]int32, n)
-	p.For(n, func(i int) {
+	cx.For(n, func(i int) {
 		mrow := make([]int32, n)
 		for r, w := range ins.MP[i] {
 			mrow[w] = int32(r)
@@ -110,7 +124,7 @@ func (ins *Instance) RankMatrices(opt Options) (mr, wr [][]int32) {
 		}
 		wr[i] = wrow
 	})
-	t.Round(2 * n * n)
+	cx.Round(2 * n * n)
 	return mr, wr
 }
 
@@ -260,11 +274,10 @@ func Join(ins *Instance, a, b *Matching, opt Options) *Matching {
 }
 
 func lattice(ins *Instance, a, b *Matching, opt Options, better bool) *Matching {
-	p := opt.pool()
-	t := opt.Tracer
+	cx := opt.execNoCancel()
 	mr, _ := ins.RankMatrices(opt)
 	pm := make([]int32, ins.N)
-	p.For(ins.N, func(m int) {
+	cx.For(ins.N, func(m int) {
 		wa, wb := a.PM[m], b.PM[m]
 		take := wa
 		if (mr[m][wb] < mr[m][wa]) == better {
@@ -272,6 +285,6 @@ func lattice(ins *Instance, a, b *Matching, opt Options, better bool) *Matching 
 		}
 		pm[m] = take
 	})
-	t.Round(ins.N)
+	cx.Round(ins.N)
 	return NewMatching(pm)
 }

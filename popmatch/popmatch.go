@@ -24,10 +24,10 @@
 package popmatch
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
-	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/onesided"
 	"repro/internal/par"
@@ -57,10 +57,10 @@ var (
 	PaperInstance = onesided.PaperFigure1
 )
 
-// Options configures a solver call.
+// Options configures a solver call or a Solver handle.
 type Options struct {
-	// Workers sets the goroutine pool size; 0 means all CPUs, 1 is fully
-	// sequential.
+	// Workers sets the goroutine pool size; 0 shares the process-wide
+	// persistent pool (all CPUs), 1 is fully sequential and deterministic.
 	Workers int
 	// Trace, when non-nil, accumulates bulk-synchronous round and work
 	// counts — the PRAM cost measures the paper's NC results bound.
@@ -78,15 +78,12 @@ func (s *Stats) Rounds() int64 { return s.tracer.Rounds() }
 // Work is the total number of elementary operations across rounds.
 func (s *Stats) Work() int64 { return s.tracer.Work() }
 
-func (o Options) internal() core.Options {
-	var opt core.Options
-	if o.Workers != 0 {
-		opt.Pool = par.NewPool(o.Workers)
-	}
-	if o.Trace != nil {
-		opt.Tracer = &o.Trace.tracer
-	}
-	return opt
+// oneShot runs fn on a throwaway Solver: the pre-Solver API surface is kept
+// as thin wrappers over the execution-context layer.
+func oneShot[T any](o Options, fn func(*Solver) (T, error)) (T, error) {
+	s := NewSolver(o)
+	defer s.Close()
+	return fn(s)
 }
 
 // Result reports a solver outcome.
@@ -117,20 +114,16 @@ func wrap(ins *Instance, res core.Result) Result {
 // Solve finds a popular matching of a strictly-ordered instance, or reports
 // that none exists (Algorithm 1; Theorem 3).
 func Solve(ins *Instance, o Options) (Result, error) {
-	res, err := core.Popular(ins, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.Solve(context.Background(), ins)
+	})
 }
 
 // MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
 func MaxCardinality(ins *Instance, o Options) (Result, error) {
-	res, _, err := core.MaxCardinality(ins, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.MaxCardinality(context.Background(), ins)
+	})
 }
 
 // WeightFn scores assigning applicant a to post p (p may be a's last
@@ -139,62 +132,50 @@ type WeightFn = core.WeightFn
 
 // MaxWeight finds a maximum-weight popular matching (§IV-E).
 func MaxWeight(ins *Instance, w WeightFn, o Options) (Result, error) {
-	res, _, err := core.Optimize(ins, w, true, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.MaxWeight(context.Background(), ins, w)
+	})
 }
 
 // MinWeight finds a minimum-weight popular matching (§IV-E).
 func MinWeight(ins *Instance, w WeightFn, o Options) (Result, error) {
-	res, _, err := core.Optimize(ins, w, false, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.MinWeight(context.Background(), ins, w)
+	})
 }
 
 // RankMaximal finds a popular matching whose profile is lexicographically
 // maximal (most rank-1 assignments, then rank-2, ...; §IV-E).
 func RankMaximal(ins *Instance, o Options) (Result, error) {
-	res, _, err := core.RankMaximal(ins, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.RankMaximal(context.Background(), ins)
+	})
 }
 
 // Fair finds a fair popular matching (fewest last resorts, then fewest
 // worst-rank assignments, ...; §IV-E). Fair popular matchings are always
 // maximum-cardinality.
 func Fair(ins *Instance, o Options) (Result, error) {
-	res, _, err := core.Fair(ins, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.Fair(context.Background(), ins)
+	})
 }
 
 // SolveTies finds a popular matching of an instance whose lists may contain
 // ties (§V; the AIKM characterization), optionally of maximum cardinality.
 func SolveTies(ins *Instance, maximizeCardinality bool, o Options) (Result, error) {
-	res, err := core.SolveTies(ins, maximizeCardinality, o.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Exists {
-		out.Matching = res.Matching
-		out.Size = res.Matching.Size(ins)
-	}
-	return out, nil
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.SolveTies(context.Background(), ins, maximizeCardinality)
+	})
 }
 
 // Verify checks that m is popular: the Theorem 1 characterization for
 // strict instances, and reports nil exactly for popular matchings.
 func Verify(ins *Instance, m *Matching, o Options) error {
-	return core.VerifyPopular(ins, m, o.internal())
+	_, err := oneShot(o, func(s *Solver) (struct{}, error) {
+		return struct{}{}, s.Verify(context.Background(), ins, m)
+	})
+	return err
 }
 
 // UnpopularityMargin returns the best vote margin any challenger matching
@@ -209,14 +190,22 @@ func UnpopularityMargin(ins *Instance, m *Matching) int {
 // enumeration, using Theorem 9's product structure over the switching-graph
 // components.
 func Count(ins *Instance, o Options) (*big.Int, error) {
-	return core.CountPopular(ins, o.internal())
+	return oneShot(o, func(s *Solver) (*big.Int, error) {
+		opt, done := s.session(context.Background())
+		defer done()
+		return core.CountPopular(ins, opt)
+	})
 }
 
 // EnumerateAll yields every popular matching exactly once (Theorem 9's
 // bijection). The matching passed to yield is reused; clone to retain it.
 // The count is exponential in the number of switching-graph components.
 func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, error) {
-	return core.EnumerateAllPopular(ins, o.internal(), yield)
+	return oneShot(o, func(s *Solver) (bool, error) {
+		opt, done := s.session(context.Background())
+		defer done()
+		return core.EnumerateAllPopular(ins, opt, yield)
+	})
 }
 
 // MaxBipartiteMatching computes a maximum-cardinality matching of the
@@ -224,14 +213,10 @@ func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, e
 // vertex l; nRight right vertices) via Theorem 11's reduction: every edge
 // becomes a rank-1 preference and the popular-matching black box is invoked.
 // Returns the right partner of each left vertex (-1 unmatched) and the size.
-func MaxBipartiteMatching(adj [][]int32, nRight int, o Options) ([]int32, int, error) {
-	g := bipartite.New(len(adj), nRight)
-	for l, outs := range adj {
-		for _, r := range outs {
-			g.AddEdge(int32(l), r)
-		}
-	}
-	return core.MaxMatchingViaPopular(g, o.internal())
+func MaxBipartiteMatching(adj [][]int32, nRight int, o Options) (matchL []int32, size int, err error) {
+	s := NewSolver(o)
+	defer s.Close()
+	return s.MaxBipartiteMatching(context.Background(), adj, nRight)
 }
 
 // Generators re-exported for examples, tools and experiments.

@@ -1,0 +1,259 @@
+package popmatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// Solver is a reusable handle over a persistent execution context: a worker
+// pool whose goroutines outlive individual solves and a set of scratch
+// arenas recycled between solves. Construct with NewSolver, release with
+// Close.
+//
+// A Solver is safe for concurrent use: simultaneous solves share the worker
+// pool and each checks out its own arena. Every method takes a
+// context.Context; cancellation and deadlines are observed at bulk-
+// synchronous round boundaries, so aborted solves return promptly without
+// leaking goroutines.
+//
+// For a single throwaway computation the package-level functions (Solve,
+// MaxCardinality, ...) remain available as thin wrappers; a service handling
+// many instances should hold one Solver for the process lifetime and call
+// Solve/SolveBatch on it — repeated solves then reuse both workers and
+// scratch memory.
+type Solver struct {
+	pool    *par.Pool
+	ownPool bool
+	tracer  *par.Tracer
+	arenas  sync.Pool
+	closed  atomic.Bool
+}
+
+// NewSolver returns a Solver configured by o. Workers == 0 shares the
+// process-wide persistent pool; any other value provisions a dedicated pool
+// owned (and eventually closed) by this Solver.
+func NewSolver(o Options) *Solver {
+	s := &Solver{}
+	if o.Workers != 0 {
+		s.pool = par.NewPool(o.Workers)
+		s.ownPool = true
+	} else {
+		s.pool = par.Shared()
+	}
+	if o.Trace != nil {
+		s.tracer = &o.Trace.tracer
+	}
+	s.arenas.New = func() any { return exec.NewArena() }
+	return s
+}
+
+// Close releases the Solver's resources: a dedicated pool's worker
+// goroutines are stopped (the shared pool is left running). Idempotent; the
+// Solver must not be used afterwards.
+func (s *Solver) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// session checks out an arena and assembles the per-solve execution context;
+// the returned func returns the arena for reuse.
+func (s *Solver) session(ctx context.Context) (core.Options, func()) {
+	if s.closed.Load() {
+		panic("popmatch: Solve on closed Solver")
+	}
+	ar := s.arenas.Get().(*exec.Arena)
+	cx := exec.New(exec.Config{Context: ctx, Pool: s.pool, Tracer: s.tracer, Arena: ar})
+	return core.Options{Exec: cx}, func() { s.arenas.Put(ar) }
+}
+
+// Solve finds a popular matching of a strictly-ordered instance, or reports
+// that none exists (Algorithm 1; Theorem 3).
+func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, err := core.Popular(ins, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
+func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, _, err := core.MaxCardinality(ins, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// MaxWeight finds a maximum-weight popular matching (§IV-E).
+func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, _, err := core.Optimize(ins, w, true, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// MinWeight finds a minimum-weight popular matching (§IV-E).
+func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, _, err := core.Optimize(ins, w, false, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// RankMaximal finds a popular matching whose profile is lexicographically
+// maximal (§IV-E).
+func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, _, err := core.RankMaximal(ins, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// Fair finds a fair popular matching (§IV-E).
+func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, _, err := core.Fair(ins, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(ins, res), nil
+}
+
+// SolveTies finds a popular matching of an instance whose lists may contain
+// ties (§V), optionally of maximum cardinality.
+func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, err := core.SolveTies(ins, maximizeCardinality, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Exists: res.Exists, PeelRounds: -1}
+	if res.Exists {
+		out.Matching = res.Matching
+		out.Size = res.Matching.Size(ins)
+	}
+	return out, nil
+}
+
+// Verify checks that m is popular (Theorem 1 characterization).
+func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
+	opt, done := s.session(ctx)
+	defer done()
+	return core.VerifyPopular(ins, m, opt)
+}
+
+// UnpopularityMargin runs the independent Hungarian margin oracle (O(n³);
+// see the package-level function) under the Solver's execution context, so
+// the sweep is cancellable via ctx — the oracle usually dominates a
+// verified run's cost.
+func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Matching) (margin int, err error) {
+	opt, done := s.session(ctx)
+	defer done()
+	defer exec.CatchCancel(&err)
+	return onesided.UnpopularityMarginCtx(opt.Exec, ins, m), nil
+}
+
+// MaxBipartiteMatching computes a maximum-cardinality bipartite matching via
+// Theorem 11's reduction; see the package-level function for the contract.
+func (s *Solver) MaxBipartiteMatching(ctx context.Context, adj [][]int32, nRight int) ([]int32, int, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	g := bipartite.New(len(adj), nRight)
+	for l, outs := range adj {
+		for _, r := range outs {
+			g.AddEdge(int32(l), r)
+		}
+	}
+	return core.MaxMatchingViaPopular(g, opt)
+}
+
+// SolveBatch solves many instances over the Solver's one persistent pool,
+// pipelining up to Workers() solves concurrently so the round barriers of
+// one instance overlap the compute of another. results[i] corresponds to
+// instances[i]. The first failing solve cancels the remaining ones and its
+// error is returned; on a non-nil error the results are meaningless.
+func (s *Solver) SolveBatch(ctx context.Context, instances []*Instance) ([]Result, error) {
+	results := make([]Result, len(instances))
+	if len(instances) == 0 {
+		return results, nil
+	}
+	inflight := s.pool.Workers()
+	if inflight > len(instances) {
+		inflight = len(instances)
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(instances) || bctx.Err() != nil {
+					return
+				}
+				res, err := s.Solve(bctx, instances[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("popmatch: batch instance %d: %w", i, err)
+						cancel()
+					})
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Workers bail out on a cancelled parent context before any Solve can
+	// report it; surface the cancellation rather than a silent empty batch.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SolveBatch solves many instances with a throwaway Solver; services should
+// hold a Solver and call its SolveBatch instead to amortize the pool.
+func SolveBatch(ctx context.Context, instances []*Instance, o Options) ([]Result, error) {
+	s := NewSolver(o)
+	defer s.Close()
+	return s.SolveBatch(ctx, instances)
+}

@@ -1,0 +1,274 @@
+package popmatch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func solvableInstance(t testing.TB, n int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return Solvable(rng, n, n/4, 5)
+}
+
+func TestSolverMatchesOneShot(t *testing.T) {
+	ins := solvableInstance(t, 500)
+	want, err := Solve(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(Options{})
+	defer s.Close()
+	got, err := s.Solve(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exists != want.Exists || got.Size != want.Size {
+		t.Fatalf("solver result (exists=%v size=%d) != one-shot (exists=%v size=%d)",
+			got.Exists, got.Size, want.Exists, want.Size)
+	}
+	if err := s.Verify(context.Background(), ins, got.Matching); err != nil {
+		t.Fatalf("solver matching not popular: %v", err)
+	}
+}
+
+func TestSolverPoolReuseDeterministic(t *testing.T) {
+	// Workers: 1 is fully sequential: repeated solves on the same persistent
+	// pool (and recycled arenas) must be bit-identical — scratch reuse must
+	// not leak state between solves.
+	ins := solvableInstance(t, 800)
+	s := NewSolver(Options{Workers: 1})
+	defer s.Close()
+	first, err := s.Solve(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		got, err := s.Solve(context.Background(), ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Matching.PostOf) != len(first.Matching.PostOf) {
+			t.Fatal("matching size changed between solves")
+		}
+		for a := range got.Matching.PostOf {
+			if got.Matching.PostOf[a] != first.Matching.PostOf[a] {
+				t.Fatalf("round %d: applicant %d matched to %d, first solve had %d",
+					round, a, got.Matching.PostOf[a], first.Matching.PostOf[a])
+			}
+		}
+	}
+}
+
+func TestSolverCancellation(t *testing.T) {
+	// A pre-cancelled context must fail fast with context.Canceled and leak
+	// no goroutines, even on a large instance.
+	ins := solvableInstance(t, 20000)
+	s := NewSolver(Options{Workers: 4})
+	defer s.Close()
+	// Warm the pool so its (persistent, expected) workers are excluded from
+	// the leak accounting.
+	if _, err := s.Solve(context.Background(), ins); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := s.Solve(ctx, ins)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled solve took %v, want prompt return", d)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines grew from %d to %d after cancelled solve", before, got)
+	}
+	// The solver must remain usable after a cancelled solve.
+	res, err := s.Solve(context.Background(), ins)
+	if err != nil || !res.Exists {
+		t.Fatalf("solve after cancellation: res=%+v err=%v", res, err)
+	}
+}
+
+func TestSolverCancellationTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ins := RandomTies(rng, 300, 300, 2, 6, 0.3)
+	s := NewSolver(Options{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveTies(ctx, ins, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveTies err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBatchMatchesLoopedSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	instances := make([]*Instance, 12)
+	for i := range instances {
+		if i%3 == 2 {
+			instances[i] = Unsolvable(2 + i%4)
+		} else {
+			instances[i] = Solvable(rng, 100+i*17, 10, 4)
+		}
+	}
+	s := NewSolver(Options{})
+	defer s.Close()
+	batch, err := s.SolveBatch(context.Background(), instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(instances) {
+		t.Fatalf("batch returned %d results for %d instances", len(batch), len(instances))
+	}
+	for i, ins := range instances {
+		want, err := s.Solve(context.Background(), ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if got.Exists != want.Exists || got.Size != want.Size {
+			t.Fatalf("instance %d: batch (exists=%v size=%d) != loop (exists=%v size=%d)",
+				i, got.Exists, got.Size, want.Exists, want.Size)
+		}
+		if got.Exists {
+			if err := s.Verify(context.Background(), ins, got.Matching); err != nil {
+				t.Fatalf("instance %d: batch matching not popular: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestSolveBatchCancelled(t *testing.T) {
+	instances := make([]*Instance, 8)
+	for i := range instances {
+		instances[i] = solvableInstance(t, 2000)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveBatch(ctx, instances, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	s := NewSolver(Options{})
+	defer s.Close()
+	res, err := s.SolveBatch(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+}
+
+func TestSolverConcurrentUse(t *testing.T) {
+	ins := solvableInstance(t, 400)
+	s := NewSolver(Options{})
+	defer s.Close()
+	want, err := s.Solve(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 10; i++ {
+				got, err := s.Solve(context.Background(), ins)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got.Size != want.Size {
+					done <- errors.New("concurrent solve diverged")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverReuse measures repeated solves on one persistent Solver
+// (pool + arena reuse); compare its allocs/op with BenchmarkOneShotSolve to
+// see what the execution-context layer saves per request.
+func BenchmarkSolverReuse(b *testing.B) {
+	ins := solvableInstance(b, 2000)
+	s := NewSolver(Options{})
+	defer s.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(ctx, ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneShotSolve is the pre-Solver path: every call assembles a fresh
+// execution context with no arena.
+func BenchmarkOneShotSolve(b *testing.B) {
+	ins := solvableInstance(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ins, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveBatch pipelines a fixed batch over the persistent pool.
+func BenchmarkSolveBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	instances := make([]*Instance, 16)
+	for i := range instances {
+		instances[i] = Solvable(rng, 500, 50, 4)
+	}
+	s := NewSolver(Options{})
+	defer s.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveBatch(ctx, instances); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolverUnpopularityMarginCancellable(t *testing.T) {
+	ins := solvableInstance(t, 400)
+	s := NewSolver(Options{})
+	defer s.Close()
+	res, err := s.Solve(context.Background(), ins)
+	if err != nil || !res.Exists {
+		t.Fatalf("setup solve: %+v %v", res, err)
+	}
+	margin, err := s.UnpopularityMargin(context.Background(), ins, res.Matching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin > 0 {
+		t.Fatalf("oracle rejects a verified-popular matching: margin=%d", margin)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.UnpopularityMargin(ctx, ins, res.Matching); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,7 @@
 package stablematch
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/par"
@@ -41,18 +42,24 @@ var (
 	PaperMatching = stable.PaperFigure5Matching
 )
 
-// Options configures the parallel routines; zero value = all CPUs.
+// Options configures the parallel routines; the zero value runs on the
+// process-wide persistent pool (all CPUs) with no cancellation.
 type Options struct {
-	// Workers sets the goroutine pool size; 0 means all CPUs.
+	// Workers sets the goroutine pool size; 0 shares the process-wide
+	// persistent pool. Each distinct non-zero value provisions a
+	// process-lifetime pool of that size (par.SharedSized), so use a small,
+	// fixed set of sizes — not request-derived values.
 	Workers int
+	// Ctx carries cancellation/deadlines, checked at every parallel round
+	// boundary; nil means context.Background().
+	Ctx context.Context
 }
 
 func (o Options) internal() stable.Options {
-	var opt stable.Options
-	if o.Workers != 0 {
-		opt.Pool = par.NewPool(o.Workers)
-	}
-	return opt
+	// Worker pools are process-wide and persistent (see par.SharedSized), so
+	// every entry point here is a thin wrapper over the shared execution
+	// substrate: repeated calls reuse the same worker goroutines.
+	return stable.Options{Pool: par.SharedSized(o.Workers), Ctx: o.Ctx}
 }
 
 // GaleShapley computes the man-optimal stable matching.

@@ -1,6 +1,8 @@
 package stablematch
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -117,5 +119,38 @@ func TestEliminatePublic(t *testing.T) {
 	}
 	if err := Verify(ins, next); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCancelledContextDoesNotPanicNonErrorOps(t *testing.T) {
+	// Operations without an error return (Eliminate, Meet, Join, Dominates)
+	// must run to completion under a cancelled context rather than letting
+	// the cancellation sentinel escape as a panic; error-returning entry
+	// points report the cancellation instead.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Ctx: ctx}
+	ins := PaperInstance()
+	m := PaperMatching()
+
+	rots, err := ExposedRotations(ins, m, Options{})
+	if err != nil || len(rots) == 0 {
+		t.Fatalf("setup: rots=%v err=%v", rots, err)
+	}
+	next := Eliminate(m, rots[0], opt) // must not panic
+	if err := Verify(ins, next); err != nil {
+		t.Fatalf("elimination under cancelled ctx broke stability: %v", err)
+	}
+	if !Dominates(ins, m, next, opt) {
+		t.Fatal("m should dominate its elimination")
+	}
+	_ = Meet(ins, m, next, opt)
+	_ = Join(ins, m, next, opt)
+
+	if _, err := ExposedRotations(ins, m, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExposedRotations err = %v, want context.Canceled", err)
+	}
+	if _, err := LatticeWalk(ins, m, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LatticeWalk err = %v, want context.Canceled", err)
 	}
 }
