@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-file tests pin the exact stdout of the command-line tools on
+// committed fixtures, so the output format (including the capacitated
+// per-post assignment lists and the `c` capacity header) cannot drift
+// silently. Regenerate with:
+//
+//	go test -run TestCLIGolden -update-golden
+//
+// All runs use -workers 1 where applicable, which the API documents as
+// fully deterministic.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/golden")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestCLIGoldenPopmatchCapacitated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, err := runTool(t, "", "./cmd/popmatch", "-workers", "1", "-verify", "testdata/cap_contended.txt")
+	if err != nil {
+		t.Fatalf("popmatch: %v\n%s", err, out)
+	}
+	checkGolden(t, "popmatch_cap_contended.out", out)
+
+	out, err = runTool(t, "", "./cmd/popmatch", "-workers", "1", "-mode", "maxcard", "testdata/cap_contended.txt")
+	if err != nil {
+		t.Fatalf("popmatch -mode maxcard: %v\n%s", err, out)
+	}
+	checkGolden(t, "popmatch_cap_contended_maxcard.out", out)
+}
+
+func TestCLIGoldenPopmatchUnit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, err := runTool(t, "", "./cmd/popmatch", "-workers", "1", "-verify", "testdata/unit_small.txt")
+	if err != nil {
+		t.Fatalf("popmatch: %v\n%s", err, out)
+	}
+	checkGolden(t, "popmatch_unit_small.out", out)
+}
+
+func TestCLIGoldenGeninstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out, err := runTool(t, "", "./cmd/geninstance", "-kind", "capacitated",
+		"-applicants", "8", "-posts", "5", "-maxlen", "3", "-maxcap", "3", "-seed", "5")
+	if err != nil {
+		t.Fatalf("geninstance: %v\n%s", err, out)
+	}
+	checkGolden(t, "geninstance_capacitated.out", out)
+
+	// -maxcap composes with the other kinds.
+	out, err = runTool(t, "", "./cmd/geninstance", "-kind", "ties",
+		"-applicants", "6", "-posts", "4", "-maxlen", "3", "-maxcap", "2", "-seed", "9")
+	if err != nil {
+		t.Fatalf("geninstance -kind ties: %v\n%s", err, out)
+	}
+	checkGolden(t, "geninstance_ties_maxcap.out", out)
+
+	// The historical unit format is pinned too: no capacity header.
+	out, err = runTool(t, "", "./cmd/geninstance", "-kind", "solvable",
+		"-applicants", "6", "-posts", "8", "-maxlen", "3", "-seed", "7")
+	if err != nil {
+		t.Fatalf("geninstance -kind solvable: %v\n%s", err, out)
+	}
+	checkGolden(t, "geninstance_solvable.out", out)
+}
+
+// TestCLICapacitatedPipeline pipes geninstance -maxcap output straight into
+// popmatch, covering the `c` header through both binaries.
+func TestCLICapacitatedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	instance, err := runTool(t, "", "./cmd/geninstance", "-kind", "capacitated",
+		"-applicants", "20", "-posts", "10", "-maxlen", "4", "-maxcap", "4", "-seed", "11")
+	if err != nil {
+		t.Fatalf("geninstance: %v\n%s", err, instance)
+	}
+	out, err := runTool(t, instance, "./cmd/popmatch", "-workers", "1", "-mode", "tiesmax", "-verify")
+	if err != nil {
+		t.Fatalf("popmatch: %v\n%s", err, out)
+	}
+	for _, want := range []string{"a0 ->", "p0 <-", "# verified popular"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

@@ -2,9 +2,13 @@
 //
 // Usage:
 //
-//	geninstance [-kind random|zipf|ties|solvable|unsolvable|broom]
+//	geninstance [-kind random|zipf|ties|solvable|unsolvable|broom|capacitated]
 //	            [-applicants N] [-posts N] [-minlen N] [-maxlen N]
-//	            [-skew F] [-tieprob F] [-depth N] [-seed N]
+//	            [-skew F] [-tieprob F] [-depth N] [-maxcap N] [-seed N]
+//
+// -maxcap > 1 attaches uniform random per-post capacities in [1, maxcap] to
+// any kind, emitted as the `c <caps...>` header line; kind=capacitated is
+// shorthand for kind=random with capacities (default maxcap 3).
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geninstance: ")
-	kind := flag.String("kind", "random", "random|zipf|ties|solvable|unsolvable|broom")
+	kind := flag.String("kind", "random", "random|zipf|ties|solvable|unsolvable|broom|capacitated")
 	applicants := flag.Int("applicants", 100, "number of applicants")
 	posts := flag.Int("posts", 100, "number of posts")
 	minLen := flag.Int("minlen", 1, "minimum list length")
@@ -28,6 +32,7 @@ func main() {
 	skew := flag.Float64("skew", 1.0, "Zipf exponent (kind=zipf)")
 	tieProb := flag.Float64("tieprob", 0.3, "tie probability (kind=ties)")
 	depth := flag.Int("depth", 8, "tree depth (kind=broom); groups (kind=unsolvable)")
+	maxCap := flag.Int("maxcap", 1, "attach per-post capacities uniform in [1,maxcap] (1 = unit posts)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -50,8 +55,18 @@ func main() {
 		ins = popmatch.Unsolvable(*depth)
 	case "broom":
 		ins = popmatch.BinaryBroom(*depth)
+	case "capacitated":
+		if *maxCap < 2 {
+			*maxCap = 3
+		}
+		ins = popmatch.RandomCapacitated(rng, *applicants, *posts, *minLen, *maxLen, *maxCap)
 	default:
 		log.Fatalf("unknown kind %q", *kind)
+	}
+	if *maxCap > 1 && ins.Capacities == nil {
+		if err := ins.SetCapacities(popmatch.RandomCapacities(rng, ins.NumPosts, *maxCap)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

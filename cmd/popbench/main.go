@@ -5,17 +5,21 @@
 //
 //	popbench [-seed N] [-table T1,...] [-markdown]
 //	popbench -json BENCH_pool.json [-seed N]
+//	popbench -json BENCH_capacitated.json -scenario capacitated [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
-// With -json it instead benchmarks the execution-context layer (persistent
-// Solver vs one-shot vs SolveBatch) and writes a JSON array of records —
-// instance size, workers, PRAM rounds/work, ns/op, allocs/op — so successive
-// PRs can diff the perf trajectory.
+// With -json it instead benchmarks a machine-readable scenario and writes a
+// JSON array of records — instance size, workers, PRAM rounds/work, ns/op,
+// allocs/op — so successive PRs can diff the perf trajectory. -scenario
+// selects which: `pool` (default) measures the execution-context layer
+// (persistent Solver vs one-shot vs SolveBatch); `capacitated` measures the
+// CHA clone-reduction pipeline against its unit baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,10 +30,21 @@ func main() {
 	seed := flag.Int64("seed", 2020, "random seed shared by all workloads")
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
-	jsonPath := flag.String("json", "", "write the pool benchmark as JSON to this file ('-' = stdout) and exit")
+	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated")
 	flag.Parse()
 
 	if *jsonPath != "" {
+		var writeJSON func(io.Writer, int64) error
+		switch *scenario {
+		case "pool":
+			writeJSON = bench.WritePoolJSON
+		case "capacitated":
+			writeJSON = bench.WriteCapacitatedJSON
+		default:
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated)\n", *scenario)
+			os.Exit(2)
+		}
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)
@@ -40,7 +55,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := bench.WritePoolJSON(out, *seed); err != nil {
+		if err := writeJSON(out, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -11,7 +11,9 @@
 //	a0: p0 (p2 p3) p1        # parentheses = tie class
 //
 // Output: one line per applicant `a<i> -> p<j>` (or `a<i> -> last-resort`),
-// followed by a summary.
+// followed by a summary. Capacitated instances (a `c <caps...>` header in
+// the input) are solved through the clone reduction; the per-applicant lines
+// are followed by per-post assignment lists `p<j> <- a... (k/cap)`.
 package main
 
 import (
@@ -82,11 +84,27 @@ func main() {
 		fmt.Println("no popular matching exists")
 		os.Exit(1)
 	}
-	for a, p := range res.Matching.PostOf {
+	var postOf []int32
+	if res.Assignment != nil {
+		postOf = res.Assignment.PostOf
+	} else {
+		postOf = res.Matching.PostOf
+	}
+	for a, p := range postOf {
 		if int(p) >= ins.NumPosts {
 			fmt.Printf("a%d -> last-resort\n", a)
 		} else {
 			fmt.Printf("a%d -> p%d\n", a, p)
+		}
+	}
+	if res.Assignment != nil {
+		// Capacitated view: one line per post with its assigned applicants.
+		for p := int32(0); int(p) < ins.NumPosts; p++ {
+			fmt.Printf("p%d <-", p)
+			for _, a := range res.Assignment.AssignedTo(p) {
+				fmt.Printf(" a%d", a)
+			}
+			fmt.Printf(" (%d/%d)\n", len(res.Assignment.AssignedTo(p)), ins.Capacity(p))
 		}
 	}
 	fmt.Printf("# size=%d of %d applicants", res.Size, ins.NumApplicants)
@@ -98,17 +116,23 @@ func main() {
 		fmt.Printf("# rounds=%d work=%d\n", trace.Rounds(), trace.Work())
 	}
 	if *verify {
-		if ins.Strict() {
-			if err := s.Verify(ctx, ins, res.Matching); err != nil {
+		if res.Assignment != nil {
+			if err := s.VerifyAssignment(ctx, ins, res.Assignment); err != nil {
 				log.Fatalf("verification failed: %v", err)
 			}
-		}
-		margin, err := s.UnpopularityMargin(ctx, ins, res.Matching)
-		if err != nil {
-			log.Fatal(err) // -timeout bounds the oracle too
-		}
-		if margin > 0 {
-			log.Fatalf("margin oracle rejects the matching: %d", margin)
+		} else {
+			if ins.Strict() {
+				if err := s.Verify(ctx, ins, res.Matching); err != nil {
+					log.Fatalf("verification failed: %v", err)
+				}
+			}
+			margin, err := s.UnpopularityMargin(ctx, ins, res.Matching)
+			if err != nil {
+				log.Fatal(err) // -timeout bounds the oracle too
+			}
+			if margin > 0 {
+				log.Fatalf("margin oracle rejects the matching: %d", margin)
+			}
 		}
 		fmt.Println("# verified popular")
 	}

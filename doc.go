@@ -15,6 +15,14 @@
 // round boundary checks the context for cancellation. The pre-existing
 // one-shot functions (popmatch.Solve, ...) remain as thin wrappers.
 //
+// Capacitated posts (CHA) are supported end to end: instances built with
+// popmatch.NewCapacitated (or carrying a `c` capacity header in the text
+// format) route through the post-cloning reduction onto the ties solver and
+// fold back to a many-to-one Assignment; see the README's "Capacitated
+// posts" section. A brute-force popularity oracle (internal/onesided)
+// cross-validates both the unit and capacitated paths in the differential
+// test suites, including "no popular matching exists" answers.
+//
 // The parallel substrate and algorithm internals are under internal/; see
 // README.md for the package map. The benchmarks in bench_test.go regenerate
 // the experiment tables of EXPERIMENTS.md (one benchmark family per table);

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/popmatch"
+)
+
+// capacitatedInstance builds the deterministic capacitated workload for size
+// n: a contended CHA instance where list lengths and capacities keep total
+// seats close to the applicant count, so the clone reduction and fold both
+// do real work.
+func capacitatedInstance(seed int64, n int) *popmatch.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return popmatch.RandomCapacitated(rng, n, n/2, 2, 6, 4)
+}
+
+// CapacitatedBench measures the capacitated solve pipeline — clone
+// expansion, the §V ties solver on the cloned instance, and the fold back to
+// a many-to-one assignment — against the unit baseline of the same solver,
+// across instance sizes and worker counts. Records reuse the PoolRecord
+// shape so BENCH_capacitated.json diffs like BENCH_pool.json.
+func CapacitatedBench(seed int64) []PoolRecord {
+	var out []PoolRecord
+	workersSet := []int{1, runtime.GOMAXPROCS(0)}
+	if workersSet[1] == 1 {
+		workersSet = workersSet[:1]
+	}
+	for _, n := range []int{200, 500, 1000} {
+		ins := capacitatedInstance(seed, n)
+		for _, workers := range workersSet {
+			s := popmatch.NewSolver(popmatch.Options{Workers: workers})
+			capSolve := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(ctx, ins); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			s.Close()
+			out = append(out, record("capacitated_solve", n, 1, workers, 0, 0, capSolve))
+
+			// Unit baseline: the same preference lists with capacities
+			// stripped, so the clone-reduction overhead is the diff.
+			unit := ins.Clone()
+			if err := unit.SetCapacities(nil); err != nil {
+				panic(err)
+			}
+			s = popmatch.NewSolver(popmatch.Options{Workers: workers})
+			unitSolve := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(ctx, unit); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			s.Close()
+			out = append(out, record("capacitated_unit_baseline", n, 1, workers, 0, 0, unitSolve))
+		}
+	}
+	return out
+}
+
+// WriteCapacitatedJSON runs CapacitatedBench and writes the records as
+// indented JSON (the BENCH_capacitated.json baseline).
+func WriteCapacitatedJSON(w io.Writer, seed int64) error {
+	records := CapacitatedBench(seed)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

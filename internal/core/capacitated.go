@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/onesided"
+)
+
+// Capacitated house allocation (CHA): the capacitated popular matching
+// problem reduces to the paper's unit-capacity model by post cloning
+// (onesided.Expand) — post p of capacity c(p) becomes c(p) tied unit posts —
+// and the resulting instance, which has ties whenever some capacity exceeds
+// one, is solved with the §V ties machinery (the AIKM characterization).
+// The unit matching then folds back to a many-to-one Assignment of the
+// original instance. Unit-capacity instances bypass the reduction entirely
+// and run the exact same code path as before capacities existed, so they
+// return bit-identical matchings.
+
+// CapResult reports a capacitated computation.
+type CapResult struct {
+	// Assignment is the capacitated matching, nil when Exists is false.
+	Assignment *onesided.Assignment
+	// Matching is the unit matching the assignment was folded from: the
+	// native result for unit-capacity instances (identical to the uncapacitated
+	// code path), or the cloned-instance matching for capacitated ones.
+	Matching *onesided.Matching
+	// Exists reports whether a popular assignment exists.
+	Exists bool
+	// Peel carries Algorithm 2's statistics when the unit strict path ran
+	// underneath; nil otherwise.
+	Peel *PeelStats
+}
+
+// SolveCapacitated finds a popular matching of a possibly-capacitated
+// instance, or reports that none exists. maximizeCardinality additionally
+// maximizes the number of applicants on real posts among popular
+// assignments.
+//
+// Unit-capacity instances are routed to the exact historical path — strict
+// instances to Algorithm 1 / Algorithm 3, tied ones to the §V solver — so
+// existing callers see bit-identical results; capacitated ones go through
+// the clone reduction.
+func SolveCapacitated(ins *onesided.Instance, maximizeCardinality bool, opt Options) (CapResult, error) {
+	if ins.UnitCapacity() {
+		m, exists, peel, err := solveUnit(ins, maximizeCardinality, opt)
+		if err != nil || !exists {
+			return CapResult{Peel: peel}, err
+		}
+		as, err := onesided.AssignmentFromPostOf(ins, m.PostOf)
+		if err != nil {
+			return CapResult{}, fmt.Errorf("core: unit solve produced an invalid assignment: %w", err)
+		}
+		return CapResult{Assignment: as, Matching: m, Exists: true, Peel: peel}, nil
+	}
+
+	unit, cloneOf, _, err := ins.Expand()
+	if err != nil {
+		return CapResult{}, err
+	}
+	res, err := SolveTies(unit, maximizeCardinality, opt)
+	if err != nil || !res.Exists {
+		return CapResult{}, err
+	}
+	as, err := onesided.Fold(ins, unit, cloneOf, res.Matching)
+	if err != nil {
+		return CapResult{}, fmt.Errorf("core: clone reduction folded to an invalid assignment: %w", err)
+	}
+	return CapResult{Assignment: as, Matching: res.Matching, Exists: true}, nil
+}
+
+// solveUnit dispatches a unit-capacity instance to the historical solvers.
+func solveUnit(ins *onesided.Instance, maximizeCardinality bool, opt Options) (*onesided.Matching, bool, *PeelStats, error) {
+	if !ins.Strict() {
+		res, err := SolveTies(ins, maximizeCardinality, opt)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return res.Matching, res.Exists, nil, nil
+	}
+	if maximizeCardinality {
+		res, _, err := MaxCardinality(ins, opt)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return res.Matching, res.Exists, res.Peel, nil
+	}
+	res, err := Popular(ins, opt)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return res.Matching, res.Exists, res.Peel, nil
+}

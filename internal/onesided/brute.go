@@ -84,6 +84,47 @@ func AllPopularBrute(ins *Instance) []*Matching {
 	return popular
 }
 
+// NonePopularBrute verifies a "no popular matching exists" answer by
+// definition: it enumerates every applicant-complete matching and confirms
+// each one is beaten by some other. O(N²) in the number N of matchings —
+// tiny instances only.
+func NonePopularBrute(ins *Instance) bool {
+	none := true
+	EnumerateMatchings(ins, func(cand *Matching) bool {
+		beaten := false
+		EnumerateMatchings(ins, func(other *Matching) bool {
+			if MorePopular(ins, other, cand) {
+				beaten = true
+				return false
+			}
+			return true
+		})
+		if !beaten {
+			none = false
+			return false
+		}
+		return true
+	})
+	return none
+}
+
+// NonePopularOracle verifies a "no popular matching exists" answer with the
+// exact margin oracle: every applicant-complete matching must have a
+// challenger with a positive vote margin. O(N · n³) instead of O(N²) vote
+// comparisons, so it reaches somewhat larger instances than
+// NonePopularBrute.
+func NonePopularOracle(ins *Instance) bool {
+	none := true
+	EnumerateMatchings(ins, func(m *Matching) bool {
+		if UnpopularityMargin(ins, m) <= 0 {
+			none = false
+			return false
+		}
+		return true
+	})
+	return none
+}
+
 // MaxPopularSizeBrute returns the size of a largest popular matching, or
 // -1 if no popular matching exists.
 func MaxPopularSizeBrute(ins *Instance) int {

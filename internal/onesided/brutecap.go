@@ -1,0 +1,114 @@
+package onesided
+
+// Brute-force popularity oracles for capacitated (CHA) instances. Like the
+// unit-capacity oracles in brute.go they are ground truth for differential
+// tests: exhaustive enumeration of applicant-complete assignments, with
+// popularity decided either by definition (pairwise vote comparison) or by
+// the exact Hungarian margin oracle on the cloned instance.
+
+// EnumerateAssignments calls yield for every applicant-complete capacitated
+// assignment of the augmented instance: each applicant takes a post from
+// their list with spare capacity, or their last resort. Enumeration stops
+// early if yield returns false. The postOf slice passed to yield is reused
+// between calls; copy it to keep it.
+//
+// The number of assignments is exponential; callers are tests on tiny
+// instances.
+func EnumerateAssignments(ins *Instance, yield func(postOf []int32) bool) {
+	postOf := make([]int32, ins.NumApplicants)
+	spare := make([]int32, ins.NumPosts)
+	for p := range spare {
+		spare[p] = ins.Capacity(int32(p))
+	}
+	var rec func(a int) bool
+	rec = func(a int) bool {
+		if a == ins.NumApplicants {
+			return yield(postOf)
+		}
+		for _, p := range ins.Lists[a] {
+			if spare[p] == 0 {
+				continue
+			}
+			spare[p]--
+			postOf[a] = p
+			if !rec(a + 1) {
+				return false
+			}
+			spare[p]++
+		}
+		postOf[a] = ins.LastResort(a)
+		return rec(a + 1)
+	}
+	rec(0)
+}
+
+// IsPopularAssignmentBrute decides popularity of a capacitated assignment by
+// definition: no applicant-complete assignment wins the pairwise vote
+// against it. (Restricting challengers to applicant-complete assignments is
+// without loss of generality, as in the unit case.)
+func IsPopularAssignmentBrute(ins *Instance, as *Assignment) bool {
+	popular := true
+	EnumerateAssignments(ins, func(other []int32) bool {
+		x, y := CompareVotesPostOf(ins, other, as.PostOf)
+		if x > y {
+			popular = false
+			return false
+		}
+		return true
+	})
+	return popular
+}
+
+// NonePopularAssignmentBrute verifies a "no popular assignment exists"
+// answer by definition: every applicant-complete assignment is beaten by
+// some other. O(N²) in the number N of assignments — tiny instances only.
+func NonePopularAssignmentBrute(ins *Instance) bool {
+	none := true
+	EnumerateAssignments(ins, func(cand []int32) bool {
+		beaten := false
+		EnumerateAssignments(ins, func(other []int32) bool {
+			x, y := CompareVotesPostOf(ins, other, cand)
+			if x > y {
+				beaten = true
+				return false
+			}
+			return true
+		})
+		if !beaten {
+			none = false
+			return false
+		}
+		return true
+	})
+	return none
+}
+
+// NonePopularAssignmentOracle verifies a "no popular assignment exists"
+// answer with the exact margin oracle: it enumerates every
+// applicant-complete assignment of ins and confirms each has a challenger
+// with a positive vote margin. O(N · n³) instead of O(N²) vote comparisons,
+// so it reaches somewhat larger instances than NonePopularAssignmentBrute.
+func NonePopularAssignmentOracle(ins *Instance) (bool, error) {
+	unit, _, firstClone, err := ins.Expand()
+	if err != nil {
+		return false, err
+	}
+	none := true
+	var failed error
+	EnumerateAssignments(ins, func(postOf []int32) bool {
+		as, err := AssignmentFromPostOf(ins, postOf)
+		if err != nil {
+			failed = err
+			return false
+		}
+		if UnpopularityMargin(unit, Lift(ins, unit, firstClone, as)) <= 0 {
+			none = false
+			return false
+		}
+		return true
+	})
+	if failed != nil {
+		return false, failed
+	}
+	return none, nil
+}

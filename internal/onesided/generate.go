@@ -214,6 +214,39 @@ func BinaryBroom(depth int) *Instance {
 	return ins
 }
 
+// RandomCapacities draws a per-post capacity vector with entries uniform in
+// [1, maxCap].
+func RandomCapacities(rng *rand.Rand, numPosts, maxCap int) []int32 {
+	if maxCap < 1 {
+		maxCap = 1
+	}
+	caps := make([]int32, numPosts)
+	for p := range caps {
+		caps[p] = int32(1 + rng.Intn(maxCap))
+	}
+	return caps
+}
+
+// RandomCapacitated generates a capacitated (CHA) instance: strict uniform
+// random lists as in RandomStrict, plus per-post capacities uniform in
+// [1, maxCap].
+func RandomCapacitated(rng *rand.Rand, numApplicants, numPosts, minLen, maxLen, maxCap int) *Instance {
+	ins := RandomStrict(rng, numApplicants, numPosts, minLen, maxLen)
+	if err := ins.SetCapacities(RandomCapacities(rng, numPosts, maxCap)); err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// RandomCapacitatedTies is RandomCapacitated with tie classes in the lists.
+func RandomCapacitatedTies(rng *rand.Rand, numApplicants, numPosts, minLen, maxLen, maxCap int, tieProb float64) *Instance {
+	ins := RandomTies(rng, numApplicants, numPosts, minLen, maxLen, tieProb)
+	if err := ins.SetCapacities(RandomCapacities(rng, numPosts, maxCap)); err != nil {
+		panic(err)
+	}
+	return ins
+}
+
 // RandomSmall generates tiny instances for brute-force differential tests:
 // up to maxA applicants, maxP posts, short lists, optionally with ties.
 func RandomSmall(rng *rand.Rand, maxA, maxP int, ties bool) *Instance {
@@ -227,4 +260,15 @@ func RandomSmall(rng *rand.Rand, maxA, maxP int, ties bool) *Instance {
 		return RandomTies(rng, n1, n2, 1, maxLen, 0.4)
 	}
 	return RandomStrict(rng, n1, n2, 1, maxLen)
+}
+
+// RandomSmallCapacitated generates tiny capacitated instances for the
+// brute-force differential suite: like RandomSmall, plus capacities uniform
+// in [1, maxCap].
+func RandomSmallCapacitated(rng *rand.Rand, maxA, maxP, maxCap int, ties bool) *Instance {
+	ins := RandomSmall(rng, maxA, maxP, ties)
+	if err := ins.SetCapacities(RandomCapacities(rng, ins.NumPosts, maxCap)); err != nil {
+		panic(err)
+	}
+	return ins
 }

@@ -23,11 +23,17 @@ import (
 // last-resort post l(a) = NumPosts + a, ranked strictly below everything on
 // the list. Last resorts are not stored in Lists; code paths that need them
 // use LastResort and TotalPosts.
+//
+// Capacities, when non-nil, turns the instance into a capacitated house
+// allocation (CHA) instance: post p may hold up to Capacities[p] applicants.
+// A nil vector means every post has capacity 1 (the paper's model). The
+// capacitated case reduces to the unit case by post cloning; see Expand.
 type Instance struct {
 	NumApplicants int
 	NumPosts      int
 	Lists         [][]int32
 	Ranks         [][]int32
+	Capacities    []int32
 
 	rankOnce sync.Once
 	rankMaps []map[int32]int32
@@ -60,11 +66,22 @@ func NewWithTies(numPosts int, lists [][]int32, ranks [][]int32) (*Instance, err
 }
 
 // Validate checks structural invariants: non-empty lists, in-range distinct
-// posts, and 1-based nondecreasing ranks starting at 1.
+// posts, 1-based nondecreasing ranks starting at 1, and (when present)
+// positive per-post capacities.
 func (ins *Instance) Validate() error {
 	if len(ins.Lists) != ins.NumApplicants || len(ins.Ranks) != ins.NumApplicants {
 		return fmt.Errorf("onesided: %d applicants but %d lists / %d rank rows",
 			ins.NumApplicants, len(ins.Lists), len(ins.Ranks))
+	}
+	if ins.Capacities != nil {
+		if len(ins.Capacities) != ins.NumPosts {
+			return fmt.Errorf("onesided: %d posts but %d capacities", ins.NumPosts, len(ins.Capacities))
+		}
+		for p, c := range ins.Capacities {
+			if c < 1 {
+				return fmt.Errorf("onesided: post %d has capacity %d, want >= 1", p, c)
+			}
+		}
 	}
 	for a, l := range ins.Lists {
 		if len(l) == 0 {
@@ -90,6 +107,52 @@ func (ins *Instance) Validate() error {
 				return fmt.Errorf("onesided: applicant %d ranks not contiguous at position %d", a, i)
 			}
 		}
+	}
+	return nil
+}
+
+// Capacity returns the capacity of real post p (1 when Capacities is nil).
+func (ins *Instance) Capacity(p int32) int32 {
+	if ins.Capacities == nil {
+		return 1
+	}
+	return ins.Capacities[p]
+}
+
+// UnitCapacity reports whether every post has capacity 1 — the paper's
+// original model. Instances with a nil capacity vector, or an explicit
+// all-ones vector, are unit-capacity and solved by the unmodified unit-post
+// algorithms; anything else goes through the clone reduction (Expand).
+func (ins *Instance) UnitCapacity() bool {
+	for _, c := range ins.Capacities {
+		if c != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalCapacity is the sum of real-post capacities (NumPosts when the
+// instance is unit-capacity).
+func (ins *Instance) TotalCapacity() int {
+	if ins.Capacities == nil {
+		return ins.NumPosts
+	}
+	total := 0
+	for _, c := range ins.Capacities {
+		total += int(c)
+	}
+	return total
+}
+
+// SetCapacities attaches a per-post capacity vector (nil restores unit
+// capacities), validating it against the instance.
+func (ins *Instance) SetCapacities(caps []int32) error {
+	old := ins.Capacities
+	ins.Capacities = caps
+	if err := ins.Validate(); err != nil {
+		ins.Capacities = old
+		return err
 	}
 	return nil
 }
@@ -151,10 +214,15 @@ func (ins *Instance) Clone() *Instance {
 		lists[a] = append([]int32(nil), ins.Lists[a]...)
 		ranks[a] = append([]int32(nil), ins.Ranks[a]...)
 	}
+	var caps []int32
+	if ins.Capacities != nil {
+		caps = append([]int32(nil), ins.Capacities...)
+	}
 	return &Instance{
 		NumApplicants: ins.NumApplicants,
 		NumPosts:      ins.NumPosts,
 		Lists:         lists,
 		Ranks:         ranks,
+		Capacities:    caps,
 	}
 }

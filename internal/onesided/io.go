@@ -11,6 +11,7 @@ import (
 // Text interchange format, one instance per stream:
 //
 //	posts <numPosts>
+//	c 2 1 3 ...
 //	a0: p1 p4 p5
 //	a1: (p4 p5) p7
 //	...
@@ -19,11 +20,24 @@ import (
 // preferred first. Parenthesized groups are tie classes. Post tokens are
 // `p<id>`; applicant labels before the colon are decorative and ignored.
 // Blank lines and lines starting with '#' are skipped.
+//
+// The optional `c` line, directly after the `posts` header and before any
+// preference list, gives per-post capacities (one positive integer per
+// post). It is omitted for unit-capacity instances, so files written by
+// older versions parse unchanged and unit instances round-trip to the
+// historical format.
 
 // Write serializes ins in the text format.
 func Write(w io.Writer, ins *Instance) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "posts %d\n", ins.NumPosts)
+	if ins.Capacities != nil {
+		bw.WriteString("c")
+		for _, c := range ins.Capacities {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		bw.WriteByte('\n')
+	}
 	for a := 0; a < ins.NumApplicants; a++ {
 		fmt.Fprintf(bw, "a%d:", a)
 		l, r := ins.Lists[a], ins.Ranks[a]
@@ -56,6 +70,7 @@ func Read(r io.Reader) (*Instance, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	numPosts := -1
+	var capacities []int32
 	var lists [][]int32
 	var ranks [][]int32
 	lineNo := 0
@@ -71,6 +86,20 @@ func Read(r io.Reader) (*Instance, error) {
 				return nil, fmt.Errorf("onesided: line %d: expected `posts <n>` header: %v", lineNo, err)
 			}
 			numPosts = n
+			continue
+		}
+		if isCapacityLine(line) {
+			if capacities != nil {
+				return nil, fmt.Errorf("onesided: line %d: duplicate capacity line", lineNo)
+			}
+			if len(lists) > 0 {
+				return nil, fmt.Errorf("onesided: line %d: capacity line must precede preference lists", lineNo)
+			}
+			caps, err := parseCapacities(line, numPosts)
+			if err != nil {
+				return nil, fmt.Errorf("onesided: line %d: %v", lineNo, err)
+			}
+			capacities = caps
 			continue
 		}
 		if i := strings.IndexByte(line, ':'); i >= 0 {
@@ -89,7 +118,43 @@ func Read(r io.Reader) (*Instance, error) {
 	if numPosts < 0 {
 		return nil, fmt.Errorf("onesided: missing `posts <n>` header")
 	}
-	return NewWithTies(numPosts, lists, ranks)
+	ins, err := NewWithTies(numPosts, lists, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if capacities != nil {
+		if err := ins.SetCapacities(capacities); err != nil {
+			return nil, err
+		}
+	}
+	return ins, nil
+}
+
+// isCapacityLine reports whether a trimmed line is the optional capacity
+// header: the bare token `c` followed by per-post capacities. Preference
+// lines never match: their labels carry a colon and their post tokens start
+// with 'p'.
+func isCapacityLine(line string) bool {
+	return line == "c" || strings.HasPrefix(line, "c ") || strings.HasPrefix(line, "c\t")
+}
+
+func parseCapacities(line string, numPosts int) ([]int32, error) {
+	fields := strings.Fields(line)[1:] // drop the leading "c"
+	if len(fields) != numPosts {
+		return nil, fmt.Errorf("capacity line has %d entries, want %d", len(fields), numPosts)
+	}
+	caps := make([]int32, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad capacity %q", f)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("capacity %d out of range, want >= 1", v)
+		}
+		caps = append(caps, int32(v))
+	}
+	return caps, nil
 }
 
 func parseList(s string) (list, ranks []int32, err error) {

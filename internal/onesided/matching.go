@@ -140,20 +140,29 @@ func Prefers(ins *Instance, a int, p, q int32) bool {
 	return rankOrWorst(ins, a, p) < rankOrWorst(ins, a, q)
 }
 
+// CompareVotesPostOf returns the vote tallies between two per-applicant
+// post vectors: how many applicants strictly prefer their post in p1 over
+// their post in p2, and vice versa (§II-A). It is the vote comparison shared
+// by unit matchings and capacitated assignments — popularity only depends on
+// the rank of the post each applicant holds.
+func CompareVotesPostOf(ins *Instance, p1, p2 []int32) (pref1, pref2 int) {
+	for a := 0; a < ins.NumApplicants; a++ {
+		r1 := rankOrWorst(ins, a, p1[a])
+		r2 := rankOrWorst(ins, a, p2[a])
+		switch {
+		case r1 < r2:
+			pref1++
+		case r2 < r1:
+			pref2++
+		}
+	}
+	return pref1, pref2
+}
+
 // CompareVotes returns |P(M1,M2)| and |P(M2,M1)|: how many applicants
 // strictly prefer M1 to M2 and vice versa (§II-A).
 func CompareVotes(ins *Instance, m1, m2 *Matching) (prefM1, prefM2 int) {
-	for a := 0; a < ins.NumApplicants; a++ {
-		r1 := rankOrWorst(ins, a, m1.PostOf[a])
-		r2 := rankOrWorst(ins, a, m2.PostOf[a])
-		switch {
-		case r1 < r2:
-			prefM1++
-		case r2 < r1:
-			prefM2++
-		}
-	}
-	return prefM1, prefM2
+	return CompareVotesPostOf(ins, m1.PostOf, m2.PostOf)
 }
 
 // MorePopular reports whether m1 ≻ m2: strictly more applicants prefer m1.
@@ -162,14 +171,15 @@ func MorePopular(ins *Instance, m1, m2 *Matching) bool {
 	return a > b
 }
 
-// Profile returns the paper's §IV-E profile ρ(M): entry i (0-based; rank
-// i+1) counts applicants matched to their (i+1)-th ranked post, where a
-// last-resort match counts at rank NumPosts+1 regardless of list length.
-// The returned slice has NumPosts+1 entries.
-func Profile(ins *Instance, m *Matching) []int {
+// ProfileOf returns the paper's §IV-E profile ρ(M) of a per-applicant post
+// vector: entry i (0-based; rank i+1) counts applicants matched to their
+// (i+1)-th ranked post, where a last-resort (or unmatched) assignment counts
+// at rank NumPosts+1 regardless of list length. The returned slice has
+// NumPosts+1 entries.
+func ProfileOf(ins *Instance, postOf []int32) []int {
 	prof := make([]int, ins.NumPosts+1)
 	for a := 0; a < ins.NumApplicants; a++ {
-		p := m.PostOf[a]
+		p := postOf[a]
 		if p < 0 || ins.IsLastResort(p) {
 			prof[ins.NumPosts]++
 			continue
@@ -178,6 +188,11 @@ func Profile(ins *Instance, m *Matching) []int {
 		prof[r-1]++
 	}
 	return prof
+}
+
+// Profile returns the §IV-E profile of a matching; see ProfileOf.
+func Profile(ins *Instance, m *Matching) []int {
+	return ProfileOf(ins, m.PostOf)
 }
 
 // CompareRankMaximal orders profiles by the ≻_R relation of §IV-E:

@@ -21,6 +21,24 @@
 //
 // All solvers accept Options controlling the worker pool and cost tracing;
 // the zero value uses every CPU.
+//
+// # Capacitated posts
+//
+// Posts may hold more than one applicant (capacitated house allocation):
+//
+//	ins, _ := popmatch.NewCapacitated([]int32{2, 1}, lists) // p0 has 2 seats
+//	res, _ := popmatch.Solve(ins, popmatch.Options{})
+//	if res.Exists {
+//	    _ = res.Assignment.AssignedTo(0) // applicants sharing p0
+//	}
+//
+// Capacitated instances reduce to the unit model by post cloning (capacity-c
+// posts become c tied unit posts) and are solved with the ties machinery;
+// Solve, MaxCardinality, SolveTies and SolveBatch route them automatically
+// and report the result in Result.Assignment. Unit-capacity instances take
+// the historical code path and return bit-identical matchings. Surfaces
+// without a capacitated route (MaxWeight, RankMaximal, Fair, Count, ...)
+// return an error rather than silently ignoring capacities.
 package popmatch
 
 import (
@@ -34,11 +52,16 @@ import (
 )
 
 // Instance is a one-sided preference instance. Construct with NewStrict,
-// NewWithTies, Read, or the generators.
+// NewWithTies, NewCapacitated, Read, or the generators.
 type Instance = onesided.Instance
 
 // Matching assigns applicants to posts; see PostOf/ApplicantOf.
 type Matching = onesided.Matching
+
+// Assignment is a many-to-one matching of a capacitated instance: PostOf is
+// the per-applicant view (original post ids, as in Matching.PostOf) and
+// AssignedTo(post) the per-post applicant lists.
+type Assignment = onesided.Assignment
 
 // Rotation-free re-exports of the instance constructors and helpers.
 var (
@@ -48,11 +71,24 @@ var (
 	// NewWithTies builds an instance with explicit 1-based, contiguous,
 	// nondecreasing ranks (equal rank = tie).
 	NewWithTies = onesided.NewWithTies
-	// Read parses the text format; Write emits it.
+	// NewCapacitated builds a strictly-ordered capacitated (CHA) instance:
+	// post p may hold up to capacities[p] applicants, and len(capacities)
+	// determines the number of posts. NewCapacitatedWithTies is the
+	// explicit-ranks variant. Capacitated instances are solved through the
+	// post-cloning reduction; see Solver.Solve.
+	NewCapacitated         = onesided.NewCapacitated
+	NewCapacitatedWithTies = onesided.NewCapacitatedWithTies
+	// Read parses the text format; Write emits it. Capacitated instances
+	// carry an optional `c <caps...>` header line after `posts <n>`;
+	// unit-capacity files are unchanged.
 	Read  = onesided.Read
 	Write = onesided.Write
-	// Profile computes the paper's §IV-E matching profile.
-	Profile = onesided.Profile
+	// Profile computes the paper's §IV-E matching profile; ProfileOf is the
+	// shared form over a per-applicant post vector (use it with
+	// Assignment.PostOf, or call Assignment.Profile).
+	Profile              = onesided.Profile
+	AssignmentFromPostOf = onesided.AssignmentFromPostOf
+	ProfileOf            = onesided.ProfileOf
 	// PaperInstance is the worked example of Figure 1 of the paper.
 	PaperInstance = onesided.PaperFigure1
 )
@@ -88,8 +124,15 @@ func oneShot[T any](o Options, fn func(*Solver) (T, error)) (T, error) {
 
 // Result reports a solver outcome.
 type Result struct {
-	// Matching is nil when Exists is false.
+	// Matching is nil when Exists is false, and also nil when the solved
+	// instance is capacitated (a many-to-one result cannot be represented as
+	// a unit Matching) — use Assignment then.
 	Matching *Matching
+	// Assignment is the many-to-one result for instances constructed with a
+	// capacity vector (NewCapacitated, or SetCapacities); nil for instances
+	// without one. Its PostOf view uses original post ids, so Profile,
+	// ranks and vote comparisons work unchanged.
+	Assignment *Assignment
 	// Exists reports whether a popular matching exists at all.
 	Exists bool
 	// Size is the number of applicants matched to real posts.
@@ -107,6 +150,24 @@ func wrap(ins *Instance, res core.Result) Result {
 	if res.Exists {
 		out.Matching = res.Matching
 		out.Size = res.Matching.Size(ins)
+	}
+	return out
+}
+
+func wrapCap(ins *Instance, res core.CapResult) Result {
+	out := Result{Exists: res.Exists, PeelRounds: -1}
+	if res.Peel != nil {
+		out.PeelRounds = res.Peel.Rounds
+	}
+	if res.Exists {
+		out.Assignment = res.Assignment
+		out.Size = res.Assignment.Size(ins)
+		if ins.UnitCapacity() {
+			// The unit path ran underneath; expose its matching too, so an
+			// explicit all-ones capacity vector is a strict superset of the
+			// historical API.
+			out.Matching = res.Matching
+		}
 	}
 	return out
 }
@@ -181,15 +242,48 @@ func Verify(ins *Instance, m *Matching, o Options) error {
 // UnpopularityMargin returns the best vote margin any challenger matching
 // achieves against m (≤ 0 iff m is popular). It runs the independent
 // Hungarian-algorithm oracle, O(n³); intended for verification, not hot
-// paths.
+// paths. On a capacitated instance the challengers range over capacitated
+// assignments (m.PostOf is read as a per-applicant post vector and must
+// respect capacities; see UnpopularityMarginAssignment); like the rest of
+// the onesided oracles it panics on a matching inconsistent with ins.
 func UnpopularityMargin(ins *Instance, m *Matching) int {
+	if !ins.UnitCapacity() {
+		as, err := onesided.AssignmentFromPostOf(ins, m.PostOf)
+		if err != nil {
+			panic(err)
+		}
+		margin, err := onesided.UnpopularityMarginAssignment(ins, as)
+		if err != nil {
+			panic(err)
+		}
+		return margin
+	}
 	return onesided.UnpopularityMargin(ins, m)
+}
+
+// UnpopularityMarginAssignment is the capacitated margin oracle: the best
+// vote margin any applicant-complete assignment achieves against as, ≤ 0
+// iff as is popular. It runs on the cloned unit instance.
+func UnpopularityMarginAssignment(ins *Instance, as *Assignment) (int, error) {
+	return onesided.UnpopularityMarginAssignment(ins, as)
+}
+
+// VerifyAssignment checks that a capacitated assignment is popular via the
+// margin oracle; nil exactly for popular assignments.
+func VerifyAssignment(ins *Instance, as *Assignment, o Options) error {
+	_, err := oneShot(o, func(s *Solver) (struct{}, error) {
+		return struct{}{}, s.VerifyAssignment(context.Background(), ins, as)
+	})
+	return err
 }
 
 // Count returns the exact number of popular matchings (0 if none), without
 // enumeration, using Theorem 9's product structure over the switching-graph
 // components.
 func Count(ins *Instance, o Options) (*big.Int, error) {
+	if err := requireUnit(ins, "Count"); err != nil {
+		return nil, err
+	}
 	return oneShot(o, func(s *Solver) (*big.Int, error) {
 		opt, done := s.session(context.Background())
 		defer done()
@@ -201,6 +295,9 @@ func Count(ins *Instance, o Options) (*big.Int, error) {
 // bijection). The matching passed to yield is reused; clone to retain it.
 // The count is exponential in the number of switching-graph components.
 func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, error) {
+	if err := requireUnit(ins, "EnumerateAll"); err != nil {
+		return false, err
+	}
 	return oneShot(o, func(s *Solver) (bool, error) {
 		opt, done := s.session(context.Background())
 		defer done()
@@ -234,6 +331,23 @@ func RandomZipf(rng *rand.Rand, applicants, posts, listLen int, skew float64) *I
 // RandomTies generates lists with tie classes.
 func RandomTies(rng *rand.Rand, applicants, posts, minLen, maxLen int, tieProb float64) *Instance {
 	return onesided.RandomTies(rng, applicants, posts, minLen, maxLen, tieProb)
+}
+
+// RandomCapacitated generates a capacitated instance: strict uniform lists
+// plus per-post capacities uniform in [1, maxCap].
+func RandomCapacitated(rng *rand.Rand, applicants, posts, minLen, maxLen, maxCap int) *Instance {
+	return onesided.RandomCapacitated(rng, applicants, posts, minLen, maxLen, maxCap)
+}
+
+// RandomCapacitatedTies is RandomCapacitated with tie classes.
+func RandomCapacitatedTies(rng *rand.Rand, applicants, posts, minLen, maxLen, maxCap int, tieProb float64) *Instance {
+	return onesided.RandomCapacitatedTies(rng, applicants, posts, minLen, maxLen, maxCap, tieProb)
+}
+
+// RandomCapacities draws a per-post capacity vector uniform in [1, maxCap],
+// for attaching to any generated instance via Instance.SetCapacities.
+func RandomCapacities(rng *rand.Rand, posts, maxCap int) []int32 {
+	return onesided.RandomCapacities(rng, posts, maxCap)
 }
 
 // Solvable generates instances guaranteed to admit a popular matching.

@@ -80,7 +80,16 @@ func (s *Solver) session(ctx context.Context) (core.Options, func()) {
 
 // Solve finds a popular matching of a strictly-ordered instance, or reports
 // that none exists (Algorithm 1; Theorem 3).
+//
+// Instances constructed with a capacity vector are solved through the
+// post-cloning reduction (capacity-c posts become c tied unit posts, the §V
+// ties solver runs on the cloned instance, and the result folds back); the
+// outcome is reported in Result.Assignment. A unit-capacity vector routes
+// to the exact uncapacitated code path.
 func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
+	if ins.Capacities != nil {
+		return s.solveCapacitated(ctx, ins, false)
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, err := core.Popular(ins, opt)
@@ -91,7 +100,12 @@ func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
 }
 
 // MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
+// Capacitated instances route through the clone reduction, maximizing the
+// number of applicants on real posts among popular assignments.
 func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, error) {
+	if ins.Capacities != nil {
+		return s.solveCapacitated(ctx, ins, true)
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, _, err := core.MaxCardinality(ins, opt)
@@ -101,8 +115,33 @@ func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, err
 	return wrap(ins, res), nil
 }
 
+// solveCapacitated runs the clone reduction (core.SolveCapacitated) under
+// the Solver's execution context.
+func (s *Solver) solveCapacitated(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
+	opt, done := s.session(ctx)
+	defer done()
+	res, err := core.SolveCapacitated(ins, maximizeCardinality, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return wrapCap(ins, res), nil
+}
+
+// requireUnit rejects capacitated instances on the solver surfaces that have
+// no clone-reduction route yet; silently treating capacities as 1 would
+// return wrong answers.
+func requireUnit(ins *Instance, method string) error {
+	if !ins.UnitCapacity() {
+		return fmt.Errorf("popmatch: %s does not support capacitated instances; use Solve, MaxCardinality or SolveTies", method)
+	}
+	return nil
+}
+
 // MaxWeight finds a maximum-weight popular matching (§IV-E).
 func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Result, error) {
+	if err := requireUnit(ins, "MaxWeight"); err != nil {
+		return Result{}, err
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, _, err := core.Optimize(ins, w, true, opt)
@@ -114,6 +153,9 @@ func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 
 // MinWeight finds a minimum-weight popular matching (§IV-E).
 func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Result, error) {
+	if err := requireUnit(ins, "MinWeight"); err != nil {
+		return Result{}, err
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, _, err := core.Optimize(ins, w, false, opt)
@@ -126,6 +168,9 @@ func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 // RankMaximal finds a popular matching whose profile is lexicographically
 // maximal (§IV-E).
 func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error) {
+	if err := requireUnit(ins, "RankMaximal"); err != nil {
+		return Result{}, err
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, _, err := core.RankMaximal(ins, opt)
@@ -137,6 +182,9 @@ func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error)
 
 // Fair finds a fair popular matching (§IV-E).
 func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
+	if err := requireUnit(ins, "Fair"); err != nil {
+		return Result{}, err
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, _, err := core.Fair(ins, opt)
@@ -147,8 +195,12 @@ func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
 }
 
 // SolveTies finds a popular matching of an instance whose lists may contain
-// ties (§V), optionally of maximum cardinality.
+// ties (§V), optionally of maximum cardinality. Capacitated instances route
+// through the clone reduction (see Solve).
 func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
+	if ins.Capacities != nil {
+		return s.solveCapacitated(ctx, ins, maximizeCardinality)
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	res, err := core.SolveTies(ins, maximizeCardinality, opt)
@@ -165,19 +217,52 @@ func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinali
 
 // Verify checks that m is popular (Theorem 1 characterization).
 func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
+	if err := requireUnit(ins, "Verify"); err != nil {
+		return err
+	}
 	opt, done := s.session(ctx)
 	defer done()
 	return core.VerifyPopular(ins, m, opt)
 }
 
+// VerifyAssignment checks that a capacitated assignment is popular by
+// lifting it to the cloned instance and running the exact Hungarian margin
+// oracle (O(n³); verification, not a hot path). It also accepts
+// unit-capacity instances.
+func (s *Solver) VerifyAssignment(ctx context.Context, ins *Instance, as *Assignment) (err error) {
+	opt, done := s.session(ctx)
+	defer done()
+	defer exec.CatchCancel(&err)
+	if err := as.Validate(ins); err != nil {
+		return err
+	}
+	margin, err := onesided.UnpopularityMarginAssignmentCtx(opt.Exec, ins, as)
+	if err != nil {
+		return err
+	}
+	if margin > 0 {
+		return fmt.Errorf("popmatch: assignment is not popular: challenger margin %d", margin)
+	}
+	return nil
+}
+
 // UnpopularityMargin runs the independent Hungarian margin oracle (O(n³);
 // see the package-level function) under the Solver's execution context, so
 // the sweep is cancellable via ctx — the oracle usually dominates a
-// verified run's cost.
+// verified run's cost. On a capacitated instance, m.PostOf is read as a
+// per-applicant post vector and the challengers range over capacitated
+// assignments.
 func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Matching) (margin int, err error) {
 	opt, done := s.session(ctx)
 	defer done()
 	defer exec.CatchCancel(&err)
+	if !ins.UnitCapacity() {
+		as, err := onesided.AssignmentFromPostOf(ins, m.PostOf)
+		if err != nil {
+			return 0, err
+		}
+		return onesided.UnpopularityMarginAssignmentCtx(opt.Exec, ins, as)
+	}
 	return onesided.UnpopularityMarginCtx(opt.Exec, ins, m), nil
 }
 
