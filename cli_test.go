@@ -3,8 +3,11 @@ package repro
 import (
 	"bytes"
 	"os/exec"
+	"strconv"
 	"strings"
 	"testing"
+
+	"repro/popmatch"
 )
 
 // End-to-end tests of the command-line tools, run via `go run` so they
@@ -88,6 +91,34 @@ func TestCLIStableNext(t *testing.T) {
 	// five elements.
 	if !strings.Contains(walk, "# chain length 5") {
 		t.Fatalf("paper instance chain from M should have length 5:\n%s", walk)
+	}
+}
+
+// TestCLIGenInstanceScaling smoke-tests geninstance across the sizes the
+// large benchmark scenario needs: output at every n must start with the
+// right header, parse back, and carry exactly n applicants — guarding the
+// buffered streaming path that keeps generation from dominating benchmark
+// setup.
+func TestCLIGenInstanceScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	for _, n := range []int{100, 5000, 100000} {
+		out, err := runTool(t, "", "./cmd/geninstance", "-kind", "random",
+			"-applicants", strconv.Itoa(n), "-posts", strconv.Itoa(n), "-maxlen", "5", "-seed", "11")
+		if err != nil {
+			t.Fatalf("geninstance n=%d: %v\n%s", n, err, out)
+		}
+		if !strings.HasPrefix(out, "posts "+strconv.Itoa(n)+"\n") {
+			t.Fatalf("n=%d: unexpected header: %.80q", n, out)
+		}
+		ins, err := popmatch.Read(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("n=%d: generated instance does not parse: %v", n, err)
+		}
+		if ins.NumApplicants != n || ins.NumPosts != n {
+			t.Fatalf("n=%d: parsed %d applicants / %d posts", n, ins.NumApplicants, ins.NumPosts)
+		}
 	}
 }
 

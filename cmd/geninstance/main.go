@@ -68,9 +68,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	// A 1 MiB buffer keeps large-scenario generation (n >= 10^5 applicants)
+	// from being dominated by small stdout writes; Write flushes its own
+	// internal bufio through this one.
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
 	if err := popmatch.Write(w, ins); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	popbench [-seed N] [-table T1,...] [-markdown]
+//	popbench -json BENCH_csr.json -scenario large [-n N] [-seed N]
 //	popbench -json BENCH_pool.json [-seed N]
 //	popbench -json BENCH_capacitated.json -scenario capacitated [-seed N]
 //
@@ -31,7 +32,8 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
-	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large")
+	sizeN := flag.Int("n", 0, "override the scenario's instance size (0 = scenario default; used by CI smoke runs)")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -41,8 +43,14 @@ func main() {
 			writeJSON = bench.WritePoolJSON
 		case "capacitated":
 			writeJSON = bench.WriteCapacitatedJSON
+		case "large":
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteLargeJSON(w, seed, *sizeN) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large)\n", *scenario)
+			os.Exit(2)
+		}
+		if *sizeN != 0 && *scenario != "large" {
+			fmt.Fprintf(os.Stderr, "popbench: -n only applies to -scenario large (the %s scenario has fixed sizes)\n", *scenario)
 			os.Exit(2)
 		}
 		out := os.Stdout

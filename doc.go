@@ -23,9 +23,22 @@
 // cross-validates both the unit and capacitated paths in the differential
 // test suites, including "no popular matching exists" answers.
 //
+// Internally every solver layer shares one flat instance representation:
+// the CSR core (internal/onesided.CSR) — preference lists concatenated into
+// three contiguous Off/Post/Rank arrays, derived once per Instance and
+// cached. The strict-path algorithms run as an arena-resident kernel whose
+// loop closures persist across solves, so a reused Solver performs zero
+// steady-state heap allocations (Solver.SolveInto also recycles the result
+// matching). An Instance is consequently immutable once solved or queried;
+// mutate-then-Invalidate is the documented escape hatch, enforced by
+// `-tags debug` builds. See the README's "Architecture" section for the
+// layer stack (onesided → core → exec → popmatch → cmd) and when CSR vs
+// Instance is the right type.
+//
 // The parallel substrate and algorithm internals are under internal/; see
 // README.md for the package map. The benchmarks in bench_test.go regenerate
 // the experiment tables of EXPERIMENTS.md (one benchmark family per table);
 // cmd/popbench prints the tables directly, and `popbench -json` emits the
-// machine-readable execution-context benchmark recorded in BENCH_pool.json.
+// machine-readable scenario benchmarks recorded in BENCH_pool.json,
+// BENCH_capacitated.json and BENCH_csr.json (the flat-core before/after).
 package repro

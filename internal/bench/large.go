@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/onesided"
+	"repro/popmatch"
+)
+
+// DefaultLargeN is the applicant count of the `large` scenario: big enough
+// (n ≥ 10^5) that the instance-representation layout — flat CSR arrays vs
+// pointer-chasing slices-of-slices — dominates cache behavior and bytes/op.
+// CI smoke runs pass a reduced n via popbench -n.
+const DefaultLargeN = 100000
+
+// largeInstance builds the deterministic large-scenario workload: a solvable
+// strict instance with a 25% post surplus and 5-entry lists, the same shape
+// as the pool scenario but at 50x the scale.
+func largeInstance(seed int64, n int) *onesided.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return onesided.Solvable(rng, n, n/4, 5)
+}
+
+// LargeBench measures the steady-state cost of repeated solves of one large
+// (n >= 10^5 by default) strict instance on a persistent Solver. The
+// bytes/op and allocs/op of `large_reuse` are the headline numbers the CSR
+// refactor is accountable to (BENCH_csr.json); `large_one_shot` prices the
+// throwaway-Solver path and `large_solve_into` the allocation-free result
+// reuse API on the same instance.
+func LargeBench(seed int64, n int) []PoolRecord {
+	if n <= 0 {
+		n = DefaultLargeN
+	}
+	var out []PoolRecord
+	ins := largeInstance(seed, n)
+	workers := runtime.GOMAXPROCS(0)
+	rounds, work := traceCosts(ins, workers)
+
+	s := popmatch.NewSolver(popmatch.Options{Workers: workers})
+	reuse := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(ctx, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, record("large_reuse", n, 1, workers, rounds, work, reuse))
+
+	into := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		var res popmatch.Result
+		for i := 0; i < b.N; i++ {
+			if err := s.SolveInto(ctx, ins, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	s.Close()
+	out = append(out, record("large_solve_into", n, 1, workers, rounds, work, into))
+
+	oneShot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := popmatch.Solve(ins, popmatch.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, record("large_one_shot", n, 1, workers, rounds, work, oneShot))
+	return out
+}
+
+// WriteLargeJSON runs LargeBench and writes the records as indented JSON
+// (the BENCH_csr.json trajectory). n <= 0 selects DefaultLargeN.
+func WriteLargeJSON(w io.Writer, seed int64, n int) error {
+	records := LargeBench(seed, n)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

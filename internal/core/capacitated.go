@@ -27,8 +27,8 @@ type CapResult struct {
 	// Exists reports whether a popular assignment exists.
 	Exists bool
 	// Peel carries Algorithm 2's statistics when the unit strict path ran
-	// underneath; nil otherwise.
-	Peel *PeelStats
+	// underneath (Peel.Valid false otherwise).
+	Peel PeelStats
 }
 
 // SolveCapacitated finds a popular matching of a possibly-capacitated
@@ -69,24 +69,26 @@ func SolveCapacitated(ins *onesided.Instance, maximizeCardinality bool, opt Opti
 }
 
 // solveUnit dispatches a unit-capacity instance to the historical solvers.
-func solveUnit(ins *onesided.Instance, maximizeCardinality bool, opt Options) (*onesided.Matching, bool, *PeelStats, error) {
-	if !ins.Strict() {
+// Strictness comes off the cached CSR form (precomputed at build) rather
+// than a per-call list scan.
+func solveUnit(ins *onesided.Instance, maximizeCardinality bool, opt Options) (*onesided.Matching, bool, PeelStats, error) {
+	if !ins.CSR().Strict() {
 		res, err := SolveTies(ins, maximizeCardinality, opt)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, false, PeelStats{}, err
 		}
-		return res.Matching, res.Exists, nil, nil
+		return res.Matching, res.Exists, PeelStats{}, nil
 	}
 	if maximizeCardinality {
 		res, _, err := MaxCardinality(ins, opt)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, false, PeelStats{}, err
 		}
 		return res.Matching, res.Exists, res.Peel, nil
 	}
 	res, err := Popular(ins, opt)
 	if err != nil {
-		return nil, false, nil, err
+		return nil, false, PeelStats{}, err
 	}
 	return res.Matching, res.Exists, res.Peel, nil
 }

@@ -1,14 +1,5 @@
 package core
 
-import (
-	"fmt"
-	"sync/atomic"
-
-	"repro/internal/exec"
-	"repro/internal/onesided"
-	"repro/internal/par"
-)
-
 // Algorithm 2 of the paper: find an applicant-complete matching of the
 // reduced graph G′, or decide that none exists, in NC.
 //
@@ -35,9 +26,15 @@ import (
 // the residual graph is 2-regular — a disjoint union of even cycles — and a
 // perfect matching is extracted by leader election plus parity, again with
 // pointer doubling.
+//
+// The implementation is the session kernel's prebound rounds over the CSR
+// arrays; see kernel.go (applicantComplete and the fn* loop bodies).
 
 // PeelStats reports what Algorithm 2 did, for the Lemma 2 experiments.
 type PeelStats struct {
+	// Valid reports whether Algorithm 2 ran at all (solvers that bypass it
+	// — e.g. the ties path — leave the zero value).
+	Valid bool
 	// Rounds is the number of while-loop iterations (Lemma 2 bounds it by
 	// ceil(log2 n)+1).
 	Rounds int
@@ -47,295 +44,4 @@ type PeelStats struct {
 	CyclePairs int
 	// CycleCount is the number of residual cycles.
 	CycleCount int
-}
-
-// applicantComplete runs Algorithm 2. It returns the matching (nil if no
-// applicant-complete matching exists) and the peeling statistics.
-func applicantComplete(r *Reduced, opt Options) (*onesided.Matching, *PeelStats, error) {
-	cx := opt.exec()
-	ins := r.Ins
-	n1 := ins.NumApplicants
-	total := ins.TotalPosts()
-	stats := &PeelStats{}
-	m := onesided.NewMatching(ins)
-	if n1 == 0 {
-		return m, stats, nil
-	}
-
-	nEdges := 2 * n1
-	nDarts := 2 * nEdges
-	// Static post adjacency (CSR over edge ids).
-	postAdjStart, postAdjEdges := buildPostAdj(cx, r)
-	defer cx.PutInt32s(postAdjStart)
-	defer cx.PutInt32s(postAdjEdges)
-
-	aliveA := cx.Bools(n1)
-	defer cx.PutBools(aliveA)
-	alivePost := cx.Bools(total)
-	defer cx.PutBools(alivePost)
-	aliveBits := cx.Uint32s(total)
-	cx.For(n1, func(a int) {
-		aliveA[a] = true
-		atomic.StoreUint32(&aliveBits[r.F[a]], 1)
-		atomic.StoreUint32(&aliveBits[r.S[a]], 1)
-	})
-	cx.Round(n1)
-	cx.For(total, func(q int) { alivePost[q] = aliveBits[q] == 1 })
-	cx.Round(total)
-	cx.PutUint32s(aliveBits)
-
-	edgeApplicant := func(e int32) int32 { return e / 2 }
-	edgePost := func(e int32) int32 {
-		if e%2 == 0 {
-			return r.F[e/2]
-		}
-		return r.S[e/2]
-	}
-	edgeAlive := func(e int32) bool {
-		return aliveA[edgeApplicant(e)] && alivePost[edgePost(e)]
-	}
-
-	deg := cx.Int32s(total)
-	defer cx.PutInt32s(deg)
-	degAtomic := cx.AtomicInt32s(total)
-	defer cx.PutAtomicInt32s(degAtomic)
-	succ := cx.Int32s(nDarts)
-	defer cx.PutInt32s(succ)
-	dartDead := cx.Bools(nDarts)
-	defer cx.PutBools(dartDead)
-	otherEdge := cx.Int32s(total) // scratch: per degree-2 post, its other edge
-	defer cx.PutInt32s(otherEdge)
-	matchedDart := cx.Bools(nDarts)
-	defer cx.PutBools(matchedDart)
-	startDist := cx.Ints(nDarts) // per terminal dart: distance of chain start
-	defer cx.PutInts(startDist)
-	active := cx.Bools(nDarts)
-	defer cx.PutBools(active)
-	dvals := cx.Ints(nDarts)
-	defer cx.PutInts(dvals)
-
-	for {
-		// --- degrees over alive edges ---
-		cx.For(total, func(q int) { degAtomic[q].Store(0) })
-		cx.Round(total)
-		cx.For(nEdges, func(ei int) {
-			e := int32(ei)
-			if edgeAlive(e) {
-				degAtomic[edgePost(e)].Add(1)
-			}
-		})
-		cx.Round(nEdges)
-		cx.For(total, func(q int) {
-			deg[q] = degAtomic[q].Load()
-			if deg[q] == 0 {
-				alivePost[q] = false // drop isolated posts (Algorithm 2 line 9)
-			}
-		})
-		cx.Round(total)
-
-		deg1 := par.Compact(cx, total, func(q int) bool { return alivePost[q] && deg[q] == 1 })
-		if len(deg1) == 0 {
-			break
-		}
-		stats.Rounds++
-
-		// --- dart successors on the alive subgraph ---
-		// For each degree-2 post, find its two alive edges (scan its CSR
-		// range; total work is O(m) per round).
-		cx.For(total, func(q int) {
-			if !alivePost[q] || deg[q] != 2 {
-				return
-			}
-			otherEdge[q] = -1
-		})
-		cx.Round(total)
-		cx.For(nDarts, func(di int) {
-			d := int32(di)
-			e := d / 2
-			if !edgeAlive(e) {
-				dartDead[d] = true
-				succ[d] = d // absorbing, never consulted
-				return
-			}
-			dartDead[d] = false
-			if d%2 == 0 {
-				// applicant -> post: continue through the post iff deg 2.
-				q := edgePost(e)
-				if deg[q] != 2 {
-					succ[d] = d // terminal
-					return
-				}
-				var other int32 = -1
-				for k := postAdjStart[q]; k < postAdjStart[q+1]; k++ {
-					e2 := postAdjEdges[k]
-					if e2 != e && edgeAlive(e2) {
-						other = e2
-						break
-					}
-				}
-				succ[d] = 2*other + 1 // post -> applicant along the other edge
-			} else {
-				// post -> applicant: applicants always have degree 2; exit
-				// along the applicant's other edge.
-				a := edgeApplicant(e)
-				var other int32
-				if e%2 == 0 {
-					other = 2*a + 1
-				} else {
-					other = 2 * a
-				}
-				succ[d] = 2 * other // applicant -> post
-			}
-		})
-		cx.Round(nDarts)
-
-		// --- doubling: terminal dart + distance for every chain ---
-		cx.For(nDarts, func(d int) {
-			if succ[d] != int32(d) {
-				dvals[d] = 1
-			} else {
-				dvals[d] = 0
-			}
-		})
-		cx.Round(nDarts)
-		ptr, dist := par.Double(cx, succ, dvals, func(a, b int) int { return a + b }, par.Iterations(nDarts)+1)
-
-		// --- activate chains from degree-1 posts ---
-		cx.For(nDarts, func(d int) { active[d] = false })
-		cx.Round(nDarts)
-		var invariant atomic.Int32
-		cx.For(len(deg1), func(i int) {
-			q := deg1[i]
-			// The unique alive edge of q.
-			var e0 int32 = -1
-			for k := postAdjStart[q]; k < postAdjStart[q+1]; k++ {
-				e2 := postAdjEdges[k]
-				if edgeAlive(e2) {
-					e0 = e2
-					break
-				}
-			}
-			if e0 < 0 {
-				invariant.Store(1)
-				return
-			}
-			d0 := 2*e0 + 1 // q -> applicant
-			term := ptr[d0]
-			if succ[term] != term {
-				invariant.Store(2) // chain did not terminate: impossible
-				return
-			}
-			// Head vertex of the terminal dart: terminals are always
-			// post-headed (applicant-headed darts always continue).
-			endPost := edgePost(term / 2)
-			if deg[endPost] == 1 && endPost < int32(q) {
-				// Both endpoints degree 1: the smaller post owns the path
-				// (paper: "we only consider this path once").
-				return
-			}
-			active[term] = true
-			startDist[term] = dist[d0]
-		})
-		cx.Round(len(deg1))
-		switch invariant.Load() {
-		case 1:
-			return nil, stats, fmt.Errorf("core: degree-1 post with no alive edge")
-		case 2:
-			return nil, stats, fmt.Errorf("core: peeling chain failed to terminate")
-		}
-
-		// --- match darts at even distance from the chain start ---
-		cx.For(nDarts, func(d int) {
-			matchedDart[d] = false
-			if dartDead[d] {
-				return
-			}
-			term := ptr[d]
-			if !active[term] {
-				return
-			}
-			if (startDist[term]-dist[d])%2 == 0 {
-				matchedDart[d] = true
-			}
-		})
-		cx.Round(nDarts)
-
-		// --- apply matches, delete matched vertices ---
-		var peeled atomic.Int32
-		cx.For(nDarts, func(d int) {
-			if !matchedDart[d] {
-				return
-			}
-			e := int32(d) / 2
-			a := edgeApplicant(e)
-			q := edgePost(e)
-			m.PostOf[a] = q
-			m.ApplicantOf[q] = a
-			peeled.Add(1)
-		})
-		cx.Round(nDarts)
-		stats.PeeledPairs += int(peeled.Load())
-		cx.For(nDarts, func(d int) {
-			if !matchedDart[d] {
-				return
-			}
-			e := int32(d) / 2
-			aliveA[edgeApplicant(e)] = false
-			alivePost[edgePost(e)] = false
-		})
-		cx.Round(nDarts)
-	}
-
-	// --- residual check: Hall condition by counting (§III-B-1) ---
-	aliveApplicants := par.CountTrue(cx, n1, func(a int) bool { return aliveA[a] })
-	alivePosts := par.CountTrue(cx, total, func(q int) bool { return alivePost[q] })
-	if alivePosts < aliveApplicants {
-		return nil, stats, nil // no applicant-complete matching
-	}
-	if aliveApplicants == 0 {
-		return m, stats, nil
-	}
-	// |P| = |A| and every post has degree exactly 2: disjoint even cycles.
-
-	// --- perfect matching on the 2-regular residual ---
-	if err := matchEvenCycles(cx, r, aliveA, alivePost, postAdjStart, postAdjEdges, m, stats); err != nil {
-		return nil, stats, err
-	}
-	return m, stats, nil
-}
-
-// buildPostAdj builds the static CSR adjacency from posts to edge ids. Both
-// returned slices come from cx's arena; the caller recycles them.
-func buildPostAdj(cx *exec.Ctx, r *Reduced) (start []int32, edges []int32) {
-	ins := r.Ins
-	n1 := ins.NumApplicants
-	total := ins.TotalPosts()
-	counts := cx.Ints(total)
-	defer cx.PutInts(counts)
-	ac := cx.AtomicInt32s(total)
-	defer cx.PutAtomicInt32s(ac)
-	cx.For(n1, func(a int) {
-		ac[r.F[a]].Add(1)
-		ac[r.S[a]].Add(1)
-	})
-	cx.Round(n1)
-	cx.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
-	cx.Round(total)
-	off, totalEdges := par.ExclusiveScan(cx, counts)
-	defer cx.PutInts(off)
-	start = cx.Int32s(total + 1)
-	cx.For(total, func(q int) { start[q] = int32(off[q]) })
-	cx.Round(total)
-	start[total] = int32(totalEdges)
-	edges = cx.Int32s(totalEdges)
-	cx.For(total, func(q int) { ac[q].Store(0) })
-	cx.Round(total)
-	cx.For(n1, func(a int) {
-		qf := r.F[a]
-		edges[int32(off[qf])+ac[qf].Add(1)-1] = int32(2 * a)
-		qs := r.S[a]
-		edges[int32(off[qs])+ac[qs].Add(1)-1] = int32(2*a + 1)
-	})
-	cx.Round(n1)
-	return start, edges
 }

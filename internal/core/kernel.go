@@ -1,0 +1,830 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// The strict-path kernel: Algorithms 1 and 2 rewritten over the flat CSR
+// instance core.
+//
+// Every hot loop of the strict pipeline — the G′ construction, the
+// Algorithm 2 peeling/doubling rounds, the residual even-cycle matching and
+// the promotion step — lives here as a prebound closure over one kernel
+// object. The kernel is cached on the solve session's arena (exec.Arena.Aux)
+// and its scratch vectors are drawn from that arena, so a reusable
+// popmatch.Solver performs zero heap allocations in the steady state: the
+// closures exist from the first solve, the scratch is recycled, and the loop
+// bodies index straight into the CSR arrays (Off/Post/Rank) with no
+// per-applicant slice headers in between.
+//
+// The computation is exactly the one documented on BuildReduced,
+// applicantComplete and matchEvenCycles' original forms (see the package
+// comments there); the kernel changes the memory discipline, not the
+// algorithm, and produces bit-identical matchings and statistics.
+
+// infVid is the +inf sentinel for min-folds over vertex ids.
+const infVid = int32(1) << 30
+
+type kernel struct {
+	// Per-solve bindings, set by begin.
+	cx  *exec.Ctx
+	ins *onesided.Instance
+	c   *onesided.CSR
+	m   *onesided.Matching
+
+	// red is the Reduced view handed to callers; its arrays are arena
+	// scratch acquired in buildReduced and returned by Reduced.release.
+	red Reduced
+
+	n1, total, nEdges, nDarts int
+
+	stats      PeelStats
+	bad        atomic.Int32
+	promotions atomic.Int32
+	peeled     atomic.Int32
+	pairs      atomic.Int32
+	cycleCnt   atomic.Int32
+	deg1Count  atomic.Int32
+	aliveApps  atomic.Int32
+	alivePosts atomic.Int32
+
+	// Phase A scratch (G′ construction).
+	isFBits []uint32
+	postCnt []atomic.Int32 // per-post counters doubling as scatter cursors
+	cnt32   []int32        // scan input
+
+	// Phase B scratch (Algorithm 2).
+	postAdjStart []int32
+	postAdjEdges []int32
+	aliveA       []bool
+	alivePostB   []bool
+	deg          []int32
+	succ         []int32
+	dartDead     []bool
+	matchedDart  []bool
+	active       []bool
+	canonical    []bool
+	startDist    []int32
+
+	// Pointer-doubling buffers (current and next snapshots; results land in
+	// dPtr/dVal after the final swap).
+	dPtr, dVal, dNxtPtr, dNxtVal []int32
+
+	// Block-scan state (kernel-owned; the block vector is O(workers)).
+	scanSrc, scanOut []int32
+	scanBlock        []int32
+	scanGrain        int
+
+	// Prebound loop bodies. Created once per kernel in newKernel; each
+	// captures only the kernel pointer, so repeat solves allocate nothing.
+	fnMarkF         func(a int)
+	fnLoadIsF       func(q int)
+	fnFindS         func(a int)
+	fnCountF        func(a int)
+	fnLoadCnt       func(q int)
+	fnZeroCnt       func(q int)
+	fnScatterF      func(a int)
+	fnSortBuckets   func(q int)
+	fnScanReduce    func(lo, hi int)
+	fnScanScatter   func(lo, hi int)
+	fnInitAlive     func(a int)
+	fnLoadAlive     func(q int)
+	fnCountAdj      func(a int)
+	fnScatterAdj    func(a int)
+	fnCountDeg      func(ei int)
+	fnLoadDeg       func(q int)
+	fnSucc          func(di int)
+	fnSeedDist      func(d int)
+	fnClearActive   func(d int)
+	fnActivate      func(qi int)
+	fnMatchDarts    func(d int)
+	fnApplyMatches  func(d int)
+	fnDeleteMatched func(d int)
+	fnCountAliveA   func(a int)
+	fnCountAliveP   func(q int)
+	fnCycleSucc     func(di int)
+	fnSeedLeader    func(d int)
+	fnCanonical     func(di int)
+	fnSeedDist2     func(d int)
+	fnMatchCycles   func(di int)
+	fnDoubleSum     func(v int)
+	fnDoubleMin     func(v int)
+	fnPromote       func(qi int)
+}
+
+// kernelFor returns the session's kernel: the one cached on the execution
+// context's arena when there is one (installing it on first use), or a fresh
+// kernel for arena-less one-shot contexts.
+func kernelFor(cx *exec.Ctx) *kernel {
+	ar := cx.Arena()
+	if ar == nil {
+		return newKernel()
+	}
+	if k, ok := ar.Aux.(*kernel); ok {
+		return k
+	}
+	k := newKernel()
+	ar.Aux = k
+	return k
+}
+
+// newKernel allocates a kernel and binds its loop closures.
+func newKernel() *kernel {
+	k := &kernel{}
+
+	// --- Phase A: reduced graph G′ over the CSR rows ---
+
+	// Mark every first-choice post (arbitrary-CRCW same-value writes).
+	// Strict rows are rank-sorted, so row start = the unique first choice.
+	k.fnMarkF = func(a int) {
+		f := k.c.Post[k.c.Off[a]]
+		k.red.F[a] = f
+		atomic.StoreUint32(&k.isFBits[f], 1)
+	}
+	k.fnLoadIsF = func(q int) { k.red.IsF[q] = k.isFBits[q] == 1 }
+	// s(a) = highest-ranked non-f-post, else l(a): a straight scan of the
+	// CSR row (the per-processor O(list) work of the paper's construction).
+	k.fnFindS = func(a int) {
+		s := int32(k.c.NumPosts + a)
+		for _, q := range k.c.Post[k.c.Off[a]:k.c.Off[a+1]] {
+			if !k.red.IsF[q] {
+				s = q
+				break
+			}
+		}
+		k.red.S[a] = s
+	}
+	k.fnCountF = func(a int) { k.postCnt[k.red.F[a]].Add(1) }
+	k.fnLoadCnt = func(q int) { k.cnt32[q] = k.postCnt[q].Load() }
+	k.fnZeroCnt = func(q int) { k.postCnt[q].Store(0) }
+	k.fnScatterF = func(a int) {
+		q := k.red.F[a]
+		slot := k.red.FInvStart[q] + k.postCnt[q].Add(1) - 1
+		k.red.FInvApps[slot] = int32(a)
+	}
+	// Scatter order is nondeterministic; sort each (typically tiny) bucket
+	// so "any applicant in f⁻¹(p)" picks deterministically.
+	k.fnSortBuckets = func(q int) {
+		bucket := k.red.FInvApps[k.red.FInvStart[q]:k.red.FInvStart[q+1]]
+		for i := 1; i < len(bucket); i++ {
+			for j := i; j > 0 && bucket[j] < bucket[j-1]; j-- {
+				bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
+			}
+		}
+	}
+
+	// --- Two-phase block scan (see par.ExclusiveScan) ---
+	k.fnScanReduce = func(lo, hi int) {
+		s := int32(0)
+		for i := lo; i < hi; i++ {
+			s += k.scanSrc[i]
+		}
+		k.scanBlock[lo/k.scanGrain] = s
+	}
+	k.fnScanScatter = func(lo, hi int) {
+		s := k.scanBlock[lo/k.scanGrain]
+		for i := lo; i < hi; i++ {
+			k.scanOut[i] = s
+			s += k.scanSrc[i]
+		}
+	}
+
+	// --- Phase B: Algorithm 2 over the two-edges-per-applicant graph ---
+
+	k.fnInitAlive = func(a int) {
+		k.aliveA[a] = true
+		atomic.StoreUint32(&k.isFBits[k.red.F[a]], 1)
+		atomic.StoreUint32(&k.isFBits[k.red.S[a]], 1)
+	}
+	k.fnLoadAlive = func(q int) { k.alivePostB[q] = k.isFBits[q] == 1 }
+	k.fnCountAdj = func(a int) {
+		k.postCnt[k.red.F[a]].Add(1)
+		k.postCnt[k.red.S[a]].Add(1)
+	}
+	k.fnScatterAdj = func(a int) {
+		qf := k.red.F[a]
+		k.postAdjEdges[k.postAdjStart[qf]+k.postCnt[qf].Add(1)-1] = int32(2 * a)
+		qs := k.red.S[a]
+		k.postAdjEdges[k.postAdjStart[qs]+k.postCnt[qs].Add(1)-1] = int32(2*a + 1)
+	}
+	k.fnCountDeg = func(ei int) {
+		e := int32(ei)
+		if k.edgeAlive(e) {
+			k.postCnt[k.edgePost(e)].Add(1)
+		}
+	}
+	k.fnLoadDeg = func(q int) {
+		d := k.postCnt[q].Load()
+		k.deg[q] = d
+		if d == 0 {
+			k.alivePostB[q] = false // drop isolated posts (Algorithm 2 line 9)
+		} else if d == 1 && k.alivePostB[q] {
+			k.deg1Count.Add(1)
+		}
+	}
+	k.fnSucc = func(di int) {
+		d := int32(di)
+		e := d / 2
+		if !k.edgeAlive(e) {
+			k.dartDead[d] = true
+			k.succ[d] = d // absorbing, never consulted
+			return
+		}
+		k.dartDead[d] = false
+		if d%2 == 0 {
+			// applicant -> post: continue through the post iff deg 2.
+			q := k.edgePost(e)
+			if k.deg[q] != 2 {
+				k.succ[d] = d // terminal
+				return
+			}
+			var other int32 = -1
+			for t := k.postAdjStart[q]; t < k.postAdjStart[q+1]; t++ {
+				e2 := k.postAdjEdges[t]
+				if e2 != e && k.edgeAlive(e2) {
+					other = e2
+					break
+				}
+			}
+			k.succ[d] = 2*other + 1 // post -> applicant along the other edge
+		} else {
+			// post -> applicant: applicants always have degree 2; exit
+			// along the applicant's other edge.
+			a := e / 2
+			var other int32
+			if e%2 == 0 {
+				other = 2*a + 1
+			} else {
+				other = 2 * a
+			}
+			k.succ[d] = 2 * other // applicant -> post
+		}
+	}
+	k.fnSeedDist = func(d int) {
+		s := k.succ[d]
+		k.dPtr[d] = s
+		if s != int32(d) {
+			k.dVal[d] = 1
+		} else {
+			k.dVal[d] = 0
+		}
+	}
+	k.fnClearActive = func(d int) { k.active[d] = false }
+	// Every degree-1 post activates its chain; if both endpoints have
+	// degree 1 the smaller post id wins ("we only consider this path once").
+	k.fnActivate = func(qi int) {
+		q := int32(qi)
+		if !k.alivePostB[q] || k.deg[q] != 1 {
+			return
+		}
+		var e0 int32 = -1
+		for t := k.postAdjStart[q]; t < k.postAdjStart[q+1]; t++ {
+			e2 := k.postAdjEdges[t]
+			if k.edgeAlive(e2) {
+				e0 = e2
+				break
+			}
+		}
+		if e0 < 0 {
+			k.bad.Store(1)
+			return
+		}
+		d0 := 2*e0 + 1 // q -> applicant
+		term := k.dPtr[d0]
+		if k.succ[term] != term {
+			k.bad.Store(2) // chain did not terminate: impossible
+			return
+		}
+		// Head vertex of the terminal dart: terminals are always
+		// post-headed (applicant-headed darts always continue).
+		endPost := k.edgePost(term / 2)
+		if k.deg[endPost] == 1 && endPost < q {
+			return
+		}
+		k.active[term] = true
+		k.startDist[term] = k.dVal[d0]
+	}
+	k.fnMatchDarts = func(d int) {
+		k.matchedDart[d] = false
+		if k.dartDead[d] {
+			return
+		}
+		term := k.dPtr[d]
+		if !k.active[term] {
+			return
+		}
+		if (k.startDist[term]-k.dVal[d])%2 == 0 {
+			k.matchedDart[d] = true
+		}
+	}
+	k.fnApplyMatches = func(d int) {
+		if !k.matchedDart[d] {
+			return
+		}
+		e := int32(d) / 2
+		a := e / 2
+		q := k.edgePost(e)
+		k.m.PostOf[a] = q
+		k.m.ApplicantOf[q] = a
+		k.peeled.Add(1)
+	}
+	k.fnDeleteMatched = func(d int) {
+		if !k.matchedDart[d] {
+			return
+		}
+		e := int32(d) / 2
+		k.aliveA[e/2] = false
+		k.alivePostB[k.edgePost(e)] = false
+	}
+	k.fnCountAliveA = func(a int) {
+		if k.aliveA[a] {
+			k.aliveApps.Add(1)
+		}
+	}
+	k.fnCountAliveP = func(q int) {
+		if k.alivePostB[q] {
+			k.alivePosts.Add(1)
+		}
+	}
+
+	// --- Residual even cycles (§III-B-1) ---
+
+	k.fnCycleSucc = func(di int) {
+		d := int32(di)
+		e := d / 2
+		if !k.edgeAlive(e) {
+			k.dartDead[d] = true
+			k.succ[d] = d
+			return
+		}
+		k.dartDead[d] = false
+		if d%2 == 0 {
+			q := k.edgePost(e)
+			var other int32 = -1
+			for t := k.postAdjStart[q]; t < k.postAdjStart[q+1]; t++ {
+				e2 := k.postAdjEdges[t]
+				if e2 != e && k.edgeAlive(e2) {
+					other = e2
+					break
+				}
+			}
+			if other < 0 {
+				k.bad.Store(1)
+				k.succ[d] = d
+				return
+			}
+			k.succ[d] = 2*other + 1
+		} else {
+			a := e / 2
+			var other int32
+			if e%2 == 0 {
+				other = 2*a + 1
+			} else {
+				other = 2 * a
+			}
+			k.succ[d] = 2 * other
+		}
+	}
+	k.fnSeedLeader = func(d int) {
+		k.dPtr[d] = k.succ[d]
+		if k.dartDead[d] {
+			k.dVal[d] = infVid
+		} else {
+			k.dVal[d] = k.headVid(int32(d))
+		}
+	}
+	// Canonical darts: the leader applicant's outgoing dart toward its
+	// smaller post — exactly one of the two orientations per cycle.
+	k.fnCanonical = func(di int) {
+		d := int32(di)
+		k.canonical[d] = false
+		if k.dartDead[d] || d%2 != 0 {
+			return // only applicant->post darts can leave the leader
+		}
+		e := d / 2
+		a := e / 2
+		if a != k.dVal[d] { // dVal holds the min-fold leader after doubling
+			return
+		}
+		minPost := k.red.F[a]
+		if k.red.S[a] < minPost {
+			minPost = k.red.S[a]
+		}
+		k.canonical[d] = k.edgePost(e) == minPost
+	}
+	k.fnSeedDist2 = func(d int) {
+		if k.canonical[d] || k.dartDead[d] {
+			k.dPtr[d] = int32(d)
+			k.dVal[d] = 0
+		} else {
+			k.dPtr[d] = k.succ[d]
+			k.dVal[d] = 1
+		}
+	}
+	// Edges whose forward dart sits at even distance from the canonical
+	// dart are matched (the "even distance from e" rule).
+	k.fnMatchCycles = func(di int) {
+		d := int32(di)
+		if k.dartDead[d] {
+			return
+		}
+		if k.canonical[d] {
+			k.cycleCnt.Add(1)
+		}
+		if !k.canonical[k.dPtr[d]] {
+			return // reverse orientation: never reaches a canonical dart
+		}
+		if k.dVal[d]%2 != 0 {
+			return
+		}
+		e := d / 2
+		a := e / 2
+		q := k.edgePost(e)
+		k.m.PostOf[a] = q
+		k.m.ApplicantOf[q] = a
+		k.pairs.Add(1)
+	}
+
+	// --- Pointer doubling (the paper's doubling trick, double-buffered) ---
+	k.fnDoubleSum = func(v int) {
+		w := k.dPtr[v]
+		k.dNxtVal[v] = k.dVal[v] + k.dVal[w]
+		k.dNxtPtr[v] = k.dPtr[w]
+	}
+	k.fnDoubleMin = func(v int) {
+		w := k.dPtr[v]
+		a, b := k.dVal[v], k.dVal[w]
+		if b < a {
+			a = b
+		}
+		k.dNxtVal[v] = a
+		k.dNxtPtr[v] = k.dPtr[w]
+	}
+
+	// --- Algorithm 1 lines 5-7: promotion ---
+	k.fnPromote = func(qi int) {
+		q := int32(qi)
+		if !k.red.IsF[q] || k.m.ApplicantOf[q] >= 0 {
+			return
+		}
+		apps := k.red.FInv(q)
+		if len(apps) == 0 {
+			k.bad.Store(1)
+			return
+		}
+		a := apps[0]
+		old := k.m.PostOf[a]
+		if old != k.red.S[a] {
+			// Theorem 1(ii): a must currently hold s(a) since f(a)=q is
+			// unmatched.
+			k.bad.Store(2)
+			return
+		}
+		k.m.ApplicantOf[old] = -1
+		k.m.PostOf[a] = q
+		k.m.ApplicantOf[q] = a
+		k.promotions.Add(1)
+	}
+
+	return k
+}
+
+func (k *kernel) edgePost(e int32) int32 {
+	if e%2 == 0 {
+		return k.red.F[e/2]
+	}
+	return k.red.S[e/2]
+}
+
+func (k *kernel) edgeAlive(e int32) bool {
+	return k.aliveA[e/2] && k.alivePostB[k.edgePost(e)]
+}
+
+// headVid maps a dart to its head vertex id: applicant a is vid a, post q is
+// vid n1+q, so cycle leaders are always applicants.
+func (k *kernel) headVid(d int32) int32 {
+	e := d / 2
+	if d%2 == 0 {
+		return int32(k.n1) + k.edgePost(e) // applicant -> post
+	}
+	return e / 2 // post -> applicant
+}
+
+// begin binds the kernel to one solve: execution context, instance and its
+// CSR form.
+func (k *kernel) begin(cx *exec.Ctx, ins *onesided.Instance, c *onesided.CSR) {
+	k.cx = cx
+	k.ins = ins
+	k.c = c
+	k.n1 = c.NumApplicants
+	k.total = c.TotalPosts()
+	k.nEdges = 2 * k.n1
+	k.nDarts = 2 * k.nEdges
+}
+
+// exclusiveScan32 scans k.scanSrc[:n] exclusively into k.scanOut[:n] and
+// returns the total, with the same two-round block structure (and PRAM
+// accounting) as par.ExclusiveScan.
+func (k *kernel) exclusiveScan32(n int) int32 {
+	if n == 0 {
+		return 0
+	}
+	grain := n / (4 * k.cx.Workers())
+	if grain < 1024 {
+		grain = 1024
+	}
+	k.scanGrain = grain
+	nblocks := (n + grain - 1) / grain
+	if cap(k.scanBlock) < nblocks {
+		k.scanBlock = make([]int32, nblocks)
+	}
+	k.scanBlock = k.scanBlock[:nblocks]
+	// The pool's sequential fast path may run the whole range as one chunk,
+	// writing only block 0; clear the (O(workers)-sized) block vector so
+	// stale sums from an earlier scan never leak into the serial pass.
+	clear(k.scanBlock)
+	k.cx.Range(n, grain, k.fnScanReduce)
+	k.cx.Round(n)
+	running := int32(0)
+	for b := 0; b < nblocks; b++ {
+		s := k.scanBlock[b]
+		k.scanBlock[b] = running
+		running += s
+	}
+	k.cx.Round(nblocks)
+	k.cx.Range(n, grain, k.fnScanScatter)
+	k.cx.Round(n)
+	return running
+}
+
+// doubleRounds runs `rounds` pointer-doubling steps over the seeded
+// dPtr/dVal buffers with the given prebound fold body; results land in
+// dPtr/dVal.
+func (k *kernel) doubleRounds(n, rounds int, body func(v int)) {
+	for i := 0; i < rounds; i++ {
+		k.cx.For(n, body)
+		k.cx.Round(n)
+		k.dPtr, k.dNxtPtr = k.dNxtPtr, k.dPtr
+		k.dVal, k.dNxtVal = k.dNxtVal, k.dVal
+	}
+}
+
+// buildReduced constructs G′ (§III-B, Algorithm 1 line 3) into k.red. The
+// Reduced arrays are arena scratch, returned by Reduced.release.
+func (k *kernel) buildReduced() {
+	cx := k.cx
+	n1, total := k.n1, k.total
+
+	k.red.Ins = k.ins
+	k.red.C = k.c
+	k.red.k = k
+	k.red.F = cx.Int32s(n1)
+	k.red.S = cx.Int32s(n1)
+	k.red.IsF = cx.Bools(total)
+	k.red.FInvStart = cx.Int32s(total + 1)
+	// Every applicant has exactly one f-post, so |f⁻¹| entries total n1.
+	k.red.FInvApps = cx.Int32s(n1)
+
+	k.isFBits = cx.Uint32s(total)
+	k.postCnt = cx.AtomicInt32s(total)
+	k.cnt32 = cx.Int32s(total)
+
+	// Round 1: mark f-posts.
+	cx.For(n1, k.fnMarkF)
+	cx.Round(n1)
+	cx.For(total, k.fnLoadIsF)
+	cx.Round(total)
+
+	// Round 2: find s(a).
+	cx.For(n1, k.fnFindS)
+	cx.Round(n1)
+
+	// f⁻¹ as CSR: count, scan, scatter, sort buckets.
+	cx.For(n1, k.fnCountF)
+	cx.Round(n1)
+	cx.For(total, k.fnLoadCnt)
+	cx.Round(total)
+	k.scanSrc, k.scanOut = k.cnt32, k.red.FInvStart
+	totalApps := k.exclusiveScan32(total)
+	k.red.FInvStart[total] = totalApps
+	cx.For(total, k.fnZeroCnt)
+	cx.Round(total)
+	cx.For(n1, k.fnScatterF)
+	cx.Round(n1)
+	cx.For(total, k.fnSortBuckets)
+	cx.Round(int(totalApps))
+
+	cx.PutUint32s(k.isFBits)
+	cx.PutAtomicInt32s(k.postCnt)
+	cx.PutInt32s(k.cnt32)
+	k.isFBits, k.postCnt, k.cnt32 = nil, nil, nil
+}
+
+// releaseReduced recycles the phase A arrays and drops every reference to
+// the solve's caller-owned data (instance, CSR, result matching), so an
+// idle pooled session pins nothing; called via Reduced.release.
+func (k *kernel) releaseReduced(cx *exec.Ctx) {
+	r := &k.red
+	cx.PutInt32s(r.F)
+	cx.PutInt32s(r.S)
+	cx.PutBools(r.IsF)
+	cx.PutInt32s(r.FInvStart)
+	cx.PutInt32s(r.FInvApps)
+	r.F, r.S, r.IsF, r.FInvStart, r.FInvApps = nil, nil, nil, nil, nil
+	r.Ins, r.C, r.k = nil, nil, nil
+	k.ins, k.c, k.m, k.cx = nil, nil, nil, nil
+}
+
+// acquireB draws the Algorithm 2 scratch from the arena; releaseB returns
+// it.
+func (k *kernel) acquireB() {
+	cx := k.cx
+	total, nDarts := k.total, k.nDarts
+	k.isFBits = cx.Uint32s(total)
+	k.postCnt = cx.AtomicInt32s(total)
+	k.cnt32 = cx.Int32s(total)
+	k.postAdjStart = cx.Int32s(total + 1)
+	k.postAdjEdges = cx.Int32s(k.nEdges)
+	k.aliveA = cx.Bools(k.n1)
+	k.alivePostB = cx.Bools(total)
+	k.deg = cx.Int32s(total)
+	k.succ = cx.Int32s(nDarts)
+	k.dartDead = cx.Bools(nDarts)
+	k.matchedDart = cx.Bools(nDarts)
+	k.active = cx.Bools(nDarts)
+	k.canonical = cx.Bools(nDarts)
+	k.startDist = cx.Int32s(nDarts)
+	k.dPtr = cx.Int32s(nDarts)
+	k.dVal = cx.Int32s(nDarts)
+	k.dNxtPtr = cx.Int32s(nDarts)
+	k.dNxtVal = cx.Int32s(nDarts)
+}
+
+func (k *kernel) releaseB() {
+	cx := k.cx
+	cx.PutUint32s(k.isFBits)
+	cx.PutAtomicInt32s(k.postCnt)
+	cx.PutInt32s(k.cnt32)
+	cx.PutInt32s(k.postAdjStart)
+	cx.PutInt32s(k.postAdjEdges)
+	cx.PutBools(k.aliveA)
+	cx.PutBools(k.alivePostB)
+	cx.PutInt32s(k.deg)
+	cx.PutInt32s(k.succ)
+	cx.PutBools(k.dartDead)
+	cx.PutBools(k.matchedDart)
+	cx.PutBools(k.active)
+	cx.PutBools(k.canonical)
+	cx.PutInt32s(k.startDist)
+	cx.PutInt32s(k.dPtr)
+	cx.PutInt32s(k.dVal)
+	cx.PutInt32s(k.dNxtPtr)
+	cx.PutInt32s(k.dNxtVal)
+	k.isFBits, k.postCnt, k.cnt32 = nil, nil, nil
+	k.postAdjStart, k.postAdjEdges = nil, nil
+	k.aliveA, k.alivePostB, k.deg = nil, nil, nil
+	k.succ, k.dartDead, k.matchedDart, k.active, k.canonical = nil, nil, nil, nil, nil
+	k.startDist, k.dPtr, k.dVal, k.dNxtPtr, k.dNxtVal = nil, nil, nil, nil, nil
+}
+
+// applicantComplete runs Algorithm 2 into m (allocated or Reset by the
+// caller). It returns false when no applicant-complete matching exists.
+func (k *kernel) applicantComplete(m *onesided.Matching) (ok bool, err error) {
+	cx := k.cx
+	k.m = m
+	k.stats = PeelStats{Valid: true}
+	if k.n1 == 0 {
+		return true, nil
+	}
+	n1, total, nEdges, nDarts := k.n1, k.total, k.nEdges, k.nDarts
+	dblRounds := par.Iterations(nDarts) + 1
+
+	k.acquireB()
+	defer k.releaseB()
+
+	// Static post adjacency (CSR over edge ids) and initial aliveness.
+	cx.For(n1, k.fnInitAlive)
+	cx.Round(n1)
+	cx.For(total, k.fnLoadAlive)
+	cx.Round(total)
+	cx.For(n1, k.fnCountAdj)
+	cx.Round(n1)
+	cx.For(total, k.fnLoadCnt)
+	cx.Round(total)
+	k.scanSrc, k.scanOut = k.cnt32, k.postAdjStart
+	totalAdj := k.exclusiveScan32(total)
+	k.postAdjStart[total] = totalAdj
+	cx.For(total, k.fnZeroCnt)
+	cx.Round(total)
+	cx.For(n1, k.fnScatterAdj)
+	cx.Round(n1)
+
+	for {
+		// --- degrees over alive edges ---
+		cx.For(total, k.fnZeroCnt)
+		cx.Round(total)
+		cx.For(nEdges, k.fnCountDeg)
+		cx.Round(nEdges)
+		k.deg1Count.Store(0)
+		cx.For(total, k.fnLoadDeg)
+		cx.Round(total)
+		if k.deg1Count.Load() == 0 {
+			break
+		}
+		k.stats.Rounds++
+
+		// --- dart successors on the alive subgraph ---
+		cx.For(nDarts, k.fnSucc)
+		cx.Round(nDarts)
+
+		// --- doubling: terminal dart + distance for every chain ---
+		cx.For(nDarts, k.fnSeedDist)
+		cx.Round(nDarts)
+		k.doubleRounds(nDarts, dblRounds, k.fnDoubleSum)
+
+		// --- activate chains from degree-1 posts ---
+		cx.For(nDarts, k.fnClearActive)
+		cx.Round(nDarts)
+		k.bad.Store(0)
+		cx.For(total, k.fnActivate)
+		cx.Round(int(k.deg1Count.Load()))
+		switch k.bad.Load() {
+		case 1:
+			return false, errDeg1NoEdge
+		case 2:
+			return false, errChainNoTerm
+		}
+
+		// --- match darts at even distance from the chain start ---
+		cx.For(nDarts, k.fnMatchDarts)
+		cx.Round(nDarts)
+
+		// --- apply matches, delete matched vertices ---
+		k.peeled.Store(0)
+		cx.For(nDarts, k.fnApplyMatches)
+		cx.Round(nDarts)
+		k.stats.PeeledPairs += int(k.peeled.Load())
+		cx.For(nDarts, k.fnDeleteMatched)
+		cx.Round(nDarts)
+	}
+
+	// --- residual check: Hall condition by counting (§III-B-1) ---
+	k.aliveApps.Store(0)
+	k.alivePosts.Store(0)
+	cx.For(n1, k.fnCountAliveA)
+	cx.Round(n1)
+	cx.For(total, k.fnCountAliveP)
+	cx.Round(total)
+	aliveApplicants := int(k.aliveApps.Load())
+	if int(k.alivePosts.Load()) < aliveApplicants {
+		return false, nil // no applicant-complete matching
+	}
+	if aliveApplicants == 0 {
+		return true, nil
+	}
+	// |P| = |A| and every post has degree exactly 2: disjoint even cycles.
+	// Leader election (min head vid, idempotent fold), canonical darts,
+	// then distance-to-canonical with canonical darts absorbing.
+	k.bad.Store(0)
+	cx.For(nDarts, k.fnCycleSucc)
+	cx.Round(nDarts)
+	if k.bad.Load() != 0 {
+		return false, errNot2Regular
+	}
+	cx.For(nDarts, k.fnSeedLeader)
+	cx.Round(nDarts)
+	k.doubleRounds(nDarts, dblRounds, k.fnDoubleMin)
+	cx.For(nDarts, k.fnCanonical)
+	cx.Round(nDarts)
+	cx.For(nDarts, k.fnSeedDist2)
+	cx.Round(nDarts)
+	k.doubleRounds(nDarts, dblRounds, k.fnDoubleSum)
+	k.pairs.Store(0)
+	k.cycleCnt.Store(0)
+	cx.For(nDarts, k.fnMatchCycles)
+	cx.Round(nDarts)
+	k.stats.CyclePairs = int(k.pairs.Load())
+	k.stats.CycleCount = int(k.cycleCnt.Load())
+	return true, nil
+}
+
+// promote performs Algorithm 1 lines 5-7 in one parallel round; see the
+// documentation on the package-level promote.
+func (k *kernel) promote(m *onesided.Matching) (int, error) {
+	k.m = m
+	k.bad.Store(0)
+	k.promotions.Store(0)
+	k.cx.For(k.total, k.fnPromote)
+	k.cx.Round(k.total)
+	switch k.bad.Load() {
+	case 1:
+		return 0, errEmptyFInv
+	case 2:
+		return 0, errBadPromotion
+	}
+	return int(k.promotions.Load()), nil
+}

@@ -1,11 +1,23 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/onesided"
+)
+
+// Sentinel errors for impossible-by-theory states detected inside the
+// kernel's parallel rounds (package-level so the hot path allocates nothing
+// even when raising them).
+var (
+	errDeg1NoEdge   = errors.New("core: degree-1 post with no alive edge")
+	errChainNoTerm  = errors.New("core: peeling chain failed to terminate")
+	errNot2Regular  = errors.New("core: residual graph is not 2-regular")
+	errEmptyFInv    = errors.New("core: f-post with empty f⁻¹")
+	errBadPromotion = errors.New("core: promotion source not matched to its s-post")
 )
 
 // Result is the outcome of a popular-matching computation.
@@ -14,82 +26,68 @@ type Result struct {
 	Matching *onesided.Matching
 	// Exists reports whether a popular matching exists.
 	Exists bool
-	// Peel reports Algorithm 2's statistics (nil for algorithms that do not
-	// run it).
-	Peel *PeelStats
+	// Peel reports Algorithm 2's statistics; Peel.Valid is false for
+	// algorithms that do not run it.
+	Peel PeelStats
 	// Promotions counts the f-posts filled in Algorithm 1's final loop.
 	Promotions int
 }
 
 // Popular runs Algorithm 1 of the paper: it finds a popular matching of a
 // strictly-ordered instance or reports that none exists, in NC.
-func Popular(ins *onesided.Instance, opt Options) (res Result, err error) {
+func Popular(ins *onesided.Instance, opt Options) (Result, error) {
+	return PopularInto(ins, nil, opt)
+}
+
+// PopularInto is Popular with matching reuse: when m is non-nil it is Reset
+// and used as the result matching, so a caller recycling the matching of a
+// previous solve (and running on an arena-backed execution context) performs
+// no heap allocation in the steady state. m must not be in use elsewhere; on
+// Exists=false or error its contents are unspecified.
+func PopularInto(ins *onesided.Instance, m *onesided.Matching, opt Options) (res Result, err error) {
 	defer exec.CatchCancel(&err)
 	r, err := BuildReduced(ins, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err = popularFromReduced(r, opt)
+	res, err = popularFromReducedInto(r, m, opt)
 	r.release(opt.exec())
 	return res, err
 }
 
 func popularFromReduced(r *Reduced, opt Options) (Result, error) {
-	m, stats, err := applicantComplete(r, opt)
-	if err != nil {
-		return Result{}, err
-	}
+	return popularFromReducedInto(r, nil, opt)
+}
+
+func popularFromReducedInto(r *Reduced, m *onesided.Matching, opt Options) (Result, error) {
+	k := r.k
 	if m == nil {
-		return Result{Exists: false, Peel: stats}, nil
+		m = onesided.NewMatching(r.Ins)
+	} else {
+		m.Reset(r.Ins)
 	}
-	promotions, err := promote(r, m, opt)
+	ok, err := k.applicantComplete(m)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Matching: m, Exists: true, Peel: stats, Promotions: promotions}, nil
+	if !ok {
+		return Result{Exists: false, Peel: k.stats}, nil
+	}
+	promotions, err := k.promote(m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Matching: m, Exists: true, Peel: k.stats, Promotions: promotions}, nil
 }
 
 // promote performs Algorithm 1 lines 5-7: every f-post left unmatched by the
 // applicant-complete matching takes an applicant from f⁻¹(p) — necessarily
 // matched to their s-post — in one parallel round. The promoted applicants
 // are pairwise distinct because the sets f⁻¹(p) partition the applicants, so
-// all promotions commute.
+// all promotions commute. The implementation is the kernel's prebound
+// promotion round.
 func promote(r *Reduced, m *onesided.Matching, opt Options) (int, error) {
-	cx := opt.exec()
-	ins := r.Ins
-	total := ins.TotalPosts()
-	var count, bad atomic.Int32
-	cx.For(total, func(qi int) {
-		q := int32(qi)
-		if !r.IsF[q] || m.ApplicantOf[q] >= 0 {
-			return
-		}
-		apps := r.FInv(q)
-		if len(apps) == 0 {
-			bad.Store(1)
-			return
-		}
-		a := apps[0]
-		old := m.PostOf[a]
-		if old != r.S[a] {
-			// Theorem 1(ii): a must currently hold s(a) since f(a)=q is
-			// unmatched.
-			bad.Store(2)
-			return
-		}
-		m.ApplicantOf[old] = -1
-		m.PostOf[a] = q
-		m.ApplicantOf[q] = a
-		count.Add(1)
-	})
-	cx.Round(total)
-	switch bad.Load() {
-	case 1:
-		return 0, fmt.Errorf("core: f-post with empty f⁻¹")
-	case 2:
-		return 0, fmt.Errorf("core: promotion source not matched to its s-post")
-	}
-	return int(count.Load()), nil
+	return r.k.promote(m)
 }
 
 // VerifyPopular checks the Theorem 1 characterization of m against a

@@ -15,6 +15,9 @@ import (
 // last resort l(a)). f-posts and s-posts are disjoint.
 type Reduced struct {
 	Ins *onesided.Instance
+	// C is the flat CSR form of Ins that the construction indexed into; it
+	// is the instance-cached CSR, shared, immutable.
+	C *onesided.CSR
 	// F[a] and S[a] are the two posts of applicant a in G′.
 	F, S []int32
 	// IsF[p] marks f-posts over all TotalPosts() ids.
@@ -23,102 +26,44 @@ type Reduced struct {
 	// FInvApps[FInvStart[p]:FInvStart[p+1]], in increasing order.
 	FInvStart []int32
 	FInvApps  []int32
+
+	// k is the solve kernel that owns the arrays above (and carries the
+	// prebound loop bodies for the later phases).
+	k *kernel
 }
 
 // release recycles the Reduced's arrays into cx's arena. Callers that own
 // both the Reduced and the solve's arena call it once the result matching
 // has been extracted; afterwards the Reduced must not be used.
 func (r *Reduced) release(cx *exec.Ctx) {
-	cx.PutInt32s(r.F)
-	cx.PutInt32s(r.S)
-	cx.PutBools(r.IsF)
-	cx.PutInt32s(r.FInvStart)
-	cx.PutInt32s(r.FInvApps)
-	r.F, r.S, r.IsF, r.FInvStart, r.FInvApps = nil, nil, nil, nil, nil
+	if r.k != nil {
+		r.k.releaseReduced(cx)
+	}
 }
 
 // BuildReduced constructs G′ in parallel (§III-B, Algorithm 1 line 3):
 // one round marks f-posts, one round per applicant scans for s(a), and a
-// count/scan/scatter builds f⁻¹. Only strictly-ordered instances are valid
-// input (Algorithm 1 assumes them); instances with ties are rejected.
+// count/scan/scatter builds f⁻¹. The rounds index directly into the
+// instance's cached CSR arrays and run as the session kernel's prebound
+// loops (see kernel.go). Only strictly-ordered instances are valid input
+// (Algorithm 1 assumes them); instances with ties are rejected.
+//
+// The returned Reduced is a view into the session kernel: at most one
+// Reduced per execution context may be live at a time. Building a second
+// one on the same (arena-backed) context reuses — and overwrites — the
+// first's arrays, so finish with (and release) a Reduced before building
+// the next, as every solver entry point here does.
 func BuildReduced(ins *onesided.Instance, opt Options) (r *Reduced, err error) {
-	if !ins.Strict() {
+	c := ins.CSR()
+	if !c.Strict() {
 		return nil, fmt.Errorf("core: Algorithm 1 requires strictly-ordered preference lists")
 	}
 	defer exec.CatchCancel(&err)
 	cx := opt.exec()
-	n1 := ins.NumApplicants
-	total := ins.TotalPosts()
-
-	r = &Reduced{
-		Ins: ins,
-		F:   cx.Int32s(n1),
-		S:   cx.Int32s(n1),
-		IsF: cx.Bools(total),
-	}
-
-	// Round 1: mark every first-choice post (arbitrary-CRCW same-value
-	// writes via atomics).
-	isF := cx.Uint32s(total)
-	defer cx.PutUint32s(isF)
-	cx.For(n1, func(a int) {
-		r.F[a] = ins.Lists[a][0]
-		atomic.StoreUint32(&isF[r.F[a]], 1)
-	})
-	cx.Round(n1)
-	cx.For(total, func(q int) { r.IsF[q] = isF[q] == 1 })
-	cx.Round(total)
-
-	// Round 2: s(a) = highest-ranked non-f-post, else l(a). (Lists are
-	// short in practice; the scan is the per-processor O(list) work the
-	// paper's construction performs with one processor per list entry.)
-	cx.For(n1, func(a int) {
-		r.S[a] = ins.LastResort(a)
-		for _, q := range ins.Lists[a] {
-			if !r.IsF[q] {
-				r.S[a] = q
-				break
-			}
-		}
-	})
-	cx.Round(n1)
-
-	// f⁻¹ as CSR: count, scan, scatter.
-	counts := cx.Ints(total)
-	defer cx.PutInts(counts)
-	ac := cx.AtomicInt32s(total)
-	defer cx.PutAtomicInt32s(ac)
-	cx.For(n1, func(a int) { ac[r.F[a]].Add(1) })
-	cx.Round(n1)
-	cx.For(total, func(q int) { counts[q] = int(ac[q].Load()) })
-	cx.Round(total)
-	start, totalApps := par.ExclusiveScan(cx, counts)
-	defer cx.PutInts(start)
-	r.FInvStart = cx.Int32s(total + 1)
-	cx.For(total, func(q int) { r.FInvStart[q] = int32(start[q]) })
-	cx.Round(total)
-	r.FInvStart[total] = int32(totalApps)
-	r.FInvApps = cx.Int32s(totalApps)
-	cx.For(total, func(q int) { ac[q].Store(0) })
-	cx.Round(total)
-	cx.For(n1, func(a int) {
-		q := r.F[a]
-		slot := int32(start[q]) + ac[q].Add(1) - 1
-		r.FInvApps[slot] = int32(a)
-	})
-	cx.Round(n1)
-	// Scatter order is nondeterministic; sort each (typically tiny) bucket
-	// so "any applicant in f⁻¹(p)" picks deterministically.
-	cx.For(total, func(q int) {
-		bucket := r.FInvApps[r.FInvStart[q]:r.FInvStart[q+1]]
-		for i := 1; i < len(bucket); i++ {
-			for j := i; j > 0 && bucket[j] < bucket[j-1]; j-- {
-				bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
-			}
-		}
-	})
-	cx.Round(totalApps)
-	return r, nil
+	k := kernelFor(cx)
+	k.begin(cx, ins, c)
+	k.buildReduced()
+	return &k.red, nil
 }
 
 // FInv returns the applicants whose first choice is post q.

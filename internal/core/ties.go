@@ -43,19 +43,19 @@ type TiesResult struct {
 func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (res TiesResult, err error) {
 	defer exec.CatchCancel(&err)
 	cx := opt.exec()
+	c := ins.CSR()
 	n1 := ins.NumApplicants
 	total := ins.TotalPosts()
 	if n1 == 0 {
 		return TiesResult{Matching: onesided.NewMatching(ins), Exists: true}, nil
 	}
 
-	// G1: rank-one edges over real posts.
+	// G1: rank-one edges over real posts, read off the flat CSR rows (the
+	// rank-1 prefix of each row, since ranks are nondecreasing).
 	g1 := bipartite.New(n1, ins.NumPosts)
 	for a := 0; a < n1; a++ {
-		for i, p := range ins.Lists[a] {
-			if ins.Ranks[a][i] == 1 {
-				g1.AddEdge(int32(a), p)
-			}
+		for i := c.Off[a]; i < c.Off[a+1] && c.Rank[i] == 1; i++ {
+			g1.AddEdge(int32(a), c.Post[i])
 		}
 	}
 	matchL, matchR, m1 := bipartite.HopcroftKarpCtx(cx, g1)
@@ -88,28 +88,28 @@ func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (r
 			}
 			return 0
 		}
-		// f(a): the whole first tie class.
-		for i, p := range ins.Lists[a] {
-			if ins.Ranks[a][i] == 1 {
-				row[p] = W + sEdge(p)
-			}
+		lo, hi := c.Off[a], c.Off[a+1]
+		// f(a): the whole first tie class (the rank-1 prefix of the row).
+		for i := lo; i < hi && c.Rank[i] == 1; i++ {
+			row[c.Post[i]] = W + sEdge(c.Post[i])
 		}
 		// s(a): the most-preferred even posts (the last resort competes at
 		// rank worst+1).
-		bestRank := ins.LastResortRank(a)
-		for i, p := range ins.Lists[a] {
-			if evenPost[p] && ins.Ranks[a][i] < bestRank {
-				bestRank = ins.Ranks[a][i]
+		lrRank := c.LastResortRank(a)
+		bestRank := lrRank
+		for i := lo; i < hi; i++ {
+			if evenPost[c.Post[i]] && c.Rank[i] < bestRank {
+				bestRank = c.Rank[i]
 			}
 		}
-		if bestRank == ins.LastResortRank(a) {
+		if bestRank == lrRank {
 			lr := ins.LastResort(a)
 			if row[lr] == forb {
 				row[lr] = sEdge(lr)
 			}
 		} else {
-			for i, p := range ins.Lists[a] {
-				if evenPost[p] && ins.Ranks[a][i] == bestRank && row[p] == forb {
+			for i := lo; i < hi; i++ {
+				if p := c.Post[i]; evenPost[p] && c.Rank[i] == bestRank && row[p] == forb {
 					row[p] = sEdge(p)
 				}
 			}

@@ -16,6 +16,13 @@ type atomicInt32 = atomic.Int32
 // An Arena is NOT safe for concurrent use; each in-flight solve needs its
 // own (popmatch.Solver maintains a sync.Pool of them).
 type Arena struct {
+	// Aux carries a solver-layer kernel object that lives alongside the
+	// arena: core's strict-path kernel caches its prebound loop closures
+	// here so a recycled arena brings its kernel (and hence a
+	// zero-allocation steady state) with it. Owned by whichever layer
+	// installed it; other code must leave it alone.
+	Aux any
+
 	ints    bucket[int]
 	int32s  bucket[int32]
 	int64s  bucket[int64]
@@ -27,8 +34,10 @@ type Arena struct {
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
-// Reset drops every recycled buffer, releasing the memory to the GC.
+// Reset drops every recycled buffer (and any attached Aux kernel),
+// releasing the memory to the GC.
 func (a *Arena) Reset() {
+	a.Aux = nil
 	a.ints.free = nil
 	a.int32s.free = nil
 	a.int64s.free = nil

@@ -63,14 +63,22 @@ type Ctx struct {
 
 // New returns a Ctx for cfg, applying the documented defaults.
 func New(cfg Config) *Ctx {
-	c := &Ctx{pool: cfg.Pool, tr: cfg.Tracer, gctx: cfg.Context, arena: cfg.Arena}
+	c := &Ctx{}
+	c.Reset(cfg)
+	return c
+}
+
+// Reset re-points an existing Ctx at cfg, applying the same defaults as
+// New. It lets a pooled session reuse one Ctx allocation across solves; the
+// Ctx must not be in use by a concurrent solve.
+func (c *Ctx) Reset(cfg Config) {
+	c.pool, c.tr, c.gctx, c.arena = cfg.Pool, cfg.Tracer, cfg.Context, cfg.Arena
 	if c.pool == nil {
 		c.pool = par.Shared()
 	}
 	if c.gctx == nil {
 		c.gctx = context.Background()
 	}
-	return c
 }
 
 // Background returns a Ctx on the shared pool with no tracing, cancellation

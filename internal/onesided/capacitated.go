@@ -49,11 +49,17 @@ func NewCapacitatedWithTies(capacities []int32, lists [][]int32, ranks [][]int32
 // posts (contiguous ids starting at firstClone[p], all tied at p's original
 // rank), plus the clone→original map cloneOf. Unit-capacity instances expand
 // to a plain copy with identity maps.
+//
+// The expanded lists are built flat, CSR style: one exact-size pass counts
+// the cloned row lengths, a second fills two contiguous arrays, and the unit
+// instance's rows are subslices of them — no per-applicant growth, so
+// expanding a large CHA instance is two linear passes over the original CSR.
 func (ins *Instance) Expand() (unit *Instance, cloneOf, firstClone []int32, err error) {
 	total := ins.TotalCapacity()
 	if total+ins.NumApplicants > math.MaxInt32 {
 		return nil, nil, nil, fmt.Errorf("onesided: expanded instance needs %d post ids, exceeding int32", total+ins.NumApplicants)
 	}
+	c := ins.CSR()
 	firstClone = make([]int32, ins.NumPosts+1)
 	for p := 0; p < ins.NumPosts; p++ {
 		firstClone[p+1] = firstClone[p] + ins.Capacity(int32(p))
@@ -64,17 +70,33 @@ func (ins *Instance) Expand() (unit *Instance, cloneOf, firstClone []int32, err 
 			cloneOf[q] = int32(p)
 		}
 	}
+	// Pass 1: exact expanded row lengths.
+	edges := 0
+	off := make([]int, ins.NumApplicants+1)
+	for a := 0; a < ins.NumApplicants; a++ {
+		off[a] = edges
+		for _, p := range c.List(a) {
+			edges += int(firstClone[p+1] - firstClone[p])
+		}
+	}
+	off[ins.NumApplicants] = edges
+	// Pass 2: fill the flat arrays and slice the rows out of them.
+	flatPosts := make([]int32, edges)
+	flatRanks := make([]int32, edges)
 	lists := make([][]int32, ins.NumApplicants)
 	ranks := make([][]int32, ins.NumApplicants)
-	for a := range ins.Lists {
-		var l, r []int32
-		for i, p := range ins.Lists[a] {
+	for a := 0; a < ins.NumApplicants; a++ {
+		at := off[a]
+		row, rr := c.List(a), c.Ranks(a)
+		for i, p := range row {
 			for q := firstClone[p]; q < firstClone[p+1]; q++ {
-				l = append(l, q)
-				r = append(r, ins.Ranks[a][i])
+				flatPosts[at] = q
+				flatRanks[at] = rr[i]
+				at++
 			}
 		}
-		lists[a], ranks[a] = l, r
+		lists[a] = flatPosts[off[a]:at]
+		ranks[a] = flatRanks[off[a]:at]
 	}
 	unit, err = NewWithTies(total, lists, ranks)
 	if err != nil {

@@ -1,0 +1,40 @@
+//go:build debug
+
+package onesided
+
+import "testing"
+
+// TestDebugMutationPanics verifies the `debug` build-tag enforcement of the
+// Instance immutability contract: mutating Lists after the caches are built,
+// without calling Invalidate, must panic on the next cache hit.
+func TestDebugMutationPanics(t *testing.T) {
+	ins, err := NewStrict(3, [][]int32{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ins.RankOf(0, 1); !ok {
+		t.Fatal("post 1 should be on the list")
+	}
+	ins.Lists[0][1] = 2 // stale mutation, no Invalidate
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale RankOf did not panic under -tags debug")
+		}
+	}()
+	ins.RankOf(0, 2)
+}
+
+// TestDebugInvalidateClears verifies the escape hatch under the debug tag:
+// Invalidate after mutation must not panic.
+func TestDebugInvalidateClears(t *testing.T) {
+	ins, err := NewStrict(3, [][]int32{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins.RankOf(0, 1)
+	ins.Lists[0][1] = 2
+	ins.Invalidate()
+	if r, ok := ins.RankOf(0, 2); !ok || r != 2 {
+		t.Fatalf("RankOf after Invalidate = %d,%v", r, ok)
+	}
+}

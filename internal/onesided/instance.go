@@ -8,7 +8,7 @@ package onesided
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Instance is a popular-matching instance: a bipartite graph between
@@ -28,6 +28,18 @@ import (
 // allocation (CHA) instance: post p may hold up to Capacities[p] applicants.
 // A nil vector means every post has capacity 1 (the paper's model). The
 // capacitated case reduces to the unit case by post cloning; see Expand.
+//
+// # Immutability contract
+//
+// An Instance lazily derives and caches two structures the solvers share:
+// per-applicant rank maps (RankOf) and the flat CSR form (CSR). Once either
+// accessor — or any solver, which uses them internally — has run, the
+// instance must be treated as immutable: mutating Lists, Ranks or Capacities
+// in place would silently serve stale derived data to later calls. Callers
+// that must mutate an already-used instance call Invalidate afterwards to
+// drop the caches (SetCapacities does so automatically); builds with the
+// `debug` tag verify the caches against a fingerprint of the lists on every
+// RankOf and CSR call and panic on staleness.
 type Instance struct {
 	NumApplicants int
 	NumPosts      int
@@ -35,8 +47,8 @@ type Instance struct {
 	Ranks         [][]int32
 	Capacities    []int32
 
-	rankOnce sync.Once
-	rankMaps []map[int32]int32
+	rankCache atomic.Pointer[[]map[int32]int32]
+	csrCache  atomic.Pointer[CSR]
 }
 
 // NewStrict builds a strictly-ordered instance: lists[a][i] has rank i+1.
@@ -67,7 +79,9 @@ func NewWithTies(numPosts int, lists [][]int32, ranks [][]int32) (*Instance, err
 
 // Validate checks structural invariants: non-empty lists, in-range distinct
 // posts, 1-based nondecreasing ranks starting at 1, and (when present)
-// positive per-post capacities.
+// positive per-post capacities. Duplicate detection uses one stamp array
+// over the posts instead of a per-applicant map, so validating a large
+// instance is a pair of linear passes.
 func (ins *Instance) Validate() error {
 	if len(ins.Lists) != ins.NumApplicants || len(ins.Ranks) != ins.NumApplicants {
 		return fmt.Errorf("onesided: %d applicants but %d lists / %d rank rows",
@@ -83,6 +97,7 @@ func (ins *Instance) Validate() error {
 			}
 		}
 	}
+	seen := make([]int32, ins.NumPosts) // stamp array: seen[p] == a+1 iff a listed p
 	for a, l := range ins.Lists {
 		if len(l) == 0 {
 			return fmt.Errorf("onesided: applicant %d has an empty preference list", a)
@@ -91,15 +106,15 @@ func (ins *Instance) Validate() error {
 		if len(r) != len(l) {
 			return fmt.Errorf("onesided: applicant %d has %d posts but %d ranks", a, len(l), len(r))
 		}
-		seen := make(map[int32]bool, len(l))
+		stamp := int32(a) + 1
 		for i, p := range l {
 			if p < 0 || int(p) >= ins.NumPosts {
 				return fmt.Errorf("onesided: applicant %d lists out-of-range post %d", a, p)
 			}
-			if seen[p] {
+			if seen[p] == stamp {
 				return fmt.Errorf("onesided: applicant %d lists post %d twice", a, p)
 			}
-			seen[p] = true
+			seen[p] = stamp
 			switch {
 			case i == 0 && r[i] != 1:
 				return fmt.Errorf("onesided: applicant %d first rank is %d, want 1", a, r[i])
@@ -146,7 +161,8 @@ func (ins *Instance) TotalCapacity() int {
 }
 
 // SetCapacities attaches a per-post capacity vector (nil restores unit
-// capacities), validating it against the instance.
+// capacities), validating it against the instance. It invalidates the
+// derived caches, since the CSR form carries the capacity vector.
 func (ins *Instance) SetCapacities(caps []int32) error {
 	old := ins.Capacities
 	ins.Capacities = caps
@@ -154,7 +170,32 @@ func (ins *Instance) SetCapacities(caps []int32) error {
 		ins.Capacities = old
 		return err
 	}
+	ins.Invalidate()
 	return nil
+}
+
+// Invalidate drops the lazily derived caches (rank maps and the CSR form).
+// Call it after mutating Lists, Ranks or Capacities of an instance that has
+// already been solved or queried; see the immutability contract on Instance.
+func (ins *Instance) Invalidate() {
+	ins.rankCache.Store(nil)
+	ins.csrCache.Store(nil)
+	ins.clearFingerprint()
+}
+
+// CSR returns the flat compressed-sparse-row form of the instance, building
+// it on first use and caching it. The returned CSR is shared: every solve of
+// this instance indexes the same three flat arrays, so repeat solves pay no
+// re-marshalling. It must not be mutated (see the immutability contract).
+func (ins *Instance) CSR() *CSR {
+	if c := ins.csrCache.Load(); c != nil {
+		ins.checkFingerprint()
+		return c
+	}
+	c := BuildCSR(ins)
+	ins.recordFingerprint()
+	ins.csrCache.Store(c)
+	return c
 }
 
 // Strict reports whether no applicant's list contains a tie.
@@ -187,26 +228,35 @@ func (ins *Instance) LastResortRank(a int) int32 {
 }
 
 // RankOf returns the rank of post p on applicant a's augmented list. Posts
-// not on the list (other than l(a)) report ok = false.
+// not on the list (other than l(a)) report ok = false. The rank maps are
+// built once and cached; see the immutability contract on Instance.
 func (ins *Instance) RankOf(a int, p int32) (rank int32, ok bool) {
 	if p == ins.LastResort(a) {
 		return ins.LastResortRank(a), true
 	}
-	ins.rankOnce.Do(func() {
-		ins.rankMaps = make([]map[int32]int32, ins.NumApplicants)
+	maps := ins.rankCache.Load()
+	if maps == nil {
+		built := make([]map[int32]int32, ins.NumApplicants)
 		for i := range ins.Lists {
 			m := make(map[int32]int32, len(ins.Lists[i]))
 			for j, q := range ins.Lists[i] {
 				m[q] = ins.Ranks[i][j]
 			}
-			ins.rankMaps[i] = m
+			built[i] = m
 		}
-	})
-	rank, ok = ins.rankMaps[a][p]
+		ins.recordFingerprint()
+		// Concurrent builders race benignly: both compute identical maps
+		// from the (immutable-by-contract) lists and either may win.
+		ins.rankCache.Store(&built)
+		maps = &built
+	} else {
+		ins.checkFingerprintRow(a)
+	}
+	rank, ok = (*maps)[a][p]
 	return rank, ok
 }
 
-// Clone returns a deep copy (without the lazily built rank maps).
+// Clone returns a deep copy (without the lazily derived caches).
 func (ins *Instance) Clone() *Instance {
 	lists := make([][]int32, len(ins.Lists))
 	ranks := make([][]int32, len(ins.Ranks))

@@ -27,9 +27,14 @@ import (
 // older versions parse unchanged and unit instances round-trip to the
 // historical format.
 
-// Write serializes ins in the text format.
+// Write serializes ins in the text format. When w is already a
+// *bufio.Writer (e.g. geninstance's size-tuned stdout buffer) it is used
+// directly instead of stacking a second buffer; it is flushed either way.
 func Write(w io.Writer, ins *Instance) error {
-	bw := bufio.NewWriter(w)
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
 	fmt.Fprintf(bw, "posts %d\n", ins.NumPosts)
 	if ins.Capacities != nil {
 		bw.WriteString("c")

@@ -28,6 +28,27 @@ func NewMatching(ins *Instance) *Matching {
 	return m
 }
 
+// Reset re-empties the matching for ins, reusing the existing slices when
+// their capacity suffices: the allocation-free path for solvers that recycle
+// a result matching across repeat solves of same-shaped instances.
+func (m *Matching) Reset(ins *Instance) {
+	n1, total := ins.NumApplicants, ins.TotalPosts()
+	if cap(m.PostOf) < n1 {
+		m.PostOf = make([]int32, n1)
+	}
+	if cap(m.ApplicantOf) < total {
+		m.ApplicantOf = make([]int32, total)
+	}
+	m.PostOf = m.PostOf[:n1]
+	m.ApplicantOf = m.ApplicantOf[:total]
+	for i := range m.PostOf {
+		m.PostOf[i] = -1
+	}
+	for i := range m.ApplicantOf {
+		m.ApplicantOf[i] = -1
+	}
+}
+
 // Match pairs applicant a with post p, detaching any previous partners.
 func (m *Matching) Match(a int32, p int32) {
 	if old := m.PostOf[a]; old >= 0 {

@@ -44,13 +44,23 @@ type Pool struct {
 }
 
 // round is one bulk-synchronous parallel step: workers (and the caller)
-// atomically claim grain-sized chunks of [0, n) until none remain.
+// atomically claim grain-sized chunks of [0, n) until none remain. Exactly
+// one of fn (chunk form) and fnIdx (per-index form) is set; carrying both
+// lets For loops run without wrapping the index function in a per-call
+// closure. Completed rounds are recycled through roundPool so a parallel
+// step performs no allocation in the steady state.
 type round struct {
 	n, grain, chunks int
 	fn               func(lo, hi int)
+	fnIdx            func(i int)
 	next             atomic.Int64
 	wg               sync.WaitGroup
 }
+
+// roundPool recycles round descriptors. A round is returned only after
+// wg.Wait has observed every recruited worker's Done, so no goroutine holds
+// a reference when the descriptor is reused.
+var roundPool = sync.Pool{New: func() any { return new(round) }}
 
 func (r *round) run() {
 	for {
@@ -63,7 +73,13 @@ func (r *round) run() {
 		if hi > r.n {
 			hi = r.n
 		}
-		r.fn(lo, hi)
+		if r.fnIdx != nil {
+			for i := lo; i < hi; i++ {
+				r.fnIdx(i)
+			}
+		} else {
+			r.fn(lo, hi)
+		}
 	}
 }
 
@@ -139,12 +155,27 @@ func (p *Pool) For(n int, fn func(i int)) {
 // ForGrain is For with an explicit grain: chunks of at least `grain`
 // consecutive indices are handed to workers. A small grain increases
 // scheduling overhead; a large grain reduces available parallelism.
+//
+// Loops too small to parallelize (or on a single-worker pool) run directly
+// on the calling goroutine without touching the round machinery, so fn need
+// not escape and a prebound loop body executes allocation-free.
 func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
-	p.Range(n, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.workers == 1 || n <= grain {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
-	})
+		return
+	}
+	r := roundPool.Get().(*round)
+	r.n, r.grain, r.chunks = n, grain, (n+grain-1)/grain
+	r.fn, r.fnIdx = nil, fn
+	p.dispatch(r)
 }
 
 // Range partitions [0, n) into contiguous chunks of at least `grain` indices
@@ -167,8 +198,15 @@ func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	r := roundPool.Get().(*round)
+	r.n, r.grain, r.chunks = n, grain, (n+grain-1)/grain
+	r.fn, r.fnIdx = fn, nil
+	p.dispatch(r)
+}
+
+// dispatch runs a prepared round on the pool and recycles the descriptor.
+func (p *Pool) dispatch(r *round) {
 	p.start.Do(p.startWorkers)
-	r := &round{n: n, grain: grain, chunks: (n + grain - 1) / grain, fn: fn}
 	// Recruit at most workers-1 helpers (the caller is a participant too).
 	// Handoffs are non-blocking rendezvous: a send succeeds only if a worker
 	// is idle in its receive right now, so every recruited helper is
@@ -188,6 +226,9 @@ func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 	}
 	r.run() // the caller claims chunks like any worker
 	r.wg.Wait()
+	r.fn, r.fnIdx = nil, nil
+	r.next.Store(0)
+	roundPool.Put(r)
 }
 
 func (p *Pool) startWorkers() {

@@ -1,0 +1,56 @@
+package popmatch
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSolveIntoZeroAllocSteadyState pins the CSR-kernel contract: after the
+// first solve has installed the kernel and warmed the session arena,
+// repeated SolveInto calls on the same unit strict instance perform zero
+// heap allocations — the loop closures persist, scratch comes from the
+// arena, and the result matching is Reset in place.
+func TestSolveIntoZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates during solves; allocation exactness is meaningless here")
+	}
+	ins := solvableInstance(t, 600)
+	s := NewSolver(Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	var res Result
+	// Warm: install the kernel, size the arena buckets and result buffers.
+	for i := 0; i < 3; i++ {
+		if err := s.SolveInto(ctx, ins, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !res.Exists {
+		t.Fatal("workload instance must be solvable")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.SolveInto(ctx, ins, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto steady state allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkSolveIntoSteadyState is the allocation-visible benchmark form of
+// the test above (run with -benchmem).
+func BenchmarkSolveIntoSteadyState(b *testing.B) {
+	ins := solvableInstance(b, 600)
+	s := NewSolver(Options{})
+	defer s.Close()
+	ctx := context.Background()
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SolveInto(ctx, ins, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

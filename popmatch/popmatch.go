@@ -144,7 +144,7 @@ type Result struct {
 
 func wrap(ins *Instance, res core.Result) Result {
 	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Peel != nil {
+	if res.Peel.Valid {
 		out.PeelRounds = res.Peel.Rounds
 	}
 	if res.Exists {
@@ -156,7 +156,7 @@ func wrap(ins *Instance, res core.Result) Result {
 
 func wrapCap(ins *Instance, res core.CapResult) Result {
 	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Peel != nil {
+	if res.Peel.Valid {
 		out.PeelRounds = res.Peel.Rounds
 	}
 	if res.Exists {
@@ -285,8 +285,8 @@ func Count(ins *Instance, o Options) (*big.Int, error) {
 		return nil, err
 	}
 	return oneShot(o, func(s *Solver) (*big.Int, error) {
-		opt, done := s.session(context.Background())
-		defer done()
+		opt, sess := s.session(context.Background())
+		defer s.putSession(sess)
 		return core.CountPopular(ins, opt)
 	})
 }
@@ -299,8 +299,8 @@ func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, e
 		return false, err
 	}
 	return oneShot(o, func(s *Solver) (bool, error) {
-		opt, done := s.session(context.Background())
-		defer done()
+		opt, sess := s.session(context.Background())
+		defer s.putSession(sess)
 		return core.EnumerateAllPopular(ins, opt, yield)
 	})
 }

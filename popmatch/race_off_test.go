@@ -1,0 +1,5 @@
+//go:build !race
+
+package popmatch
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package popmatch
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-exactness test skips then, since the race runtime itself
+// allocates during solves.
+const raceEnabled = true

@@ -30,11 +30,21 @@ import (
 // Solve/SolveBatch on it — repeated solves then reuse both workers and
 // scratch memory.
 type Solver struct {
-	pool    *par.Pool
-	ownPool bool
-	tracer  *par.Tracer
-	arenas  sync.Pool
-	closed  atomic.Bool
+	pool     *par.Pool
+	ownPool  bool
+	tracer   *par.Tracer
+	sessions sync.Pool
+	closed   atomic.Bool
+}
+
+// session is one checked-out solve context: a scratch arena (which carries
+// the core kernel and its prebound loop closures across solves) plus a
+// reusable exec.Ctx re-pointed at the caller's context.Context per solve.
+// Pooling the pair makes a repeat Solve allocate nothing at the session
+// layer.
+type session struct {
+	arena *exec.Arena
+	cx    exec.Ctx
 }
 
 // NewSolver returns a Solver configured by o. Workers == 0 shares the
@@ -51,7 +61,7 @@ func NewSolver(o Options) *Solver {
 	if o.Trace != nil {
 		s.tracer = &o.Trace.tracer
 	}
-	s.arenas.New = func() any { return exec.NewArena() }
+	s.sessions.New = func() any { return &session{arena: exec.NewArena()} }
 	return s
 }
 
@@ -67,15 +77,21 @@ func (s *Solver) Close() {
 	}
 }
 
-// session checks out an arena and assembles the per-solve execution context;
-// the returned func returns the arena for reuse.
-func (s *Solver) session(ctx context.Context) (core.Options, func()) {
+// session checks out a pooled session and assembles the per-solve execution
+// context; the caller returns it with putSession.
+func (s *Solver) session(ctx context.Context) (core.Options, *session) {
 	if s.closed.Load() {
 		panic("popmatch: Solve on closed Solver")
 	}
-	ar := s.arenas.Get().(*exec.Arena)
-	cx := exec.New(exec.Config{Context: ctx, Pool: s.pool, Tracer: s.tracer, Arena: ar})
-	return core.Options{Exec: cx}, func() { s.arenas.Put(ar) }
+	sess := s.sessions.Get().(*session)
+	sess.cx.Reset(exec.Config{Context: ctx, Pool: s.pool, Tracer: s.tracer, Arena: sess.arena})
+	return core.Options{Exec: &sess.cx}, sess
+}
+
+// putSession drops the solve's context reference and recycles the session.
+func (s *Solver) putSession(sess *session) {
+	sess.cx.Reset(exec.Config{Pool: s.pool, Tracer: s.tracer, Arena: sess.arena})
+	s.sessions.Put(sess)
 }
 
 // Solve finds a popular matching of a strictly-ordered instance, or reports
@@ -90,13 +106,42 @@ func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, false)
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, err := core.Popular(ins, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	return wrap(ins, res), nil
+}
+
+// SolveInto is Solve with result reuse: the previous contents of *res —
+// in particular its Matching buffers — are recycled into the new result
+// where sizes permit, so a caller looping over solves of same-shaped strict
+// unit instances reaches a zero-allocation steady state (the kernel's loop
+// closures persist on the pooled session, scratch comes from the session
+// arena, and the result matching is Reset in place). On return *res is
+// overwritten in full; any Matching it previously pointed to must no longer
+// be used by the caller. Capacitated instances take the regular Solve path
+// (their many-to-one Assignment has no reusable form yet); unsolvable
+// instances report Exists=false and drop the recycled buffers.
+func (s *Solver) SolveInto(ctx context.Context, ins *Instance, res *Result) error {
+	if ins.Capacities != nil {
+		out, err := s.solveCapacitated(ctx, ins, false)
+		if err != nil {
+			return err
+		}
+		*res = out
+		return nil
+	}
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
+	out, err := core.PopularInto(ins, res.Matching, opt)
+	if err != nil {
+		return err
+	}
+	*res = wrap(ins, out)
+	return nil
 }
 
 // MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
@@ -106,8 +151,8 @@ func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, err
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, true)
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, _, err := core.MaxCardinality(ins, opt)
 	if err != nil {
 		return Result{}, err
@@ -118,8 +163,8 @@ func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, err
 // solveCapacitated runs the clone reduction (core.SolveCapacitated) under
 // the Solver's execution context.
 func (s *Solver) solveCapacitated(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, err := core.SolveCapacitated(ins, maximizeCardinality, opt)
 	if err != nil {
 		return Result{}, err
@@ -142,8 +187,8 @@ func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MaxWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, _, err := core.Optimize(ins, w, true, opt)
 	if err != nil {
 		return Result{}, err
@@ -156,8 +201,8 @@ func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MinWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, _, err := core.Optimize(ins, w, false, opt)
 	if err != nil {
 		return Result{}, err
@@ -171,8 +216,8 @@ func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error)
 	if err := requireUnit(ins, "RankMaximal"); err != nil {
 		return Result{}, err
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, _, err := core.RankMaximal(ins, opt)
 	if err != nil {
 		return Result{}, err
@@ -185,8 +230,8 @@ func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
 	if err := requireUnit(ins, "Fair"); err != nil {
 		return Result{}, err
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, _, err := core.Fair(ins, opt)
 	if err != nil {
 		return Result{}, err
@@ -201,8 +246,8 @@ func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinali
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, maximizeCardinality)
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	res, err := core.SolveTies(ins, maximizeCardinality, opt)
 	if err != nil {
 		return Result{}, err
@@ -220,8 +265,8 @@ func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
 	if err := requireUnit(ins, "Verify"); err != nil {
 		return err
 	}
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	return core.VerifyPopular(ins, m, opt)
 }
 
@@ -230,8 +275,8 @@ func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
 // oracle (O(n³); verification, not a hot path). It also accepts
 // unit-capacity instances.
 func (s *Solver) VerifyAssignment(ctx context.Context, ins *Instance, as *Assignment) (err error) {
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	defer exec.CatchCancel(&err)
 	if err := as.Validate(ins); err != nil {
 		return err
@@ -253,8 +298,8 @@ func (s *Solver) VerifyAssignment(ctx context.Context, ins *Instance, as *Assign
 // per-applicant post vector and the challengers range over capacitated
 // assignments.
 func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Matching) (margin int, err error) {
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	defer exec.CatchCancel(&err)
 	if !ins.UnitCapacity() {
 		as, err := onesided.AssignmentFromPostOf(ins, m.PostOf)
@@ -269,8 +314,8 @@ func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Match
 // MaxBipartiteMatching computes a maximum-cardinality bipartite matching via
 // Theorem 11's reduction; see the package-level function for the contract.
 func (s *Solver) MaxBipartiteMatching(ctx context.Context, adj [][]int32, nRight int) ([]int32, int, error) {
-	opt, done := s.session(ctx)
-	defer done()
+	opt, sess := s.session(ctx)
+	defer s.putSession(sess)
 	g := bipartite.New(len(adj), nRight)
 	for l, outs := range adj {
 		for _, r := range outs {
