@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"bytes"
 	"flag"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -64,6 +66,57 @@ func TestCLIGoldenPopmatchUnit(t *testing.T) {
 		t.Fatalf("popmatch: %v\n%s", err, out)
 	}
 	checkGolden(t, "popmatch_unit_small.out", out)
+}
+
+// TestCLIGoldenPopmatchCheck pins the -check verification surface on the
+// capacitated fixture: a known-bad assignment must exit with the dedicated
+// verification-failure code (3) and the clear diagnostic, and the committed
+// golden solve output must verify clean when fed back in. Runs the built
+// binary directly because `go run` flattens exit codes to 1.
+func TestCLIGoldenPopmatchCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "popmatch")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/popmatch").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		var buf bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), code
+	}
+
+	// The committed bad assignment (everyone on their last resort) is
+	// structurally valid but maximally unpopular.
+	out, code := run("-workers", "1", "-check", "testdata/cap_contended_bad.assign", "testdata/cap_contended.txt")
+	if code != 3 {
+		t.Fatalf("-check of bad assignment exited %d, want 3\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_check_bad.out", out)
+
+	// The committed golden solve output round-trips through -check.
+	out, code = run("-workers", "1", "-check", "testdata/golden/popmatch_cap_contended.out", "testdata/cap_contended.txt")
+	if code != 0 {
+		t.Fatalf("-check of golden output exited %d\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_check_good.out", out)
+
+	// An over-capacity assignment fails structurally, same exit code.
+	if out, code = run("-workers", "1", "-check", "testdata/cap_overfull.assign", "testdata/cap_contended.txt"); code != 3 {
+		t.Fatalf("-check of over-capacity assignment exited %d, want 3\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_check_overfull.out", out)
 }
 
 func TestCLIGoldenGeninstance(t *testing.T) {

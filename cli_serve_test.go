@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end test of the popserved daemon binary: build it, start it on a
+// kernel-chosen port, drive the documented HTTP workflow (upload → solve →
+// verify → stats), then shut it down with SIGTERM and require a clean exit.
+// This is the same sequence the CI smoke step runs with curl.
+
+func TestCLIPopservedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "popserved")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/popserved").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-linger", "500us")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// First stdout line announces the address.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading address line: %v (stderr: %s)", err, stderr.String())
+	}
+	const prefix = "popserved listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	post := func(path, contentType, body string, out any) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if out != nil {
+			if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+				t.Fatalf("POST %s: bad JSON %q: %v", path, buf.String(), err)
+			}
+		}
+		return resp.StatusCode, buf.String()
+	}
+
+	// Generate an instance with the sibling tool and upload it.
+	instance, err := runTool(t, "", "./cmd/geninstance", "-kind", "capacitated",
+		"-applicants", "24", "-posts", "10", "-maxlen", "4", "-maxcap", "3", "-seed", "13")
+	if err != nil {
+		t.Fatalf("geninstance: %v\n%s", err, instance)
+	}
+	var info struct {
+		ID          string `json:"id"`
+		Capacitated bool   `json:"capacitated"`
+	}
+	if code, raw := post("/v1/instances", "text/plain", instance, &info); code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", code, raw)
+	}
+	if !info.Capacitated || info.ID == "" {
+		t.Fatalf("upload info: %+v", info)
+	}
+
+	// Solve, twice: the repeat must come from the cache.
+	solveBody := fmt.Sprintf(`{"instance": %q, "mode": "maxcard"}`, info.ID)
+	var solved struct {
+		Exists bool    `json:"exists"`
+		Cached bool    `json:"cached"`
+		PostOf []int32 `json:"post_of"`
+	}
+	if code, raw := post("/v1/solve", "application/json", solveBody, &solved); code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	if !solved.Exists || solved.Cached {
+		t.Fatalf("first solve: %+v", solved)
+	}
+	first := append([]int32(nil), solved.PostOf...)
+	if code, _ := post("/v1/solve", "application/json", solveBody, &solved); code != http.StatusOK || !solved.Cached {
+		t.Fatalf("repeat solve not cached: %d %+v", code, solved)
+	}
+
+	// Verify the solution over HTTP.
+	pb, _ := json.Marshal(first)
+	var verdict struct {
+		Popular bool `json:"popular"`
+	}
+	if code, raw := post("/v1/verify", "application/json",
+		fmt.Sprintf(`{"instance": %q, "post_of": %s}`, info.ID, pb), &verdict); code != http.StatusOK || !verdict.Popular {
+		t.Fatalf("verify: %d %s", code, raw)
+	}
+
+	// Stats went up.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]int64
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats["requests"] < 2 || stats["cache_hits"] < 1 || stats["solves"] < 1 {
+		t.Fatalf("stats: %v", stats)
+	}
+
+	// SIGTERM → clean exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

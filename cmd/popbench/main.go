@@ -7,6 +7,8 @@
 //	popbench -json BENCH_csr.json -scenario large [-n N] [-seed N]
 //	popbench -json BENCH_pool.json [-seed N]
 //	popbench -json BENCH_capacitated.json -scenario capacitated [-seed N]
+//	popbench -json BENCH_ties.json -scenario ties [-n N] [-seed N]
+//	popbench -json BENCH_serve.json -scenario serve [-n N] [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
 // With -json it instead benchmarks a machine-readable scenario and writes a
@@ -14,7 +16,10 @@
 // allocs/op — so successive PRs can diff the perf trajectory. -scenario
 // selects which: `pool` (default) measures the execution-context layer
 // (persistent Solver vs one-shot vs SolveBatch); `capacitated` measures the
-// CHA clone-reduction pipeline against its unit baseline.
+// CHA clone-reduction pipeline against its unit baseline; `ties` the §V
+// ties path against the strict kernel; `serve` the HTTP serving stack under
+// closed-loop load (throughput, p50/p99 latency, batching and cache
+// counters).
 package main
 
 import (
@@ -32,7 +37,7 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
-	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve")
 	sizeN := flag.Int("n", 0, "override the scenario's instance size (0 = scenario default; used by CI smoke runs)")
 	flag.Parse()
 
@@ -45,12 +50,16 @@ func main() {
 			writeJSON = bench.WriteCapacitatedJSON
 		case "large":
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteLargeJSON(w, seed, *sizeN) }
+		case "ties":
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteTiesJSON(w, seed, *sizeN) }
+		case "serve":
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteServeJSON(w, seed, *sizeN) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve)\n", *scenario)
 			os.Exit(2)
 		}
-		if *sizeN != 0 && *scenario != "large" {
-			fmt.Fprintf(os.Stderr, "popbench: -n only applies to -scenario large (the %s scenario has fixed sizes)\n", *scenario)
+		if *sizeN != 0 && (*scenario == "pool" || *scenario == "capacitated") {
+			fmt.Fprintf(os.Stderr, "popbench: -n does not apply to -scenario %s (fixed sizes)\n", *scenario)
 			os.Exit(2)
 		}
 		out := os.Stdout

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	popmatch [-mode popular|maxcard|rankmax|fair|ties|tiesmax] [-workers N]
-//	         [-timeout D] [-verify] [-stats] [file]
+//	         [-timeout D] [-verify] [-stats] [-check assignment.txt] [file]
 //
 // Reads the instance from `file` or stdin. The text format is:
 //
@@ -14,18 +14,79 @@
 // followed by a summary. Capacitated instances (a `c <caps...>` header in
 // the input) are solved through the clone reduction; the per-applicant lines
 // are followed by per-post assignment lists `p<j> <- a... (k/cap)`.
+//
+// With -check, popmatch does not solve: it reads an assignment in its own
+// output format from the given file (lines `a<i> -> p<j>` or `a<i> ->
+// last-resort`; other lines are ignored, so a previous run's full output
+// can be fed back directly) and verifies it against the instance with the
+// exact margin oracle. This works for unit and capacitated instances alike.
+//
+// Exit codes: 0 success; 1 no popular matching exists, or an input/solve
+// error; 2 usage error; 3 verification failed (-verify or -check judged the
+// assignment not popular, with the reason on stderr).
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/popmatch"
 )
+
+// failVerification prints a clear diagnostic and exits with the dedicated
+// verification-failure code (3), distinct from the "no popular matching"
+// exit (1) so scripted pipelines can tell a wrong answer from an
+// unsolvable instance.
+func failVerification(err error) {
+	fmt.Fprintf(os.Stderr, "popmatch: verification failed: %v\n", err)
+	os.Exit(3)
+}
+
+// readAssignment parses popmatch's own output format back into a
+// per-applicant post vector: `a<i> -> p<j>` and `a<i> -> last-resort`
+// lines, every other line ignored. Applicants without a line are unmatched
+// (-1).
+func readAssignment(r io.Reader, ins *popmatch.Instance) ([]int32, error) {
+	postOf := make([]int32, ins.NumApplicants)
+	for i := range postOf {
+		postOf[i] = -1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 || fields[1] != "->" || !strings.HasPrefix(fields[0], "a") {
+			continue
+		}
+		a, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(fields[0], "a"), ":"))
+		if err != nil {
+			continue
+		}
+		if a < 0 || a >= ins.NumApplicants {
+			return nil, fmt.Errorf("assignment names applicant a%d of %d", a, ins.NumApplicants)
+		}
+		switch {
+		case fields[2] == "last-resort":
+			postOf[a] = ins.LastResort(a)
+		case strings.HasPrefix(fields[2], "p"):
+			p, err := strconv.Atoi(strings.TrimPrefix(fields[2], "p"))
+			if err != nil || p < 0 || p >= ins.TotalPosts() {
+				return nil, fmt.Errorf("bad post token %q for a%d", fields[2], a)
+			}
+			postOf[a] = int32(p)
+		default:
+			return nil, fmt.Errorf("bad assignment token %q for a%d", fields[2], a)
+		}
+	}
+	return postOf, sc.Err()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +96,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	verify := flag.Bool("verify", false, "re-verify the result with the Theorem 1 characterization and the margin oracle")
 	stats := flag.Bool("stats", false, "print parallel round/work accounting")
+	check := flag.String("check", "", "verify the assignment in this file (popmatch output format) against the instance instead of solving; exit 3 if it is not popular")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -60,6 +122,34 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		postOf, err := readAssignment(f, ins)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Structural validation first (capacity respected, posts on lists),
+		// then the exact margin oracle; both verdicts use the dedicated
+		// verification exit code.
+		as, err := popmatch.AssignmentFromPostOf(ins, postOf)
+		if err != nil {
+			failVerification(err)
+		}
+		margin, err := s.UnpopularityMargin(ctx, ins, &popmatch.Matching{PostOf: as.PostOf})
+		if err != nil {
+			log.Fatal(err) // -timeout bounds the oracle too
+		}
+		if margin > 0 {
+			failVerification(fmt.Errorf("assignment is not popular: challenger margin %d", margin))
+		}
+		fmt.Println("# verified popular")
+		return
+	}
+
 	var res popmatch.Result
 	switch *mode {
 	case "popular":
@@ -118,12 +208,12 @@ func main() {
 	if *verify {
 		if res.Assignment != nil {
 			if err := s.VerifyAssignment(ctx, ins, res.Assignment); err != nil {
-				log.Fatalf("verification failed: %v", err)
+				failVerification(err)
 			}
 		} else {
 			if ins.Strict() {
 				if err := s.Verify(ctx, ins, res.Matching); err != nil {
-					log.Fatalf("verification failed: %v", err)
+					failVerification(err)
 				}
 			}
 			margin, err := s.UnpopularityMargin(ctx, ins, res.Matching)
@@ -131,7 +221,7 @@ func main() {
 				log.Fatal(err) // -timeout bounds the oracle too
 			}
 			if margin > 0 {
-				log.Fatalf("margin oracle rejects the matching: %d", margin)
+				failVerification(fmt.Errorf("margin oracle rejects the matching: challenger margin %d", margin))
 			}
 		}
 		fmt.Println("# verified popular")

@@ -1,0 +1,116 @@
+// popserved serves popular-matching solves over HTTP: a daemon wrapping the
+// internal/serve request layer (instance registry, micro-batching dispatch
+// onto one shared solver pool, LRU result cache, admission control).
+//
+// Usage:
+//
+//	popserved [-addr :8080] [-workers N] [-batch N] [-linger D] [-cache N]
+//	          [-max-instances N] [-max-queue N] [-inflight-batches N]
+//	          [-solve-timeout D]
+//
+// On startup it prints one line, `popserved listening on <addr>`, to stdout
+// (with -addr :0 the kernel-chosen port appears there), then serves until
+// SIGINT/SIGTERM, at which point it stops accepting, drains in-flight
+// requests and exits 0.
+//
+// The API (see internal/serve): POST /v1/instances uploads the text format
+// and returns the instance's content fingerprint as its id; POST /v1/solve
+// solves {"instance": id, "mode": "popular|maxcard|ties|tiesmax"};
+// POST /v1/verify checks a per-applicant post vector for popularity;
+// GET /v1/instances lists, DELETE /v1/instances/{id} evicts; GET /v1/stats
+// and GET /healthz observe.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("popserved: ")
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 = kernel-chosen port)")
+	workers := flag.Int("workers", 0, "solver pool size (0 = all CPUs)")
+	batch := flag.Int("batch", 16, "max solve requests per micro-batch")
+	linger := flag.Duration("linger", time.Millisecond, "how long an underfull batch waits for stragglers (0 = dispatch immediately)")
+	cache := flag.Int("cache", 1024, "result cache capacity in entries (0 disables)")
+	maxInstances := flag.Int("max-instances", 1024, "instance registry capacity (0 = unbounded)")
+	maxQueue := flag.Int("max-queue", 1024, "request queue depth before admission control rejects")
+	inflight := flag.Int("inflight-batches", 2, "micro-batches executing concurrently")
+	solveTimeout := flag.Duration("solve-timeout", 0, "server-side cap on a single solve (0 = request context only)")
+	flag.Parse()
+	if *batch < 1 || *maxQueue < 1 || *inflight < 1 {
+		log.Fatal("-batch, -max-queue and -inflight-batches must be >= 1")
+	}
+	if *linger < 0 || *cache < 0 || *maxInstances < 0 || *solveTimeout < 0 {
+		log.Fatal("-linger, -cache, -max-instances and -solve-timeout must be >= 0")
+	}
+
+	// On the flag surface zero means "off" (no linger, no cache, no registry
+	// bound); serve.Config spells "off" with negative sentinels because its
+	// zero value means "use defaults".
+	cfg := serve.Config{
+		Workers:         *workers,
+		MaxBatch:        *batch,
+		Linger:          *linger,
+		CacheSize:       *cache,
+		MaxInstances:    *maxInstances,
+		MaxQueue:        *maxQueue,
+		InflightBatches: *inflight,
+		SolveTimeout:    *solveTimeout,
+	}
+	if *linger == 0 {
+		cfg.Linger = -1
+	}
+	if *cache == 0 {
+		cfg.CacheSize = -1
+	}
+	if *maxInstances == 0 {
+		cfg.MaxInstances = -1
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: serve.NewHandler(srv)}
+
+	// The line CI and scripts wait for; stdout is flushed line-buffered.
+	fmt.Printf("popserved listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	case err := <-errc:
+		srv.Close()
+		log.Fatal(err)
+	}
+
+	// Orderly shutdown: stop accepting, give in-flight requests a grace
+	// window, then release the serving layer (queue drains, solver pool
+	// stops at quiescence).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -23,6 +23,18 @@
 // cross-validates both the unit and capacitated paths in the differential
 // test suites, including "no popular matching exists" answers.
 //
+// On top of the Solver sits the serving layer (internal/serve, exposed by
+// the cmd/popserved HTTP daemon): an instance registry keyed by content
+// fingerprint (onesided.Instance.Fingerprint) holding immutable
+// solver-ready snapshots, a request queue that coalesces concurrent solve
+// requests into micro-batches dispatched onto one shared Solver (duplicate
+// requests share a single solve under an exec.JoinContext of their request
+// contexts), an LRU result cache keyed by (fingerprint, mode) that answers
+// repeat queries without invoking the kernel, and admission control that
+// fails fast when the queue is full. The closed-loop load baseline lives in
+// BENCH_serve.json (popbench -scenario serve). See the README's "Serving"
+// section for the curl walkthrough.
+//
 // Internally every solver layer shares one flat instance representation:
 // the CSR core (internal/onesided.CSR) — preference lists concatenated into
 // three contiguous Off/Post/Rank arrays, derived once per Instance and
@@ -32,8 +44,8 @@
 // matching). An Instance is consequently immutable once solved or queried;
 // mutate-then-Invalidate is the documented escape hatch, enforced by
 // `-tags debug` builds. See the README's "Architecture" section for the
-// layer stack (onesided → core → exec → popmatch → cmd) and when CSR vs
-// Instance is the right type.
+// layer stack (onesided → core → exec → popmatch → serve → cmd) and when
+// CSR vs Instance is the right type.
 //
 // The parallel substrate and algorithm internals are under internal/; see
 // README.md for the package map. The benchmarks in bench_test.go regenerate

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/popmatch"
+)
+
+// tiesInstance builds the deterministic ties workload for size n: uniform
+// lists of 2–6 entries with a 30% tie probability, the regime where the §V
+// characterization (rather than the strict Algorithm 1 kernel) does the
+// work.
+func tiesInstance(seed int64, n int) *popmatch.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return popmatch.RandomTies(rng, n, n, 2, 6, 0.3)
+}
+
+// TiesBench gives the §V ties path a tracked perf trajectory alongside the
+// pool/csr/capacitated scenarios: repeated SolveTies (first-found and
+// max-cardinality) on a persistent Solver across sizes and worker counts,
+// plus the strict-kernel baseline on a same-sized strict instance so the
+// cost of the ties machinery itself is the visible diff. n > 0 overrides
+// the size sweep with a single size (the CI smoke path).
+func TiesBench(seed int64, n int) []PoolRecord {
+	sizes := []int{500, 2000}
+	if n > 0 {
+		sizes = []int{n}
+	}
+	var out []PoolRecord
+	workersSet := []int{1, runtime.GOMAXPROCS(0)}
+	if workersSet[1] == 1 {
+		workersSet = workersSet[:1]
+	}
+	for _, size := range sizes {
+		ins := tiesInstance(seed, size)
+		strict := poolInstance(seed, size)
+		for _, workers := range workersSet {
+			s := popmatch.NewSolver(popmatch.Options{Workers: workers})
+			for _, tc := range []struct {
+				name    string
+				maxcard bool
+			}{{"ties_solve", false}, {"tiesmax_solve", true}} {
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					ctx := context.Background()
+					for i := 0; i < b.N; i++ {
+						if _, err := s.SolveTies(ctx, ins, tc.maxcard); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				out = append(out, record(tc.name, size, 1, workers, 0, 0, r))
+			}
+			baseline := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(ctx, strict); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			s.Close()
+			out = append(out, record("ties_strict_baseline", size, 1, workers, 0, 0, baseline))
+		}
+	}
+	return out
+}
+
+// WriteTiesJSON runs TiesBench and writes the records as indented JSON (the
+// BENCH_ties.json trajectory). n <= 0 selects the default size sweep.
+func WriteTiesJSON(w io.Writer, seed int64, n int) error {
+	records := TiesBench(seed, n)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

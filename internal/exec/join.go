@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// JoinContext merges the lifetimes of several per-request contexts into one
+// context suitable for a shared computation, such as a micro-batched solve
+// serving multiple coalesced requests of the same instance.
+//
+// The returned context is cancelled when base is cancelled, when every
+// member context is done, or when the returned CancelFunc runs — a shared
+// solve keeps running while at least one requester is still waiting, and
+// stops promptly once nobody is. Its Deadline is the latest member deadline
+// (clipped by base's): the shared solve may run until the most patient
+// requester would give up, and no longer. Members without a deadline leave
+// the join without one, beyond base's.
+//
+// With no members the join degenerates to context.WithCancel(base). The
+// caller must invoke the CancelFunc once the shared computation finishes, as
+// with every derived context.
+func JoinContext(base context.Context, members ...context.Context) (context.Context, context.CancelFunc) {
+	if len(members) == 0 {
+		return context.WithCancel(base)
+	}
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if dl, ok := joinDeadline(members); ok {
+		ctx, cancel = context.WithDeadline(base, dl)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	// Callback-based member tracking (context.AfterFunc): no goroutine per
+	// member, which matters on the serving hot path where every micro-batch
+	// group joins its waiters' contexts. When the last member finishes,
+	// nobody is waiting for the shared result any more and the join cancels
+	// itself; CancelFunc is idempotent, so racing the caller is fine.
+	var remaining atomic.Int64
+	remaining.Store(int64(len(members)))
+	stops := make([]func() bool, len(members))
+	for i, m := range members {
+		stops[i] = context.AfterFunc(m, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	// Once the join itself ends (base cancelled, deadline hit, or the
+	// caller's cancel), detach from any members still live.
+	context.AfterFunc(ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	})
+	return ctx, cancel
+}
+
+// joinDeadline reports the latest deadline over members, with ok=false when
+// any member is deadline-free (the join then inherits only base's deadline).
+func joinDeadline(members []context.Context) (latest time.Time, ok bool) {
+	for i, m := range members {
+		dl, has := m.Deadline()
+		if !has {
+			return latest, false
+		}
+		if i == 0 || dl.After(latest) {
+			latest = dl
+		}
+	}
+	return latest, true
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func waitDone(t *testing.T, ctx context.Context) {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("joined context never became done")
+	}
+}
+
+func TestJoinContextAllMembersDone(t *testing.T) {
+	m1, c1 := context.WithCancel(context.Background())
+	m2, c2 := context.WithCancel(context.Background())
+	j, cancel := JoinContext(context.Background(), m1, m2)
+	defer cancel()
+
+	c1()
+	select {
+	case <-j.Done():
+		t.Fatal("join done while a member is still live")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c2()
+	waitDone(t, j)
+}
+
+func TestJoinContextBaseCancellation(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	m, cm := context.WithCancel(context.Background())
+	defer cm()
+	j, cancel := JoinContext(base, m)
+	defer cancel()
+
+	cancelBase()
+	waitDone(t, j)
+	if j.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want Canceled", j.Err())
+	}
+}
+
+func TestJoinContextDeadlineIsLatestMember(t *testing.T) {
+	near := time.Now().Add(50 * time.Millisecond)
+	far := time.Now().Add(10 * time.Second)
+	m1, c1 := context.WithDeadline(context.Background(), near)
+	defer c1()
+	m2, c2 := context.WithDeadline(context.Background(), far)
+	defer c2()
+
+	j, cancel := JoinContext(context.Background(), m1, m2)
+	defer cancel()
+	dl, ok := j.Deadline()
+	if !ok || !dl.Equal(far) {
+		t.Fatalf("Deadline = %v, %v; want %v", dl, ok, far)
+	}
+
+	// The near-deadline member expiring alone must NOT end the join: the
+	// far-deadline requester is still waiting for the shared result.
+	<-m1.Done()
+	select {
+	case <-j.Done():
+		t.Fatal("join ended with a live member remaining")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestJoinContextMemberWithoutDeadline(t *testing.T) {
+	m1, c1 := context.WithTimeout(context.Background(), time.Hour)
+	defer c1()
+	m2, c2 := context.WithCancel(context.Background())
+	defer c2()
+	j, cancel := JoinContext(context.Background(), m1, m2)
+	defer cancel()
+	if _, ok := j.Deadline(); ok {
+		t.Fatal("join inherited a deadline although one member has none")
+	}
+}
+
+func TestJoinContextNoMembers(t *testing.T) {
+	j, cancel := JoinContext(context.Background())
+	select {
+	case <-j.Done():
+		t.Fatal("empty join born done")
+	default:
+	}
+	cancel()
+	waitDone(t, j)
+}
+
+func TestJoinContextCancelFuncStopsWaiters(t *testing.T) {
+	m, cm := context.WithCancel(context.Background()) // never cancelled by us below
+	defer cm()
+	j, cancel := JoinContext(context.Background(), m)
+	cancel()
+	waitDone(t, j) // and the member-watcher goroutine exits via j.Done
+}

@@ -1,0 +1,56 @@
+package onesided
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the instance: 32 lowercase
+// hex characters derived from a SHA-256 over the flat CSR arrays, the
+// dimensions and the capacity vector. Two instances have equal fingerprints
+// exactly when they describe the same preference system (same applicants,
+// posts, lists, ranks and capacities), independent of how they were
+// constructed, the process that hashes them, or the host architecture — so
+// the fingerprint is a valid registry key and cache key across daemon
+// restarts.
+//
+// The hash is computed once and cached alongside the other derived
+// structures; it is subject to the Instance immutability contract
+// (Invalidate drops it together with the rank maps and the CSR form).
+func (ins *Instance) Fingerprint() string {
+	if fp := ins.fpCache.Load(); fp != nil {
+		return *fp
+	}
+	fp := fingerprintCSR(ins.CSR())
+	ins.fpCache.Store(&fp)
+	return fp
+}
+
+// fingerprintCSR hashes the canonical flat form. All integers are written
+// little-endian; section tags keep differently-shaped inputs from colliding
+// by concatenation.
+func fingerprintCSR(c *CSR) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt32s := func(tag byte, s []int32) {
+		h.Write([]byte{tag})
+		writeInt(len(s))
+		for _, v := range s {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+			h.Write(buf[:4])
+		}
+	}
+	writeInt(c.NumApplicants)
+	writeInt(c.NumPosts)
+	writeInt32s('o', c.Off)
+	writeInt32s('p', c.Post)
+	writeInt32s('r', c.Rank)
+	writeInt32s('c', c.Capacities)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -49,6 +49,7 @@ type Instance struct {
 
 	rankCache atomic.Pointer[[]map[int32]int32]
 	csrCache  atomic.Pointer[CSR]
+	fpCache   atomic.Pointer[string]
 }
 
 // NewStrict builds a strictly-ordered instance: lists[a][i] has rank i+1.
@@ -174,12 +175,14 @@ func (ins *Instance) SetCapacities(caps []int32) error {
 	return nil
 }
 
-// Invalidate drops the lazily derived caches (rank maps and the CSR form).
-// Call it after mutating Lists, Ranks or Capacities of an instance that has
-// already been solved or queried; see the immutability contract on Instance.
+// Invalidate drops the lazily derived caches (rank maps, the CSR form and
+// the content fingerprint). Call it after mutating Lists, Ranks or
+// Capacities of an instance that has already been solved or queried; see the
+// immutability contract on Instance.
 func (ins *Instance) Invalidate() {
 	ins.rankCache.Store(nil)
 	ins.csrCache.Store(nil)
+	ins.fpCache.Store(nil)
 	ins.clearFingerprint()
 }
 

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/popmatch"
+)
+
+// solveJob is one admitted request waiting for a result.
+type solveJob struct {
+	snap *Snapshot
+	mode Mode
+	ctx  context.Context
+	done chan jobResult // buffered; exactly one send
+}
+
+type jobResult struct {
+	out *Outcome
+	err error
+}
+
+// batcher owns the bounded request queue and the dispatcher goroutine that
+// drains it in micro-batches. Shutdown contract: after close() returns, the
+// queue no longer admits, every queued job has been failed with
+// ErrServerClosed, and every dispatched batch has completed.
+type batcher struct {
+	cfg    Config
+	solver *popmatch.Solver
+	stats  *Stats
+
+	jobs chan *solveJob
+	quit chan struct{}
+
+	// mu fences submit against close exactly like Solver.Close fences
+	// solves: submitters hold the read side while enqueueing, close flips
+	// closed under the write side, so nothing lands in the queue after the
+	// dispatcher's final drain.
+	mu     sync.RWMutex
+	closed bool
+
+	dispatcher sync.WaitGroup // the loop goroutine
+	inflight   sync.WaitGroup // running batch executions
+}
+
+func newBatcher(cfg Config, solver *popmatch.Solver, stats *Stats) *batcher {
+	b := &batcher{
+		cfg:    cfg,
+		solver: solver,
+		stats:  stats,
+		jobs:   make(chan *solveJob, cfg.MaxQueue),
+		quit:   make(chan struct{}),
+	}
+	b.dispatcher.Add(1)
+	go b.loop()
+	return b
+}
+
+// submit enqueues a request and blocks until its result, its context's end,
+// or server shutdown. A full queue fails immediately with ErrOverloaded.
+func (b *batcher) submit(ctx context.Context, snap *Snapshot, mode Mode) (*Outcome, error) {
+	job := &solveJob{snap: snap, mode: mode, ctx: ctx, done: make(chan jobResult, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	select {
+	case b.jobs <- job:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.stats.Rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case res := <-job.done:
+		return res.out, res.err
+	case <-ctx.Done():
+		// The job stays in the pipeline; its batch group observes the
+		// abandoned context through the joined context and stops when no
+		// waiter remains.
+		return nil, ctx.Err()
+	}
+}
+
+// close stops admission, fails the backlog and waits for running batches.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.dispatcher.Wait()
+	// The dispatcher has exited and no submitter can enqueue any more;
+	// drain whatever it left behind.
+	for {
+		select {
+		case job := <-b.jobs:
+			job.done <- jobResult{err: ErrServerClosed}
+		default:
+			b.inflight.Wait()
+			return
+		}
+	}
+}
+
+// loop drains the queue: it blocks for the first job of a batch, lingers up
+// to cfg.Linger (or until cfg.MaxBatch jobs) for stragglers, then hands the
+// batch to an executor goroutine. At most cfg.InflightBatches batches
+// execute concurrently; the semaphore doubles as backpressure that lets the
+// next batch fill while the current ones solve — exactly the window in
+// which concurrent requests coalesce.
+func (b *batcher) loop() {
+	defer b.dispatcher.Done()
+	sem := make(chan struct{}, b.cfg.InflightBatches)
+	for {
+		var first *solveJob
+		select {
+		case <-b.quit:
+			return
+		case first = <-b.jobs:
+		}
+		batch := b.gather(first)
+		select {
+		case sem <- struct{}{}:
+		case <-b.quit:
+			// Shutdown while every batch slot is busy: fail the gathered
+			// batch rather than block shutdown behind running solves.
+			for _, job := range batch {
+				job.done <- jobResult{err: ErrServerClosed}
+			}
+			return
+		}
+		b.inflight.Add(1)
+		go func(batch []*solveJob) {
+			defer b.inflight.Done()
+			defer func() { <-sem }()
+			b.execute(batch)
+		}(batch)
+	}
+}
+
+// gather collects a micro-batch starting from first.
+func (b *batcher) gather(first *solveJob) []*solveJob {
+	batch := []*solveJob{first}
+	if b.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	if b.cfg.Linger <= 0 {
+		// No linger window: scoop whatever is already queued and go.
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case job := <-b.jobs:
+				batch = append(batch, job)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	t := time.NewTimer(b.cfg.Linger)
+	defer t.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case job := <-b.jobs:
+			batch = append(batch, job)
+		case <-t.C:
+			return batch
+		case <-b.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// group is one unit of kernel work: every job in a batch asking for the
+// same (instance, mode). Members beyond the first ride along for free.
+type group struct {
+	snap *Snapshot
+	mode Mode
+	jobs []*solveJob
+}
+
+// execute runs one micro-batch: deduplicate into groups, run strict
+// popular-mode groups through one Solver.SolveBatch call and every other
+// group through its dedicated solver entry point, then fan results back out
+// to each waiter.
+func (b *batcher) execute(batch []*solveJob) {
+	b.stats.observeBatch(len(batch))
+
+	keys := make([]cacheKey, 0, len(batch))
+	groups := make(map[cacheKey]*group, len(batch))
+	for _, job := range batch {
+		k := cacheKey{id: job.snap.ID, mode: job.mode}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{snap: job.snap, mode: job.mode}
+			groups[k] = g
+			keys = append(keys, k)
+		} else {
+			b.stats.Coalesced.Add(1)
+		}
+		g.jobs = append(g.jobs, job)
+	}
+
+	// Split: groups eligible for the pipelined SolveBatch fast path (plain
+	// popular solve — Solve handles strict and capacitated instances alike)
+	// vs groups needing a dedicated entry point.
+	var batchable, individual []*group
+	for _, k := range keys {
+		g := groups[k]
+		if g.mode == ModePopular && (g.snap.Strict || g.snap.Capacitated) {
+			batchable = append(batchable, g)
+		} else {
+			individual = append(individual, g)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if len(batchable) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.runSolveBatch(batchable)
+		}()
+	}
+	for _, g := range individual {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			b.runGroup(g)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// joinGroupCtx joins the request contexts of every job in gs: the shared
+// solve keeps running while any requester still waits and inherits the
+// latest of their deadlines.
+func (b *batcher) joinGroupCtx(gs []*group) (context.Context, context.CancelFunc) {
+	var members []context.Context
+	for _, g := range gs {
+		for _, job := range g.jobs {
+			members = append(members, job.ctx)
+		}
+	}
+	return exec.JoinContext(context.Background(), members...)
+}
+
+// runSolveBatch solves one instance per group through Solver.SolveBatch,
+// pipelining the groups over the shared pool. If the batch call fails as a
+// whole (e.g. one group's solve errors and cancels its siblings), every
+// group falls back to an individual solve so a poisoned instance cannot
+// fail its batch neighbors.
+func (b *batcher) runSolveBatch(gs []*group) {
+	ctx, cancel := b.joinGroupCtx(gs)
+	defer cancel()
+	instances := make([]*popmatch.Instance, len(gs))
+	for i, g := range gs {
+		instances[i] = g.snap.Ins
+	}
+	results, err := b.solver.SolveBatch(ctx, instances)
+	if err != nil {
+		for _, g := range gs {
+			b.runGroup(g)
+		}
+		return
+	}
+	b.stats.Solves.Add(int64(len(gs)))
+	for i, g := range gs {
+		g.deliver(outcomeOf(g.snap, results[i]), nil)
+	}
+}
+
+// runGroup solves one group through its mode's solver entry point.
+func (b *batcher) runGroup(g *group) {
+	ctx, cancel := b.joinGroupCtx([]*group{g})
+	defer cancel()
+	b.stats.Solves.Add(1)
+	var res popmatch.Result
+	var err error
+	switch g.mode {
+	case ModePopular:
+		res, err = b.solver.Solve(ctx, g.snap.Ins)
+	case ModeMaxCard:
+		res, err = b.solver.MaxCardinality(ctx, g.snap.Ins)
+	case ModeTies:
+		res, err = b.solver.SolveTies(ctx, g.snap.Ins, false)
+	case ModeTiesMax:
+		res, err = b.solver.SolveTies(ctx, g.snap.Ins, true)
+	default:
+		err = &modeError{mode: g.mode}
+	}
+	if err != nil {
+		b.stats.SolveErrors.Add(1)
+		g.deliver(nil, err)
+		return
+	}
+	g.deliver(outcomeOf(g.snap, res), nil)
+}
+
+// deliver fans one result out to every waiter of the group.
+func (g *group) deliver(out *Outcome, err error) {
+	for _, job := range g.jobs {
+		job.done <- jobResult{out: out, err: err}
+	}
+}
+
+type modeError struct{ mode Mode }
+
+func (e *modeError) Error() string { return "serve: unknown mode " + string(e.mode) }

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies a cached solve outcome: the instance's content
+// fingerprint plus the solve mode. Keying by fingerprint (not by upload
+// identity) means re-uploading the same instance — or two clients uploading
+// identical instances — shares one cache line.
+type cacheKey struct {
+	id   string
+	mode Mode
+}
+
+// resultCache is a mutex-guarded LRU over immutable *Outcome values. A hit
+// returns the shared outcome; entries are never mutated after insertion, so
+// readers need no copy. max <= 0 disables the cache entirely (every Get
+// misses, Put is a no-op) — the configuration the load generator uses to
+// exercise the batching path.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	out *Outcome
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached outcome for k, refreshing its recency.
+func (c *resultCache) Get(k cacheKey) (*Outcome, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Put inserts (or refreshes) k → out, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) Put(k cacheKey, out *Outcome) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, out: out})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// EvictInstance drops every mode's entry for instance id (called when the
+// instance leaves the registry, so the cache cannot serve results for
+// unknown instances).
+func (c *resultCache) EvictInstance(id string) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mode := range Modes {
+		if el, ok := c.items[cacheKey{id: id, mode: mode}]; ok {
+			c.ll.Remove(el)
+			delete(c.items, cacheKey{id: id, mode: mode})
+		}
+	}
+}
+
+// Len reports the number of cached outcomes.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

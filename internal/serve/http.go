@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/onesided"
+)
+
+// The HTTP/JSON surface of a Server.
+//
+//	POST   /v1/instances       upload an instance (text format body) → info
+//	GET    /v1/instances       list registered instances
+//	GET    /v1/instances/{id}  one instance's info
+//	DELETE /v1/instances/{id}  evict an instance (and its cached results)
+//	POST   /v1/solve           {"instance": id, "mode": m} → solution
+//	POST   /v1/verify          {"instance": id, "post_of": [...]} → verdict
+//	GET    /v1/stats           counter snapshot
+//	GET    /healthz            liveness
+//
+// Instance ids are content fingerprints (Instance.Fingerprint), so uploads
+// are idempotent and solve results are cacheable across re-uploads. In
+// post_of vectors, entries >= the instance's post count denote the
+// applicant's virtual last resort (id = posts + applicant), and -1 means
+// unmatched; solve responses use the same convention, so a solution can be
+// fed back to /v1/verify unchanged.
+
+// instanceInfo is the wire form of a Snapshot.
+type instanceInfo struct {
+	ID          string `json:"id"`
+	Applicants  int    `json:"applicants"`
+	Posts       int    `json:"posts"`
+	Edges       int    `json:"edges"`
+	Strict      bool   `json:"strict"`
+	Capacitated bool   `json:"capacitated"`
+	Created     bool   `json:"created,omitempty"` // upload response only
+}
+
+type solveRequest struct {
+	Instance string `json:"instance"`
+	Mode     string `json:"mode"`
+}
+
+type solveResponse struct {
+	Instance   string    `json:"instance"`
+	Mode       string    `json:"mode"`
+	Cached     bool      `json:"cached"`
+	Exists     bool      `json:"exists"`
+	Size       int       `json:"size"`
+	PeelRounds int       `json:"peel_rounds"`
+	PostOf     []int32   `json:"post_of,omitempty"`
+	AssignedTo [][]int32 `json:"assigned_to,omitempty"`
+}
+
+type verifyRequest struct {
+	Instance string  `json:"instance"`
+	PostOf   []int32 `json:"post_of"`
+}
+
+type verifyResponse struct {
+	Instance string `json:"instance"`
+	Popular  bool   `json:"popular"`
+	Margin   int    `json:"margin"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxInstanceBody bounds an upload (the text format is ~6 bytes/edge, so
+// 64 MiB admits instances with ~10^7 edges while keeping a stray upload
+// from exhausting memory). Enforced with http.MaxBytesReader so an
+// oversized body is rejected outright — a silent LimitReader truncation
+// could register a valid-looking prefix of the intended instance.
+const maxInstanceBody = 64 << 20
+
+// NewHandler returns the HTTP handler serving s.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/instances", func(w http.ResponseWriter, r *http.Request) {
+		ins, err := onesided.Read(http.MaxBytesReader(w, r.Body, maxInstanceBody))
+		if err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, err)
+			return
+		}
+		snap, created, err := s.Upload(ins)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		info := infoOf(snap)
+		info.Created = created
+		writeJSON(w, status, info)
+	})
+	mux.HandleFunc("GET /v1/instances", func(w http.ResponseWriter, r *http.Request) {
+		infos := []instanceInfo{}
+		for _, snap := range s.Instances() {
+			infos = append(infos, infoOf(snap))
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/instances/{id}", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := s.Instance(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrUnknownInstance)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoOf(snap))
+	})
+	mux.HandleFunc("DELETE /v1/instances/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Evict(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, ErrUnknownInstance)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "evicted"})
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req solveRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		mode, err := ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out, cached, err := s.Solve(r.Context(), req.Instance, mode)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{
+			Instance:   req.Instance,
+			Mode:       string(mode),
+			Cached:     cached,
+			Exists:     out.Exists,
+			Size:       out.Size,
+			PeelRounds: out.PeelRounds,
+			PostOf:     out.PostOf,
+			AssignedTo: out.AssignedTo,
+		})
+	})
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		var req verifyRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		popular, margin, err := s.Verify(r.Context(), req.Instance, req.PostOf)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, verifyResponse{Instance: req.Instance, Popular: popular, Margin: margin})
+	})
+	return mux
+}
+
+func infoOf(snap *Snapshot) instanceInfo {
+	return instanceInfo{
+		ID:          snap.ID,
+		Applicants:  snap.Applicants,
+		Posts:       snap.Posts,
+		Edges:       snap.Edges,
+		Strict:      snap.Strict,
+		Capacitated: snap.Capacitated,
+	}
+}
+
+// statusOf maps service errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownInstance):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrRegistryFull):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The exec layer surfaces the request context's own error, so a
+		// client-side deadline and the server-side SolveTimeout both land
+		// here.
+		return http.StatusGatewayTimeout
+	default:
+		// Solver-level rejections (mode unsupported for the instance,
+		// structurally invalid assignments, ...) are the request's fault.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxInstanceBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

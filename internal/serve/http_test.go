@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/onesided"
+)
+
+// httpServer spins a Server behind httptest and returns a tiny JSON client.
+type httpClient struct {
+	t    *testing.T
+	base string
+	c    *http.Client
+}
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httpClient) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, &httpClient{t: t, base: ts.URL, c: ts.Client()}
+}
+
+// do issues a request and decodes the JSON response into out (if non-nil),
+// returning the HTTP status.
+func (h *httpClient) do(method, path, contentType string, body []byte, out any) int {
+	h.t.Helper()
+	req, err := http.NewRequest(method, h.base+path, bytes.NewReader(body))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := h.c.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			h.t.Fatalf("%s %s: undecodable response %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *httpClient) upload(ins *onesided.Instance) instanceInfo {
+	h.t.Helper()
+	var buf bytes.Buffer
+	if err := onesided.Write(&buf, ins); err != nil {
+		h.t.Fatal(err)
+	}
+	var info instanceInfo
+	if st := h.do("POST", "/v1/instances", "text/plain", buf.Bytes(), &info); st != http.StatusCreated && st != http.StatusOK {
+		h.t.Fatalf("upload status %d", st)
+	}
+	return info
+}
+
+func (h *httpClient) solve(id string, mode Mode) (solveResponse, int) {
+	h.t.Helper()
+	body, _ := json.Marshal(solveRequest{Instance: id, Mode: string(mode)})
+	var out solveResponse
+	st := h.do("POST", "/v1/solve", "application/json", body, &out)
+	return out, st
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 2})
+
+	// Health first.
+	var health map[string]string
+	if st := h.do("GET", "/healthz", "", nil, &health); st != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", st, health)
+	}
+
+	// Upload: strict, ties, capacitated.
+	rng := rand.New(rand.NewSource(21))
+	strict := h.upload(onesided.Solvable(rng, 40, 12, 4))
+	ties := h.upload(onesided.RandomTies(rng, 25, 20, 1, 4, 0.4))
+	capIns := h.upload(onesided.RandomCapacitated(rng, 30, 12, 2, 4, 3))
+	if !capIns.Capacitated || capIns.Strict == false && ties.Strict {
+		t.Fatalf("instance metadata wrong: %+v %+v", ties, capIns)
+	}
+
+	// Idempotent re-upload returns 200 (not 201) and the same id.
+	again := h.upload(onesided.Solvable(rand.New(rand.NewSource(21)), 40, 12, 4))
+	if again.ID != strict.ID {
+		t.Fatalf("re-upload changed id: %s vs %s", again.ID, strict.ID)
+	}
+
+	// List shows all three.
+	var list []instanceInfo
+	if st := h.do("GET", "/v1/instances", "", nil, &list); st != http.StatusOK || len(list) != 3 {
+		t.Fatalf("list: %d with %d entries", st, len(list))
+	}
+
+	// Solve each flavor and verify the answers over HTTP.
+	for _, tc := range []struct {
+		id   string
+		mode Mode
+	}{{strict.ID, ModePopular}, {ties.ID, ModeTiesMax}, {capIns.ID, ModeMaxCard}} {
+		out, st := h.solve(tc.id, tc.mode)
+		if st != http.StatusOK {
+			t.Fatalf("solve %s/%s: status %d", tc.id, tc.mode, st)
+		}
+		if !out.Exists {
+			continue
+		}
+		vbody, _ := json.Marshal(verifyRequest{Instance: tc.id, PostOf: out.PostOf})
+		var verdict verifyResponse
+		if st := h.do("POST", "/v1/verify", "application/json", vbody, &verdict); st != http.StatusOK {
+			t.Fatalf("verify %s: status %d", tc.id, st)
+		}
+		if !verdict.Popular {
+			t.Fatalf("verify rejected the served solution for %s/%s (margin %d)", tc.id, tc.mode, verdict.Margin)
+		}
+	}
+
+	// Repeat solve is served from cache.
+	out, _ := h.solve(strict.ID, ModePopular)
+	if !out.Cached {
+		t.Fatal("repeat solve not served from cache")
+	}
+
+	// Capacitated solve carries rosters and they respect capacities.
+	capOut, _ := h.solve(capIns.ID, ModeMaxCard)
+	if capOut.Exists && len(capOut.AssignedTo) != capIns.Posts {
+		t.Fatalf("capacitated response has %d rosters for %d posts", len(capOut.AssignedTo), capIns.Posts)
+	}
+
+	// Stats reflect the traffic.
+	var stats map[string]int64
+	if st := h.do("GET", "/v1/stats", "", nil, &stats); st != http.StatusOK {
+		t.Fatalf("stats: %d", st)
+	}
+	if stats["requests"] == 0 || stats["cache_hits"] == 0 || stats["solves"] == 0 {
+		t.Fatalf("stats not populated: %v", stats)
+	}
+	if stats["instances"] != 3 {
+		t.Fatalf("stats instances %d, want 3", stats["instances"])
+	}
+
+	// Evict and 404 afterwards.
+	if st := h.do("DELETE", "/v1/instances/"+ties.ID, "", nil, nil); st != http.StatusOK {
+		t.Fatalf("evict: %d", st)
+	}
+	if _, st := h.solve(ties.ID, ModeTies); st != http.StatusNotFound {
+		t.Fatalf("solve of evicted instance: %d, want 404", st)
+	}
+	if st := h.do("DELETE", "/v1/instances/"+ties.ID, "", nil, nil); st != http.StatusNotFound {
+		t.Fatalf("double evict: %d, want 404", st)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1})
+
+	// Malformed instance body.
+	var e errorResponse
+	if st := h.do("POST", "/v1/instances", "text/plain", []byte("posts x\n"), &e); st != http.StatusBadRequest {
+		t.Fatalf("bad instance: %d", st)
+	}
+	// Malformed JSON.
+	if st := h.do("POST", "/v1/solve", "application/json", []byte("{"), &e); st != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", st)
+	}
+	// Unknown mode.
+	body, _ := json.Marshal(solveRequest{Instance: "x", Mode: "banana"})
+	if st := h.do("POST", "/v1/solve", "application/json", body, &e); st != http.StatusBadRequest {
+		t.Fatalf("bad mode: %d", st)
+	}
+	// Unknown instance.
+	body, _ = json.Marshal(solveRequest{Instance: "deadbeef", Mode: "popular"})
+	if st := h.do("POST", "/v1/solve", "application/json", body, &e); st != http.StatusNotFound {
+		t.Fatalf("unknown instance: %d", st)
+	}
+	if !strings.Contains(e.Error, "unknown instance") {
+		t.Fatalf("error message: %q", e.Error)
+	}
+	// Unsupported mode for the instance shape → 422.
+	rng := rand.New(rand.NewSource(5))
+	ties := h.upload(onesided.RandomTies(rng, 10, 8, 1, 3, 0.6))
+	if _, st := h.solve(ties.ID, ModePopular); st != http.StatusUnprocessableEntity {
+		t.Fatalf("strict solve of tied instance: %d, want 422", st)
+	}
+	// Structurally invalid verify → 422.
+	vbody, _ := json.Marshal(verifyRequest{Instance: ties.ID, PostOf: []int32{0}})
+	if st := h.do("POST", "/v1/verify", "application/json", vbody, &e); st != http.StatusUnprocessableEntity {
+		t.Fatalf("short verify: %d, want 422", st)
+	}
+}
+
+// TestHTTPConcurrentLoadBatches drives the HTTP surface with concurrent
+// clients and checks the acceptance-criteria observables: batch size > 1 in
+// stats, and cached repeats without kernel invocations.
+func TestHTTPConcurrentLoadBatches(t *testing.T) {
+	s, h := newHTTPServer(t, Config{
+		Workers: 2, CacheSize: -1, MaxBatch: 32, Linger: 4 * time.Millisecond, InflightBatches: 1,
+	})
+	rng := rand.New(rand.NewSource(33))
+	ids := make([]string, 4)
+	for i := range ids {
+		ids[i] = h.upload(onesided.Solvable(rng, 80, 20, 4)).ID
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, st := h.solve(ids[(c+i)%len(ids)], ModePopular); st != http.StatusOK {
+					t.Errorf("client %d: status %d", c, st)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st["max_batch"] < 2 {
+		t.Fatalf("batched dispatch not observable over HTTP: %v", st)
+	}
+	if st["solve_errors"] != 0 {
+		t.Fatalf("solve errors under load: %v", st)
+	}
+}
+
+// verifyRoundTripFormat pins the wire convention: entries >= posts are last
+// resorts and survive a solve→verify round trip.
+func TestHTTPLastResortWireConvention(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1})
+	// Two applicants fighting over one post: someone ends on a last resort.
+	ins, err := onesided.NewStrict(1, [][]int32{{0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := h.upload(ins)
+	out, st := h.solve(info.ID, ModePopular)
+	if st != http.StatusOK || !out.Exists {
+		t.Fatalf("solve: %d exists=%v", st, out.Exists)
+	}
+	lastResorts := 0
+	for _, p := range out.PostOf {
+		if int(p) >= info.Posts {
+			lastResorts++
+		}
+	}
+	if lastResorts != 1 {
+		t.Fatalf("expected exactly one last resort in %v", out.PostOf)
+	}
+	vbody, _ := json.Marshal(verifyRequest{Instance: info.ID, PostOf: out.PostOf})
+	var verdict verifyResponse
+	if st := h.do("POST", "/v1/verify", "application/json", vbody, &verdict); st != http.StatusOK || !verdict.Popular {
+		t.Fatalf("round-tripped solution did not verify: %d %+v", st, verdict)
+	}
+}

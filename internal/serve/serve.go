@@ -1,0 +1,289 @@
+// Package serve is the matching-as-a-service request layer: it turns
+// concurrent solve requests against registered instances into micro-batched
+// dispatches on one shared popmatch.Solver, with an LRU result cache in
+// front of the kernel and admission control in front of the queue.
+//
+// The pieces, front to back:
+//
+//   - Registry: fingerprint-keyed immutable instance snapshots. Uploading is
+//     idempotent by content; every solve of a snapshot shares its cached CSR
+//     form.
+//   - resultCache: an LRU keyed by (instance fingerprint, mode). A repeat
+//     query is answered without touching the kernel at all.
+//   - batcher: a bounded request queue drained by a dispatcher that
+//     coalesces concurrent requests into micro-batches (up to MaxBatch,
+//     lingering up to Linger for stragglers). Duplicate (instance, mode)
+//     requests inside a batch share one solve under an exec.JoinContext of
+//     their request contexts; strict popular-mode groups ride one
+//     Solver.SolveBatch call, everything else dispatches concurrently onto
+//     the same solver pool.
+//   - admission control: a full queue rejects immediately (ErrOverloaded)
+//     instead of building unbounded backlog, and every request carries its
+//     caller's context — cancellation and deadlines propagate through
+//     exec.Ctx to the solver's round boundaries.
+//
+// The HTTP surface over this layer lives in http.go; cmd/popserved is the
+// daemon wrapping it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/onesided"
+	"repro/popmatch"
+)
+
+// Mode selects the solve surface for a request.
+type Mode string
+
+const (
+	// ModePopular finds any popular matching (Algorithm 1; capacitated
+	// instances route through the clone reduction).
+	ModePopular Mode = "popular"
+	// ModeMaxCard finds a maximum-cardinality popular matching.
+	ModeMaxCard Mode = "maxcard"
+	// ModeTies runs the §V ties solver (valid for strict instances too).
+	ModeTies Mode = "ties"
+	// ModeTiesMax is ModeTies maximizing cardinality.
+	ModeTiesMax Mode = "tiesmax"
+)
+
+// Modes lists every valid mode.
+var Modes = []Mode{ModePopular, ModeMaxCard, ModeTies, ModeTiesMax}
+
+// ParseMode validates a wire-format mode string.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes {
+		if s == string(m) {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("serve: unknown mode %q (valid: popular, maxcard, ties, tiesmax)", s)
+}
+
+// ErrOverloaded is returned when admission control refuses a request
+// because the queue is full.
+var ErrOverloaded = errors.New("serve: server overloaded, request queue full")
+
+// ErrServerClosed is returned for requests submitted after Close.
+var ErrServerClosed = errors.New("serve: server is closed")
+
+// Outcome is an immutable solve result, shareable between coalesced
+// requests and cache hits. PostOf uses the instance's raw post ids: entries
+// >= Posts are virtual last resorts (id Posts+a), so outcomes round-trip
+// losslessly through the verify surface.
+type Outcome struct {
+	Exists     bool
+	Size       int
+	PeelRounds int
+	PostOf     []int32
+	// AssignedTo holds the per-post applicant rosters of a capacitated
+	// result (index = post id); nil for unit instances.
+	AssignedTo [][]int32
+}
+
+// Config sizes a Server. Zero values select the documented defaults; use a
+// negative value to disable a knob where that is meaningful.
+type Config struct {
+	// Workers sizes the shared solver pool (0 = the process-wide pool).
+	Workers int
+	// MaxBatch caps a micro-batch (default 16).
+	MaxBatch int
+	// Linger is how long the dispatcher holds an underfull batch open for
+	// stragglers (default 1ms; negative = dispatch immediately).
+	Linger time.Duration
+	// CacheSize is the result cache capacity in entries (default 1024;
+	// negative = disable caching).
+	CacheSize int
+	// MaxQueue bounds the request queue; a full queue rejects with
+	// ErrOverloaded (default 1024).
+	MaxQueue int
+	// MaxInstances bounds the registry (default 1024; negative = unbounded).
+	MaxInstances int
+	// InflightBatches is how many micro-batches may execute concurrently
+	// (default 2) — backpressure that lets the next batch fill while the
+	// current one solves.
+	InflightBatches int
+	// SolveTimeout caps the server-side duration of any single solve
+	// (default 0 = bounded only by the request's own context).
+	SolveTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&c.MaxBatch, 16)
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	def(&c.CacheSize, 1024)
+	def(&c.MaxQueue, 1024)
+	def(&c.MaxInstances, 1024)
+	def(&c.InflightBatches, 2)
+	if c.InflightBatches == 0 {
+		c.InflightBatches = 1
+	}
+	if c.Linger == 0 {
+		c.Linger = time.Millisecond
+	} else if c.Linger < 0 {
+		c.Linger = 0
+	}
+	return c
+}
+
+// Server is the serving facade: registry + cache + batcher over one shared
+// Solver. Construct with New, release with Close.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *resultCache
+	stats    Stats
+	solver   *popmatch.Solver
+	batch    *batcher
+	started  time.Time
+}
+
+// New returns a running Server configured by cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxInstances),
+		cache:    newResultCache(cfg.CacheSize),
+		solver:   popmatch.NewSolver(popmatch.Options{Workers: cfg.Workers}),
+		started:  time.Now(),
+	}
+	s.batch = newBatcher(cfg, s.solver, &s.stats)
+	return s
+}
+
+// Close shuts the server down in order: the queue stops admitting, queued
+// requests fail with ErrServerClosed, in-flight solves run to completion,
+// then the solver releases its pool. Idempotent.
+func (s *Server) Close() {
+	s.batch.close()
+	s.solver.Close()
+}
+
+// Upload registers an instance (see Registry.Add).
+func (s *Server) Upload(ins *onesided.Instance) (*Snapshot, bool, error) {
+	return s.registry.Add(ins)
+}
+
+// Instances lists the registered snapshots in upload order.
+func (s *Server) Instances() []*Snapshot { return s.registry.List() }
+
+// Instance returns one registered snapshot.
+func (s *Server) Instance(id string) (*Snapshot, bool) { return s.registry.Get(id) }
+
+// Evict removes an instance and its cached results.
+func (s *Server) Evict(id string) bool {
+	ok := s.registry.Evict(id)
+	if ok {
+		s.cache.EvictInstance(id)
+	}
+	return ok
+}
+
+// Stats returns a snapshot of the server counters plus the registry and
+// cache gauges.
+func (s *Server) Stats() map[string]int64 {
+	m := s.stats.Snapshot()
+	m["instances"] = int64(s.registry.Len())
+	m["cache_entries"] = int64(s.cache.Len())
+	m["uptime_seconds"] = int64(time.Since(s.started) / time.Second)
+	return m
+}
+
+// Solve answers a solve request for a registered instance: from the result
+// cache when possible, otherwise through the micro-batching queue onto the
+// shared solver. The returned bool reports a cache hit. ctx cancellation
+// and deadline propagate into the solve's round boundaries; cfg.SolveTimeout
+// additionally caps the solver time server-side.
+func (s *Server) Solve(ctx context.Context, id string, mode Mode) (*Outcome, bool, error) {
+	snap, ok := s.registry.Get(id)
+	if !ok {
+		return nil, false, ErrUnknownInstance
+	}
+	s.stats.Requests.Add(1)
+	key := cacheKey{id: snap.ID, mode: mode}
+	if out, hit := s.cache.Get(key); hit {
+		s.stats.CacheHits.Add(1)
+		return out, true, nil
+	}
+	s.stats.CacheMisses.Add(1)
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	out, err := s.batch.submit(ctx, snap, mode)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(key, out)
+	// A concurrent Evict may have purged the cache between our registry
+	// lookup and the Put above; Evict removes the registry entry before it
+	// touches the cache, so re-checking membership here (and undoing the
+	// Put) guarantees one of the two purges wins — a deleted instance never
+	// leaves a resurrected cache line behind.
+	if _, live := s.registry.Get(snap.ID); !live {
+		s.cache.EvictInstance(snap.ID)
+	}
+	return out, false, nil
+}
+
+// Verify checks a caller-supplied assignment of a registered instance for
+// popularity via the exact margin oracle (O(n³) Hungarian — a verification
+// surface, not a hot path). postOf is the per-applicant post vector in the
+// instance's raw ids (>= Posts = that applicant's last resort, -1 =
+// unmatched). It returns the challenger margin (positive = not popular); a
+// structurally invalid assignment returns an error.
+func (s *Server) Verify(ctx context.Context, id string, postOf []int32) (popular bool, margin int, err error) {
+	snap, ok := s.registry.Get(id)
+	if !ok {
+		return false, 0, ErrUnknownInstance
+	}
+	if len(postOf) != snap.Applicants {
+		return false, 0, fmt.Errorf("serve: post_of has %d entries for %d applicants", len(postOf), snap.Applicants)
+	}
+	// Structural validation (capacities, list membership) before the oracle.
+	as, err := onesided.AssignmentFromPostOf(snap.Ins, postOf)
+	if err != nil {
+		return false, 0, err
+	}
+	margin, err = s.solver.UnpopularityMargin(ctx, snap.Ins, &onesided.Matching{PostOf: as.PostOf})
+	if err != nil {
+		return false, 0, err
+	}
+	return margin <= 0, margin, nil
+}
+
+// outcomeOf freezes a solver result into an immutable Outcome (buffers
+// copied: results may share storage with solver-recycled matchings, and
+// cached outcomes outlive the solve that produced them).
+func outcomeOf(snap *Snapshot, res popmatch.Result) *Outcome {
+	out := &Outcome{Exists: res.Exists, Size: res.Size, PeelRounds: res.PeelRounds}
+	if !res.Exists {
+		return out
+	}
+	if res.Assignment != nil {
+		out.PostOf = append([]int32(nil), res.Assignment.PostOf...)
+		out.AssignedTo = make([][]int32, snap.Posts)
+		for p := range out.AssignedTo {
+			roster := res.Assignment.AssignedTo(int32(p))
+			out.AssignedTo[p] = append(make([]int32, 0, len(roster)), roster...)
+		}
+	} else if res.Matching != nil {
+		out.PostOf = append([]int32(nil), res.Matching.PostOf...)
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/onesided"
+	"repro/popmatch"
+)
+
+func strictInstance(t *testing.T, seed int64, n int) *onesided.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return onesided.Solvable(rng, n, n/4+1, 4)
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestRegistryIdempotentUpload(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ins := strictInstance(t, 1, 50)
+	snap1, created1, err := s.Upload(ins)
+	if err != nil || !created1 {
+		t.Fatalf("first upload: %v created=%v", err, created1)
+	}
+	// The same content from an independent construction lands on the same id.
+	snap2, created2, err := s.Upload(ins.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 {
+		t.Fatal("identical content re-created a snapshot")
+	}
+	if snap1 != snap2 {
+		t.Fatal("identical content produced distinct snapshots")
+	}
+	if got := len(s.Instances()); got != 1 {
+		t.Fatalf("registry holds %d instances, want 1", got)
+	}
+}
+
+func TestRegistryFullAndEvict(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxInstances: 2})
+	a, _, err := s.Upload(strictInstance(t, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Upload(strictInstance(t, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Upload(strictInstance(t, 3, 10)); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("third upload: %v, want ErrRegistryFull", err)
+	}
+	if !s.Evict(a.ID) {
+		t.Fatal("evict of registered instance failed")
+	}
+	if s.Evict(a.ID) {
+		t.Fatal("double evict succeeded")
+	}
+	if _, _, err := s.Upload(strictInstance(t, 3, 10)); err != nil {
+		t.Fatalf("upload after evict: %v", err)
+	}
+}
+
+func TestSolveUnknownInstance(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	if _, _, err := s.Solve(context.Background(), "deadbeef", ModePopular); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("got %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestSolveModesAndCache(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	strict, _, err := s.Upload(strictInstance(t, 7, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	capSnap, _, err := s.Upload(onesided.RandomCapacitated(rng, 30, 15, 2, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		snap *Snapshot
+		mode Mode
+	}{
+		{strict, ModePopular}, {strict, ModeMaxCard}, {strict, ModeTies}, {strict, ModeTiesMax},
+		{capSnap, ModePopular}, {capSnap, ModeMaxCard}, {capSnap, ModeTiesMax},
+	} {
+		out, cached, err := s.Solve(ctx, tc.snap.ID, tc.mode)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.snap.ID, tc.mode, err)
+		}
+		if cached {
+			t.Fatalf("%s/%s: first solve reported cached", tc.snap.ID, tc.mode)
+		}
+		if out.Exists {
+			// Round-trip through the verify surface: the solver's answer
+			// must verify popular via the independent margin oracle.
+			popular, margin, err := s.Verify(ctx, tc.snap.ID, out.PostOf)
+			if err != nil {
+				t.Fatalf("%s/%s verify: %v", tc.snap.ID, tc.mode, err)
+			}
+			if !popular {
+				t.Fatalf("%s/%s: solver output rejected, margin %d", tc.snap.ID, tc.mode, margin)
+			}
+		}
+		// Repeat query: served from cache, kernel untouched.
+		before := s.stats.Solves.Load()
+		out2, cached2, err := s.Solve(ctx, tc.snap.ID, tc.mode)
+		if err != nil || !cached2 {
+			t.Fatalf("%s/%s repeat: err=%v cached=%v", tc.snap.ID, tc.mode, err, cached2)
+		}
+		if out2 != out {
+			t.Fatalf("%s/%s repeat: cache returned a different outcome object", tc.snap.ID, tc.mode)
+		}
+		if after := s.stats.Solves.Load(); after != before {
+			t.Fatalf("%s/%s repeat: kernel invoked on cache hit (%d -> %d)", tc.snap.ID, tc.mode, before, after)
+		}
+	}
+
+	// Capacitated outcomes expose rosters; unit ones do not.
+	out, _, err := s.Solve(ctx, capSnap.ID, ModePopular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exists && out.AssignedTo == nil {
+		t.Fatal("capacitated outcome without rosters")
+	}
+}
+
+func TestCacheEvictionOnInstanceEvict(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	snap, _, err := s.Upload(strictInstance(t, 9, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", s.cache.Len())
+	}
+	s.Evict(snap.ID)
+	if s.cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries after evict, want 0", s.cache.Len())
+	}
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("solve after evict: %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newResultCache(2)
+	o := &Outcome{}
+	c.Put(cacheKey{"a", ModePopular}, o)
+	c.Put(cacheKey{"b", ModePopular}, o)
+	if _, ok := c.Get(cacheKey{"a", ModePopular}); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(cacheKey{"c", ModePopular}, o) // evicts b (a was refreshed)
+	if _, ok := c.Get(cacheKey{"b", ModePopular}); ok {
+		t.Fatal("b survived beyond capacity")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, ok := c.Get(cacheKey{id, ModePopular}); !ok {
+			t.Fatalf("%s missing", id)
+		}
+	}
+}
+
+func TestMicroBatchingCoalescesConcurrentLoad(t *testing.T) {
+	// Cache off so every request reaches the batcher; a solo inflight slot
+	// plus a generous linger window forces concurrent requests into shared
+	// batches.
+	s := newTestServer(t, Config{
+		Workers: 2, CacheSize: -1, MaxBatch: 16, Linger: 5 * time.Millisecond, InflightBatches: 1,
+	})
+	snaps := make([]*Snapshot, 4)
+	for i := range snaps {
+		snap, _, err := s.Upload(strictInstance(t, int64(100+i), 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = snap
+	}
+	const clients = 24
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, _, err := s.Solve(context.Background(), snaps[(g+i)%len(snaps)].ID, ModePopular); err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st["max_batch"] < 2 {
+		t.Fatalf("no micro-batching observed under concurrent load: stats %v", st)
+	}
+	if st["coalesced"] == 0 {
+		t.Fatalf("no request coalescing observed: stats %v", st)
+	}
+	if st["solves"]+st["coalesced"] != st["batched_requests"] {
+		t.Fatalf("accounting mismatch: solves %d + coalesced %d != batched %d",
+			st["solves"], st["coalesced"], st["batched_requests"])
+	}
+}
+
+func TestAdmissionControlRejectsWhenFull(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 1, CacheSize: -1, MaxQueue: 2, MaxBatch: 1, Linger: -1, InflightBatches: 1,
+	})
+	snap, _, err := s.Upload(strictInstance(t, 11, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: all submitters release together against a multi-millisecond
+	// solve, so at most 1 executing + 1 gathered + 2 queued are absorbed and
+	// the rest must bounce.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, _, err := s.Solve(context.Background(), snap.ID, ModePopular)
+			errs <- err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	var rejected int
+	for err := range errs {
+		if errors.Is(err, ErrOverloaded) {
+			rejected++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no request was rejected by admission control")
+	}
+	if got := s.Stats()["rejected"]; got != int64(rejected) {
+		t.Fatalf("rejected counter %d, want %d", got, rejected)
+	}
+}
+
+func TestPerRequestCancellation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	snap, _, err := s.Upload(strictInstance(t, 13, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Solve(ctx, snap.ID, ModePopular); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveTimeoutConfig(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1, SolveTimeout: time.Nanosecond})
+	snap, _, err := s.Upload(strictInstance(t, 17, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestModeErrorsSurfaceCleanly(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	// A tied, non-capacitated instance cannot take the strict popular path.
+	rng := rand.New(rand.NewSource(3))
+	snap, _, err := s.Upload(onesided.RandomTies(rng, 20, 15, 1, 4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); err == nil {
+		t.Fatal("strict solve of a tied instance succeeded")
+	}
+	// The same instance solves fine in ties mode.
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModeTies); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseFailsPendingAndRejectsNew(t *testing.T) {
+	s := New(Config{Workers: 1})
+	snap, _, err := s.Upload(strictInstance(t, 19, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModeMaxCard); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("solve after close: %v, want ErrServerClosed", err)
+	}
+}
+
+func TestVerifyRejectsBadAssignments(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ins, err := onesided.NewCapacitated([]int32{1, 1}, [][]int32{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := s.Upload(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length.
+	if _, _, err := s.Verify(context.Background(), snap.ID, []int32{0}); err == nil {
+		t.Fatal("short post_of accepted")
+	}
+	// Over capacity.
+	if _, _, err := s.Verify(context.Background(), snap.ID, []int32{0, 0}); err == nil {
+		t.Fatal("over-capacity assignment accepted")
+	}
+	// A non-popular but structurally valid assignment: both applicants on
+	// last resorts loses to any real assignment.
+	popular, margin, err := s.Verify(context.Background(), snap.ID, []int32{snap.Ins.LastResort(0), snap.Ins.LastResort(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popular || margin <= 0 {
+		t.Fatalf("all-last-resort assignment judged popular (margin %d)", margin)
+	}
+}
+
+// TestBatchedStrictPathMatchesDirectSolver cross-checks the SolveBatch fast
+// path against direct solver calls on the same snapshots.
+func TestBatchedStrictPathMatchesDirectSolver(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1, MaxBatch: 8, Linger: 2 * time.Millisecond})
+	direct := popmatch.NewSolver(popmatch.Options{Workers: 1})
+	defer direct.Close()
+	for i := 0; i < 4; i++ {
+		snap, _, err := s.Upload(strictInstance(t, int64(200+i), 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := s.Solve(context.Background(), snap.ID, ModePopular)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Solve(context.Background(), snap.Ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Exists != want.Exists || out.Size != want.Size {
+			t.Fatalf("instance %d: served (exists=%v size=%d) vs direct (exists=%v size=%d)",
+				i, out.Exists, out.Size, want.Exists, want.Size)
+		}
+	}
+}

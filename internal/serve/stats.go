@@ -1,0 +1,63 @@
+package serve
+
+import "sync/atomic"
+
+// Stats is the server's counter block: cheap atomic counters incremented on
+// the request path and exported as one consistent-enough snapshot by the
+// stats endpoint (expvar-style — monotonic counters, no locks, no
+// histograms; the bench harness derives latency percentiles client-side).
+type Stats struct {
+	// Requests counts every solve request that named a registered instance
+	// — including ones admission control later refused; Rejected counts
+	// those refusals (a subset of Requests).
+	Requests atomic.Int64
+	Rejected atomic.Int64
+	// CacheHits/CacheMisses split Requests by result-cache outcome; the
+	// cache is consulted before admission, so a rejected request still
+	// counts as a miss.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Batches counts micro-batches dispatched; BatchedRequests the requests
+	// they carried (so BatchedRequests/Batches is the mean batch size);
+	// MaxBatch the largest batch observed; Coalesced the requests that
+	// shared another request's solve (identical instance and mode in the
+	// same batch).
+	Batches         atomic.Int64
+	BatchedRequests atomic.Int64
+	MaxBatch        atomic.Int64
+	Coalesced       atomic.Int64
+	// Solves counts kernel dispatches (unique work items actually handed to
+	// the Solver); SolveErrors the ones that failed. A cache hit or a
+	// coalesced request does not move Solves — that gap is the measure of
+	// work the serving layer absorbed.
+	Solves      atomic.Int64
+	SolveErrors atomic.Int64
+}
+
+// observeBatch records one dispatched micro-batch of n requests.
+func (st *Stats) observeBatch(n int) {
+	st.Batches.Add(1)
+	st.BatchedRequests.Add(int64(n))
+	for {
+		cur := st.MaxBatch.Load()
+		if int64(n) <= cur || st.MaxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the counters as a flat map, ready for JSON encoding.
+func (st *Stats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"requests":         st.Requests.Load(),
+		"rejected":         st.Rejected.Load(),
+		"cache_hits":       st.CacheHits.Load(),
+		"cache_misses":     st.CacheMisses.Load(),
+		"batches":          st.Batches.Load(),
+		"batched_requests": st.BatchedRequests.Load(),
+		"max_batch":        st.MaxBatch.Load(),
+		"coalesced":        st.Coalesced.Load(),
+		"solves":           st.Solves.Load(),
+		"solve_errors":     st.SolveErrors.Load(),
+	}
+}

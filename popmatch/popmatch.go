@@ -285,7 +285,10 @@ func Count(ins *Instance, o Options) (*big.Int, error) {
 		return nil, err
 	}
 	return oneShot(o, func(s *Solver) (*big.Int, error) {
-		opt, sess := s.session(context.Background())
+		opt, sess, err := s.session(context.Background())
+		if err != nil {
+			return nil, err
+		}
 		defer s.putSession(sess)
 		return core.CountPopular(ins, opt)
 	})
@@ -299,7 +302,10 @@ func EnumerateAll(ins *Instance, o Options, yield func(*Matching) bool) (bool, e
 		return false, err
 	}
 	return oneShot(o, func(s *Solver) (bool, error) {
-		opt, sess := s.session(context.Background())
+		opt, sess, err := s.session(context.Background())
+		if err != nil {
+			return false, err
+		}
 		defer s.putSession(sess)
 		return core.EnumerateAllPopular(ins, opt, yield)
 	})

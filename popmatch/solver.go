@@ -2,6 +2,7 @@ package popmatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,13 @@ import (
 	"repro/internal/onesided"
 	"repro/internal/par"
 )
+
+// ErrSolverClosed is returned by every Solver method invoked after (or
+// concurrently with) Close. Closing a Solver is an orderly shutdown: calls
+// already executing run to completion, later calls fail with this error, and
+// nothing panics or deadlocks — the contract a long-lived server needs when
+// tearing down while requests are still arriving.
+var ErrSolverClosed = errors.New("popmatch: solver is closed")
 
 // Solver is a reusable handle over a persistent execution context: a worker
 // pool whose goroutines outlive individual solves and a set of scratch
@@ -34,7 +42,14 @@ type Solver struct {
 	ownPool  bool
 	tracer   *par.Tracer
 	sessions sync.Pool
-	closed   atomic.Bool
+
+	// mu serializes Close against in-flight solves: every session checkout
+	// holds the read side until the solve returns, and Close takes the write
+	// side, so a dedicated pool is only torn down at quiescence and a closed
+	// Solver fails checkouts with ErrSolverClosed instead of handing out a
+	// dead pool.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // session is one checked-out solve context: a scratch arena (which carries
@@ -65,33 +80,44 @@ func NewSolver(o Options) *Solver {
 	return s
 }
 
-// Close releases the Solver's resources: a dedicated pool's worker
-// goroutines are stopped (the shared pool is left running). Idempotent; the
-// Solver must not be used afterwards.
+// Close releases the Solver's resources: it waits for in-flight solves to
+// complete, then stops a dedicated pool's worker goroutines (the shared pool
+// is left running). Idempotent and safe to call concurrently with solves —
+// calls that lose the race fail with ErrSolverClosed rather than panicking.
 func (s *Solver) Close() {
-	if !s.closed.CompareAndSwap(false, true) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
+	s.closed = true
+	s.mu.Unlock()
 	if s.ownPool {
 		s.pool.Close()
 	}
 }
 
 // session checks out a pooled session and assembles the per-solve execution
-// context; the caller returns it with putSession.
-func (s *Solver) session(ctx context.Context) (core.Options, *session) {
-	if s.closed.Load() {
-		panic("popmatch: Solve on closed Solver")
+// context; the caller returns it with putSession. On success the Solver's
+// read lock is held until putSession, keeping Close from reclaiming the pool
+// under a running solve.
+func (s *Solver) session(ctx context.Context) (core.Options, *session, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return core.Options{}, nil, ErrSolverClosed
 	}
 	sess := s.sessions.Get().(*session)
 	sess.cx.Reset(exec.Config{Context: ctx, Pool: s.pool, Tracer: s.tracer, Arena: sess.arena})
-	return core.Options{Exec: &sess.cx}, sess
+	return core.Options{Exec: &sess.cx}, sess, nil
 }
 
-// putSession drops the solve's context reference and recycles the session.
+// putSession drops the solve's context reference, recycles the session and
+// releases the checkout obtained by session.
 func (s *Solver) putSession(sess *session) {
 	sess.cx.Reset(exec.Config{Pool: s.pool, Tracer: s.tracer, Arena: sess.arena})
 	s.sessions.Put(sess)
+	s.mu.RUnlock()
 }
 
 // Solve finds a popular matching of a strictly-ordered instance, or reports
@@ -106,7 +132,10 @@ func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, false)
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, err := core.Popular(ins, opt)
 	if err != nil {
@@ -134,7 +163,10 @@ func (s *Solver) SolveInto(ctx context.Context, ins *Instance, res *Result) erro
 		*res = out
 		return nil
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return err
+	}
 	defer s.putSession(sess)
 	out, err := core.PopularInto(ins, res.Matching, opt)
 	if err != nil {
@@ -151,7 +183,10 @@ func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, err
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, true)
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, _, err := core.MaxCardinality(ins, opt)
 	if err != nil {
@@ -163,7 +198,10 @@ func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, err
 // solveCapacitated runs the clone reduction (core.SolveCapacitated) under
 // the Solver's execution context.
 func (s *Solver) solveCapacitated(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, err := core.SolveCapacitated(ins, maximizeCardinality, opt)
 	if err != nil {
@@ -187,7 +225,10 @@ func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MaxWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, _, err := core.Optimize(ins, w, true, opt)
 	if err != nil {
@@ -201,7 +242,10 @@ func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MinWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, _, err := core.Optimize(ins, w, false, opt)
 	if err != nil {
@@ -216,7 +260,10 @@ func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error)
 	if err := requireUnit(ins, "RankMaximal"); err != nil {
 		return Result{}, err
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, _, err := core.RankMaximal(ins, opt)
 	if err != nil {
@@ -230,7 +277,10 @@ func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
 	if err := requireUnit(ins, "Fair"); err != nil {
 		return Result{}, err
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, _, err := core.Fair(ins, opt)
 	if err != nil {
@@ -246,7 +296,10 @@ func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinali
 	if ins.Capacities != nil {
 		return s.solveCapacitated(ctx, ins, maximizeCardinality)
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.putSession(sess)
 	res, err := core.SolveTies(ins, maximizeCardinality, opt)
 	if err != nil {
@@ -265,7 +318,10 @@ func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
 	if err := requireUnit(ins, "Verify"); err != nil {
 		return err
 	}
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return err
+	}
 	defer s.putSession(sess)
 	return core.VerifyPopular(ins, m, opt)
 }
@@ -275,7 +331,10 @@ func (s *Solver) Verify(ctx context.Context, ins *Instance, m *Matching) error {
 // oracle (O(n³); verification, not a hot path). It also accepts
 // unit-capacity instances.
 func (s *Solver) VerifyAssignment(ctx context.Context, ins *Instance, as *Assignment) (err error) {
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return err
+	}
 	defer s.putSession(sess)
 	defer exec.CatchCancel(&err)
 	if err := as.Validate(ins); err != nil {
@@ -298,7 +357,10 @@ func (s *Solver) VerifyAssignment(ctx context.Context, ins *Instance, as *Assign
 // per-applicant post vector and the challengers range over capacitated
 // assignments.
 func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Matching) (margin int, err error) {
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return 0, err
+	}
 	defer s.putSession(sess)
 	defer exec.CatchCancel(&err)
 	if !ins.UnitCapacity() {
@@ -314,7 +376,10 @@ func (s *Solver) UnpopularityMargin(ctx context.Context, ins *Instance, m *Match
 // MaxBipartiteMatching computes a maximum-cardinality bipartite matching via
 // Theorem 11's reduction; see the package-level function for the contract.
 func (s *Solver) MaxBipartiteMatching(ctx context.Context, adj [][]int32, nRight int) ([]int32, int, error) {
-	opt, sess := s.session(ctx)
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
 	defer s.putSession(sess)
 	g := bipartite.New(len(adj), nRight)
 	for l, outs := range adj {
