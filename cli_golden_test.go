@@ -168,3 +168,74 @@ func TestCLICapacitatedPipeline(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIGoldenPopmatchModeAliases pins the deprecated per-mode alias
+// flags: an alias must produce byte-identical output to its -mode spelling
+// (the same committed golden files), naming two different modes must exit
+// with the usage code 2, and naming the same mode twice stays fine. Runs
+// the built binary directly because `go run` flattens exit codes.
+func TestCLIGoldenPopmatchModeAliases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "popmatch")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/popmatch").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		var buf bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), code
+	}
+
+	// The alias path reproduces the -mode maxcard golden byte for byte.
+	out, code := run("-workers", "1", "-maxcard", "testdata/cap_contended.txt")
+	if code != 0 {
+		t.Fatalf("-maxcard alias exited %d\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_cap_contended_maxcard.out", out)
+
+	// The rankmax alias (historical spelling of rankmaximal) on the unit
+	// fixture, pinned by its own golden file.
+	out, code = run("-workers", "1", "-rankmax", "testdata/unit_small.txt")
+	if code != 0 {
+		t.Fatalf("-rankmax alias exited %d\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_unit_small_rankmax.out", out)
+
+	// Two different modes — alias vs alias, and alias vs explicit -mode —
+	// are usage errors with the dedicated exit code 2.
+	if out, code = run("-workers", "1", "-maxcard", "-fair", "testdata/unit_small.txt"); code != 2 {
+		t.Fatalf("-maxcard -fair exited %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "conflicting mode flags") {
+		t.Fatalf("conflict diagnostic missing:\n%s", out)
+	}
+	if out, code = run("-workers", "1", "-mode", "fair", "-maxcard", "testdata/unit_small.txt"); code != 2 {
+		t.Fatalf("-mode fair -maxcard exited %d, want 2\n%s", code, out)
+	}
+
+	// Agreeing spellings of one mode are not a conflict.
+	if out, code = run("-workers", "1", "-mode", "maxcard", "-maxcard", "testdata/cap_contended.txt"); code != 0 {
+		t.Fatalf("-mode maxcard -maxcard exited %d\n%s", code, out)
+	}
+	checkGolden(t, "popmatch_cap_contended_maxcard.out", out)
+
+	// The unified -mode flag reaches the weighted surfaces too.
+	if out, code = run("-workers", "1", "-mode", "minweight", "-verify", "testdata/unit_small.txt"); code != 0 {
+		t.Fatalf("-mode minweight exited %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "# verified popular") {
+		t.Fatalf("minweight solve did not verify:\n%s", out)
+	}
+}

@@ -2,8 +2,16 @@
 //
 // Usage:
 //
-//	popmatch [-mode popular|maxcard|rankmax|fair|ties|tiesmax] [-workers N]
-//	         [-timeout D] [-verify] [-stats] [-check assignment.txt] [file]
+//	popmatch [-mode popular|maxcard|ties|tiesmax|maxweight|minweight|rankmaximal|fair]
+//	         [-workers N] [-timeout D] [-verify] [-stats] [-check assignment.txt] [file]
+//
+// -mode is backed by the engine's shared mode enum, so the CLI accepts
+// exactly the modes the library and the popserved HTTP surface accept
+// ("rankmax" remains an accepted spelling of rankmaximal). The historical
+// per-mode boolean flags (-maxcard, -ties, -tiesmax, -rankmax, -fair) are
+// kept as deprecated aliases for -mode; naming two modes — two alias flags,
+// or an alias plus a conflicting -mode — is a usage error (exit 2). The
+// weighted modes use the built-in cardinality weights.
 //
 // Reads the instance from `file` or stdin. The text format is:
 //
@@ -88,16 +96,68 @@ func readAssignment(r io.Reader, ins *popmatch.Instance) ([]int32, error) {
 	return postOf, sc.Err()
 }
 
+// usageError prints the diagnostic and exits with the usage code (2),
+// matching the flag package's own behavior for undefined flags.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "popmatch: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// resolveMode merges the -mode flag with the deprecated per-mode alias
+// flags into one shared-enum Mode. Naming two different modes is a usage
+// error (exit 2); repeating the same mode two ways is allowed.
+func resolveMode(modeFlag string, aliases map[string]*bool) popmatch.Mode {
+	mode, err := popmatch.ParseMode(modeFlag)
+	if err != nil {
+		usageError("%v", err)
+	}
+	modeExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mode" {
+			modeExplicit = true
+		}
+	})
+	chosen := ""
+	for name, set := range aliases {
+		if !*set {
+			continue
+		}
+		if chosen != "" && chosen != name {
+			usageError("conflicting mode flags -%s and -%s", chosen, name)
+		}
+		chosen = name
+	}
+	if chosen == "" {
+		return mode
+	}
+	aliasMode, err := popmatch.ParseMode(chosen)
+	if err != nil {
+		panic(err) // alias names are drawn from the enum
+	}
+	if modeExplicit && aliasMode != mode {
+		usageError("conflicting mode flags -mode %s and -%s", mode, chosen)
+	}
+	return aliasMode
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("popmatch: ")
-	mode := flag.String("mode", "popular", "popular|maxcard|rankmax|fair|ties|tiesmax")
+	mode := flag.String("mode", "popular", popmatch.ModeNames())
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	verify := flag.Bool("verify", false, "re-verify the result with the Theorem 1 characterization and the margin oracle")
 	stats := flag.Bool("stats", false, "print parallel round/work accounting")
 	check := flag.String("check", "", "verify the assignment in this file (popmatch output format) against the instance instead of solving; exit 3 if it is not popular")
+	aliases := map[string]*bool{
+		"maxcard": flag.Bool("maxcard", false, "deprecated alias for -mode maxcard"),
+		"ties":    flag.Bool("ties", false, "deprecated alias for -mode ties"),
+		"tiesmax": flag.Bool("tiesmax", false, "deprecated alias for -mode tiesmax"),
+		"rankmax": flag.Bool("rankmax", false, "deprecated alias for -mode rankmaximal"),
+		"fair":    flag.Bool("fair", false, "deprecated alias for -mode fair"),
+	}
 	flag.Parse()
+	solveMode := resolveMode(*mode, aliases)
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -150,23 +210,7 @@ func main() {
 		return
 	}
 
-	var res popmatch.Result
-	switch *mode {
-	case "popular":
-		res, err = s.Solve(ctx, ins)
-	case "maxcard":
-		res, err = s.MaxCardinality(ctx, ins)
-	case "rankmax":
-		res, err = s.RankMaximal(ctx, ins)
-	case "fair":
-		res, err = s.Fair(ctx, ins)
-	case "ties":
-		res, err = s.SolveTies(ctx, ins, false)
-	case "tiesmax":
-		res, err = s.SolveTies(ctx, ins, true)
-	default:
-		log.Fatalf("unknown mode %q", *mode)
-	}
+	res, err := s.SolveRequest(ctx, ins, popmatch.Request{Mode: solveMode})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,8 @@
 //
 // The API (see internal/serve): POST /v1/instances uploads the text format
 // and returns the instance's content fingerprint as its id; POST /v1/solve
-// solves {"instance": id, "mode": "popular|maxcard|ties|tiesmax"};
+// solves {"instance": id, "mode": m} for any mode of the shared engine enum
+// (popular|maxcard|ties|tiesmax|maxweight|minweight|rankmaximal|fair);
 // POST /v1/verify checks a per-applicant post vector for popularity;
 // GET /v1/instances lists, DELETE /v1/instances/{id} evicts; GET /v1/stats
 // and GET /healthz observe.

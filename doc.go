@@ -15,6 +15,21 @@
 // round boundary checks the context for cancellation. The pre-existing
 // one-shot functions (popmatch.Solve, ...) remain as thin wrappers.
 //
+// Every solve surface dispatches through one mode-driven engine
+// (internal/core.Engine): a Request carries a Mode — popular, maxcard,
+// ties, tiesmax, maxweight, minweight, rankmaximal, fair — from the single
+// enum that core defines and popmatch, internal/serve and the CLIs
+// re-export, so routing (capacitated clone reduction, strictness checks,
+// cancellation, result recycling) exists once. The engine lives on the
+// solve session's arena and owns an arena-resident kernel per path: the
+// strict kernel (prebound loop closures over the CSR), the §V ties kernel
+// (pooled rank-one graph, Hopcroft–Karp/EOU scratch, flat weight table,
+// Hungarian working arrays), a clone expansion cached per instance, and a
+// pooled big.Int allocator for the positional-profile weights — so a
+// reused Solver's SolveRequestInto reaches zero (strict, ties) or
+// near-zero (capacitated, weighted) steady-state allocations in every
+// mode; see popmatch/alloc_test.go and the CI allocation canary.
+//
 // Capacitated posts (CHA) are supported end to end: instances built with
 // popmatch.NewCapacitated (or carrying a `c` capacity header in the text
 // format) route through the post-cloning reduction onto the ties solver and
@@ -38,14 +53,12 @@
 // Internally every solver layer shares one flat instance representation:
 // the CSR core (internal/onesided.CSR) — preference lists concatenated into
 // three contiguous Off/Post/Rank arrays, derived once per Instance and
-// cached. The strict-path algorithms run as an arena-resident kernel whose
-// loop closures persist across solves, so a reused Solver performs zero
-// steady-state heap allocations (Solver.SolveInto also recycles the result
-// matching). An Instance is consequently immutable once solved or queried;
-// mutate-then-Invalidate is the documented escape hatch, enforced by
-// `-tags debug` builds. See the README's "Architecture" section for the
-// layer stack (onesided → core → exec → popmatch → serve → cmd) and when
-// CSR vs Instance is the right type.
+// cached (capacitated instances additionally cache their clone expansion,
+// Instance.Expanded). An Instance is consequently immutable once solved or
+// queried; mutate-then-Invalidate is the documented escape hatch, enforced
+// by `-tags debug` builds. See the README's "Architecture" section for the
+// layer stack (onesided → core.Engine → exec → popmatch → serve → cmd) and
+// when CSR vs Instance is the right type.
 //
 // The parallel substrate and algorithm internals are under internal/; see
 // README.md for the package map. The benchmarks in bench_test.go regenerate

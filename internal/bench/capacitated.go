@@ -44,8 +44,19 @@ func CapacitatedBench(seed int64) []PoolRecord {
 					}
 				}
 			})
+			capInto := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				var res popmatch.Result
+				for i := 0; i < b.N; i++ {
+					if err := s.SolveRequestInto(ctx, ins, popmatch.Request{Mode: popmatch.ModePopular}, &res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 			s.Close()
 			out = append(out, record("capacitated_solve", n, 1, workers, 0, 0, capSolve))
+			out = append(out, record("capacitated_solve_into", n, 1, workers, 0, 0, capInto))
 
 			// Unit baseline: the same preference lists with capacities
 			// stripped, so the clone-reduction overhead is the diff.

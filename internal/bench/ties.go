@@ -56,6 +56,20 @@ func TiesBench(seed int64, n int) []PoolRecord {
 				})
 				out = append(out, record(tc.name, size, 1, workers, 0, 0, r))
 			}
+			// The engine's result-recycling surface: repeated SolveTiesInto
+			// on one solver is the steady state the arena-resident ties
+			// kernel targets (zero allocs/op; pinned by the CI canary).
+			intoR := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				var res popmatch.Result
+				for i := 0; i < b.N; i++ {
+					if err := s.SolveTiesInto(ctx, ins, false, &res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			out = append(out, record("ties_solve_into", size, 1, workers, 0, 0, intoR))
 			baseline := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				ctx := context.Background()

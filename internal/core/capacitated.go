@@ -1,8 +1,7 @@
 package core
 
 import (
-	"fmt"
-
+	"repro/internal/exec"
 	"repro/internal/onesided"
 )
 
@@ -39,56 +38,15 @@ type CapResult struct {
 // Unit-capacity instances are routed to the exact historical path — strict
 // instances to Algorithm 1 / Algorithm 3, tied ones to the §V solver — so
 // existing callers see bit-identical results; capacitated ones go through
-// the clone reduction.
-func SolveCapacitated(ins *onesided.Instance, maximizeCardinality bool, opt Options) (CapResult, error) {
-	if ins.UnitCapacity() {
-		m, exists, peel, err := solveUnit(ins, maximizeCardinality, opt)
-		if err != nil || !exists {
-			return CapResult{Peel: peel}, err
-		}
-		as, err := onesided.AssignmentFromPostOf(ins, m.PostOf)
-		if err != nil {
-			return CapResult{}, fmt.Errorf("core: unit solve produced an invalid assignment: %w", err)
-		}
-		return CapResult{Assignment: as, Matching: m, Exists: true, Peel: peel}, nil
+// the clone reduction (cached on the instance, so repeat solves skip the
+// expansion). It is a thin wrapper over the unified engine's capacitated
+// route.
+func SolveCapacitated(ins *onesided.Instance, maximizeCardinality bool, opt Options) (res CapResult, err error) {
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
+	out, err := engineFor(cx).solveCapacitated(cx, ins, maximizeCardinality, nil)
+	if err != nil || !out.Exists {
+		return CapResult{Peel: out.Peel}, err
 	}
-
-	unit, cloneOf, _, err := ins.Expand()
-	if err != nil {
-		return CapResult{}, err
-	}
-	res, err := SolveTies(unit, maximizeCardinality, opt)
-	if err != nil || !res.Exists {
-		return CapResult{}, err
-	}
-	as, err := onesided.Fold(ins, unit, cloneOf, res.Matching)
-	if err != nil {
-		return CapResult{}, fmt.Errorf("core: clone reduction folded to an invalid assignment: %w", err)
-	}
-	return CapResult{Assignment: as, Matching: res.Matching, Exists: true}, nil
-}
-
-// solveUnit dispatches a unit-capacity instance to the historical solvers.
-// Strictness comes off the cached CSR form (precomputed at build) rather
-// than a per-call list scan.
-func solveUnit(ins *onesided.Instance, maximizeCardinality bool, opt Options) (*onesided.Matching, bool, PeelStats, error) {
-	if !ins.CSR().Strict() {
-		res, err := SolveTies(ins, maximizeCardinality, opt)
-		if err != nil {
-			return nil, false, PeelStats{}, err
-		}
-		return res.Matching, res.Exists, PeelStats{}, nil
-	}
-	if maximizeCardinality {
-		res, _, err := MaxCardinality(ins, opt)
-		if err != nil {
-			return nil, false, PeelStats{}, err
-		}
-		return res.Matching, res.Exists, res.Peel, nil
-	}
-	res, err := Popular(ins, opt)
-	if err != nil {
-		return nil, false, PeelStats{}, err
-	}
-	return res.Matching, res.Exists, res.Peel, nil
+	return CapResult{Assignment: out.Assignment, Matching: out.Matching, Exists: true, Peel: out.Peel}, nil
 }

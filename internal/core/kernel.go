@@ -116,25 +116,16 @@ type kernel struct {
 	fnPromote       func(qi int)
 }
 
-// kernelFor returns the session's kernel: the one cached on the execution
-// context's arena when there is one (installing it on first use), or a fresh
-// kernel for arena-less one-shot contexts.
+// kernelFor returns the session's strict-path kernel: the one owned by the
+// engine cached on the execution context's arena (see engineFor), or a fresh
+// engine's kernel for arena-less one-shot contexts.
 func kernelFor(cx *exec.Ctx) *kernel {
-	ar := cx.Arena()
-	if ar == nil {
-		return newKernel()
-	}
-	if k, ok := ar.Aux.(*kernel); ok {
-		return k
-	}
-	k := newKernel()
-	ar.Aux = k
-	return k
+	return &engineFor(cx).k
 }
 
-// newKernel allocates a kernel and binds its loop closures.
-func newKernel() *kernel {
-	k := &kernel{}
+// init binds the kernel's loop closures; each captures only the kernel
+// pointer, so repeat solves allocate nothing.
+func (k *kernel) init() {
 
 	// --- Phase A: reduced graph G′ over the CSR rows ---
 
@@ -489,8 +480,6 @@ func newKernel() *kernel {
 		k.m.ApplicantOf[q] = a
 		k.promotions.Add(1)
 	}
-
-	return k
 }
 
 func (k *kernel) edgePost(e int32) int32 {

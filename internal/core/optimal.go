@@ -17,19 +17,29 @@ import (
 // optimal popular matching therefore picks, per component, the switch with
 // the best margin — computed here with weighted pointer jumping — and
 // applies all positive choices in parallel.
+//
+// The public functions are thin wrappers over the unified Engine (see
+// engine.go); the optimizer below recycles its vertex-sized buffers through
+// the weight-ops allocation hooks (arena scratch for int64, the engine's
+// big.Int pool for the positional profile weights).
 
 // WeightFn assigns a weight to matching applicant a with post p (p may be
 // a's last resort). Weights must be small enough that path sums over n
 // edges do not overflow int64.
 type WeightFn func(a int32, p int32) int64
 
-// weightOps abstracts the arithmetic the switch optimizer needs, so the same
-// engine runs on int64 (maximum-cardinality, user weights) and on big.Int
-// (the positional profile weights of rank-maximal and fair matchings).
+// weightOps abstracts the arithmetic and slice allocation the switch
+// optimizer needs, so the same engine runs on int64 (maximum-cardinality,
+// user weights) and on big.Int (the positional profile weights of
+// rank-maximal and fair matchings) while recycling its buffers: int64
+// slices come from the execution context's arena, big.Int values from the
+// engine's pool.
 type weightOps[T any] struct {
-	zero func() T
-	add  func(a, b T) T
-	cmp  func(a, b T) int
+	zero     func() T
+	add      func(a, b T) T
+	cmp      func(a, b T) int
+	newSlice func(cx *exec.Ctx, n int) []T
+	putSlice func(cx *exec.Ctx, s []T)
 }
 
 var int64Ops = weightOps[int64]{
@@ -45,12 +55,8 @@ var int64Ops = weightOps[int64]{
 			return 0
 		}
 	},
-}
-
-var bigOps = weightOps[*big.Int]{
-	zero: func() *big.Int { return new(big.Int) },
-	add:  func(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) },
-	cmp:  func(a, b *big.Int) int { return a.Cmp(b) },
+	newSlice: func(cx *exec.Ctx, n int) []int64 { return cx.Int64s(n) },
+	putSlice: func(cx *exec.Ctx, s []int64) { cx.PutInt64s(s) },
 }
 
 // SwitchStats reports what the optimizer applied.
@@ -78,8 +84,8 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 	// Margins of every switching path: for each s-post vertex q in a tree
 	// component (other than the sink), the sum of edge weights along
 	// q -> sink.
-	margin := make([]T, nv)
-	isCandidate := make([]bool, nv)
+	margin := ops.newSlice(cx, nv)
+	isCandidate := cx.Bools(nv)
 	cx.For(nv, func(v int) {
 		d := an.DistToSink[v]
 		if d <= 0 || !sw.IsSPostVertex(v) {
@@ -138,7 +144,7 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 
 	// Mark the switched vertex set: positive cycles entirely; for chosen
 	// paths, v is on path(q -> sink) iff jump(q, dist q − dist v) = v.
-	on := make([]bool, nv)
+	on := cx.Bools(nv)
 	cx.For(nv, func(v int) {
 		c := an.Comp[v]
 		if an.OnCycle[v] {
@@ -157,12 +163,19 @@ func optimizeSwitches[T any](sw *Switching, edgeW []T, ops weightOps[T], opt Opt
 	})
 	cx.Round(nv)
 	sw.applySwitchVertices(on, opt)
+	cx.PutBools(on)
+	cx.PutBools(isCandidate)
+	ops.putSlice(cx, margin)
+	for _, level := range sums {
+		ops.putSlice(cx, level)
+	}
 	return stats
 }
 
 // buildWeightedLift builds binary-lifting jump tables with per-level weight
 // sums for arbitrary weight types (the int64 case is
-// pseudoforest.BuildWeightedLift; this generic twin serves big.Int).
+// pseudoforest.BuildWeightedLift; this generic twin serves big.Int). Level
+// slices come from ops.newSlice; the caller releases them.
 func buildWeightedLift[T any](cx *exec.Ctx, g *pseudoforest.Graph, w []T, ops weightOps[T]) (*par.Lifting, [][]T) {
 	n := g.N()
 	abs := make([]int32, n)
@@ -175,7 +188,7 @@ func buildWeightedLift[T any](cx *exec.Ctx, g *pseudoforest.Graph, w []T, ops we
 	}
 	lift := par.BuildLifting(cx, abs)
 	sums := make([][]T, lift.K)
-	level0 := make([]T, n)
+	level0 := ops.newSlice(cx, n)
 	cx.For(n, func(v int) {
 		if g.Succ[v] >= 0 {
 			level0[v] = w[v]
@@ -188,7 +201,7 @@ func buildWeightedLift[T any](cx *exec.Ctx, g *pseudoforest.Graph, w []T, ops we
 	for k := 1; k < lift.K; k++ {
 		prev := sums[k-1]
 		up := lift.Up[k-1]
-		cur := make([]T, n)
+		cur := ops.newSlice(cx, n)
 		cx.For(n, func(v int) { cur[v] = ops.add(prev[v], prev[up[v]]) })
 		cx.Round(n)
 		sums[k] = cur
@@ -209,15 +222,16 @@ func pathSum[T any](lift *par.Lifting, sums [][]T, ops weightOps[T], v, steps in
 }
 
 // edgeWeights computes, for every switching-graph vertex with an out-edge,
-// the margin contribution of switching its applicant.
-func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T, zero func() T, opt Options) []T {
+// the margin contribution of switching its applicant. The returned slice
+// comes from ops.newSlice; the caller releases it.
+func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T, ops weightOps[T], opt Options) []T {
 	cx := opt.exec()
 	nv := len(sw.Posts)
-	out := make([]T, nv)
+	out := ops.newSlice(cx, nv)
 	cx.For(nv, func(v int) {
 		a := sw.EdgeApplicant[v]
 		if a < 0 {
-			out[v] = zero()
+			out[v] = ops.zero()
 			return
 		}
 		out[v] = sub(w(a, sw.OM(a)), w(a, sw.M.PostOf[a]))
@@ -226,104 +240,47 @@ func edgeWeights[T any](sw *Switching, w func(a, p int32) T, sub func(x, y T) T,
 	return out
 }
 
+// resultOf projects an engine Outcome onto the historical Result shape.
+func resultOf(out Outcome) Result {
+	return Result{Matching: out.Matching, Exists: out.Exists, Peel: out.Peel, Promotions: out.Promotions}
+}
+
 // Optimize finds a popular matching maximizing (or minimizing) the total
 // weight Σ w(a, M(a)) over all popular matchings, per §IV-E. It returns
 // Exists=false when the instance has no popular matching.
 func Optimize(ins *onesided.Instance, w WeightFn, maximize bool, opt Options) (res Result, st SwitchStats, err error) {
 	defer exec.CatchCancel(&err)
-	r, err := BuildReduced(ins, opt)
-	if err != nil {
-		return Result{}, SwitchStats{}, err
-	}
-	defer r.release(opt.exec())
-	res, err = popularFromReduced(r, opt)
-	if err != nil || !res.Exists {
-		return res, SwitchStats{}, err
-	}
-	sw, err := BuildSwitching(r, res.Matching, opt)
-	if err != nil {
-		return Result{}, SwitchStats{}, err
-	}
-	sign := int64(1)
-	if !maximize {
-		sign = -1
-	}
-	ew := edgeWeights(sw, func(a, p int32) int64 { return sign * w(a, p) },
-		func(x, y int64) int64 { return x - y }, func() int64 { return 0 }, opt)
-	stats := optimizeSwitches(sw, ew, int64Ops, opt)
-	return res, stats, nil
+	cx := opt.exec()
+	out, err := engineFor(cx).optimize(cx, ins, w, maximize, nil)
+	return resultOf(out), out.Switch, err
 }
 
 // MaxCardinality is Algorithm 3: a largest popular matching, obtained as the
 // special case of maximum-weight popular matching with weight 0 for
 // last-resort pairs and 1 otherwise (§IV-E).
 func MaxCardinality(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
-	return Optimize(ins, func(a, p int32) int64 {
-		if ins.IsLastResort(p) {
-			return 0
-		}
-		return 1
-	}, true, opt)
-}
-
-// bigOptimize runs the switch optimizer with big.Int weights.
-func bigOptimize(ins *onesided.Instance, w func(a, p int32) *big.Int, maximize bool, opt Options) (res Result, st SwitchStats, err error) {
-	defer exec.CatchCancel(&err)
-	r, err := BuildReduced(ins, opt)
-	if err != nil {
-		return Result{}, SwitchStats{}, err
-	}
-	defer r.release(opt.exec())
-	res, err = popularFromReduced(r, opt)
-	if err != nil || !res.Exists {
-		return res, SwitchStats{}, err
-	}
-	sw, err := BuildSwitching(r, res.Matching, opt)
-	if err != nil {
-		return Result{}, SwitchStats{}, err
-	}
-	wrap := w
-	if !maximize {
-		wrap = func(a, p int32) *big.Int { return new(big.Int).Neg(w(a, p)) }
-	}
-	ew := edgeWeights(sw, wrap,
-		func(x, y *big.Int) *big.Int { return new(big.Int).Sub(x, y) },
-		func() *big.Int { return new(big.Int) }, opt)
-	stats := optimizeSwitches(sw, ew, bigOps, opt)
-	return res, stats, nil
+	return Optimize(ins, cardinalityWeights(ins), true, opt)
 }
 
 // RankMaximal finds a rank-maximal popular matching: profile maximal under
 // ≻_R. Per §IV-E it is the maximum-weight popular matching with
 // w(a, p@rank k) = B^(n2−k+1) (0 for last resorts), B = n1+1 chosen so
 // positional sums never carry (the paper uses n1; any base > n1 works).
-func RankMaximal(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
-	base := big.NewInt(int64(ins.NumApplicants) + 1)
-	n2 := ins.NumPosts
-	pow := powerTable(base, n2+2)
-	return bigOptimize(ins, func(a, p int32) *big.Int {
-		if ins.IsLastResort(p) {
-			return new(big.Int)
-		}
-		k, _ := ins.RankOf(int(a), p)
-		return pow[n2-int(k)+1]
-	}, true, opt)
+func RankMaximal(ins *onesided.Instance, opt Options) (res Result, st SwitchStats, err error) {
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
+	out, err := engineFor(cx).rankMaximal(cx, ins, nil)
+	return resultOf(out), out.Switch, err
 }
 
 // Fair finds a fair popular matching: profile minimal under ≺_F. Per §IV-E
 // it is the minimum-weight popular matching with w(a, p@rank k) = B^k, where
 // a last-resort match counts at rank n2+1.
-func Fair(ins *onesided.Instance, opt Options) (Result, SwitchStats, error) {
-	base := big.NewInt(int64(ins.NumApplicants) + 1)
-	n2 := ins.NumPosts
-	pow := powerTable(base, n2+2)
-	return bigOptimize(ins, func(a, p int32) *big.Int {
-		if ins.IsLastResort(p) {
-			return pow[n2+1]
-		}
-		k, _ := ins.RankOf(int(a), p)
-		return pow[k]
-	}, false, opt)
+func Fair(ins *onesided.Instance, opt Options) (res Result, st SwitchStats, err error) {
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
+	out, err := engineFor(cx).fair(cx, ins, nil)
+	return resultOf(out), out.Switch, err
 }
 
 func powerTable(base *big.Int, n int) []*big.Int {

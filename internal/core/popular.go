@@ -46,13 +46,9 @@ func Popular(ins *onesided.Instance, opt Options) (Result, error) {
 // Exists=false or error its contents are unspecified.
 func PopularInto(ins *onesided.Instance, m *onesided.Matching, opt Options) (res Result, err error) {
 	defer exec.CatchCancel(&err)
-	r, err := BuildReduced(ins, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err = popularFromReducedInto(r, m, opt)
-	r.release(opt.exec())
-	return res, err
+	cx := opt.exec()
+	out, err := engineFor(cx).popularStrict(cx, ins, m)
+	return resultOf(out), err
 }
 
 func popularFromReduced(r *Reduced, opt Options) (Result, error) {

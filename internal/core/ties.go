@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/exec"
-	"repro/internal/hungarian"
 	"repro/internal/onesided"
 )
 
@@ -28,6 +27,9 @@ import (
 // set E′ = {(a,p): p ∈ f(a) ∪ s(a)}: among applicant-complete matchings in
 // E′ (all of size n1), maximize |M ∩ E1|. A popular matching exists iff the
 // optimum reaches |maximum matching of G1|.
+//
+// The implementation lives in tieskernel.go as an arena-resident kernel on
+// the unified Engine; this entry point is kept as a thin wrapper.
 
 // TiesResult reports a ties computation.
 type TiesResult struct {
@@ -40,114 +42,21 @@ type TiesResult struct {
 // SolveTies finds a popular matching of an instance whose lists may contain
 // ties, or reports that none exists. maximizeCardinality additionally makes
 // the result a maximum-cardinality popular matching (fewest last resorts).
+// Capacities on ins are ignored (callers route capacitated instances through
+// SolveCapacitated / the engine's clone reduction).
+func (e *Engine) SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (res TiesResult, err error) {
+	defer exec.CatchCancel(&err)
+	out, err := e.solveTies(opt.exec(), ins, maximizeCardinality, nil)
+	return TiesResult{Matching: out.Matching, Exists: out.Exists, Rank1Size: out.Rank1Size, MaxRank1: out.MaxRank1}, err
+}
+
+// SolveTies is the package-level form of Engine.SolveTies, running on the
+// session engine of opt's execution context.
 func SolveTies(ins *onesided.Instance, maximizeCardinality bool, opt Options) (res TiesResult, err error) {
 	defer exec.CatchCancel(&err)
 	cx := opt.exec()
-	c := ins.CSR()
-	n1 := ins.NumApplicants
-	total := ins.TotalPosts()
-	if n1 == 0 {
-		return TiesResult{Matching: onesided.NewMatching(ins), Exists: true}, nil
-	}
-
-	// G1: rank-one edges over real posts, read off the flat CSR rows (the
-	// rank-1 prefix of each row, since ranks are nondecreasing).
-	g1 := bipartite.New(n1, ins.NumPosts)
-	for a := 0; a < n1; a++ {
-		for i := c.Off[a]; i < c.Off[a+1] && c.Rank[i] == 1; i++ {
-			g1.AddEdge(int32(a), c.Post[i])
-		}
-	}
-	matchL, matchR, m1 := bipartite.HopcroftKarpCtx(cx, g1)
-	_, rightLabel := bipartite.EOU(g1, matchL, matchR)
-
-	// Even posts over all ids; last resorts are isolated in G1, hence even.
-	evenPost := make([]bool, total)
-	for p := 0; p < ins.NumPosts; p++ {
-		evenPost[p] = rightLabel[p] == bipartite.Even
-	}
-	for p := ins.NumPosts; p < total; p++ {
-		evenPost[p] = true
-	}
-
-	// E′ = f-edges ∪ s-edges, as a weight table for the lexicographic
-	// assignment: rank-one edges weigh W+1 (they advance |M ∩ E1|), other
-	// E′ edges weigh 1 when they avoid a last resort and maximizing
-	// cardinality is requested.
-	const forb = hungarian.Forbidden
-	w := make([][]int64, n1)
-	W := int64(n1) + 1
-	for a := 0; a < n1; a++ {
-		row := make([]int64, total)
-		for j := range row {
-			row[j] = forb
-		}
-		sEdge := func(p int32) int64 {
-			if maximizeCardinality && !ins.IsLastResort(p) {
-				return 1
-			}
-			return 0
-		}
-		lo, hi := c.Off[a], c.Off[a+1]
-		// f(a): the whole first tie class (the rank-1 prefix of the row).
-		for i := lo; i < hi && c.Rank[i] == 1; i++ {
-			row[c.Post[i]] = W + sEdge(c.Post[i])
-		}
-		// s(a): the most-preferred even posts (the last resort competes at
-		// rank worst+1).
-		lrRank := c.LastResortRank(a)
-		bestRank := lrRank
-		for i := lo; i < hi; i++ {
-			if evenPost[c.Post[i]] && c.Rank[i] < bestRank {
-				bestRank = c.Rank[i]
-			}
-		}
-		if bestRank == lrRank {
-			lr := ins.LastResort(a)
-			if row[lr] == forb {
-				row[lr] = sEdge(lr)
-			}
-		} else {
-			for i := lo; i < hi; i++ {
-				if p := c.Post[i]; evenPost[p] && c.Rank[i] == bestRank && row[p] == forb {
-					row[p] = sEdge(p)
-				}
-			}
-		}
-		w[a] = row
-	}
-
-	// The Hungarian assignment dominates the ties path (O(n³)); checking the
-	// context every few thousand weight lookups keeps it cancellable without
-	// measurable overhead.
-	var probes int
-	rowTo, totalW, ok := hungarian.MaxAssign(n1, total, func(i, j int) int64 {
-		probes++
-		if probes&0xfff == 0 {
-			cx.Check()
-		}
-		return w[i][j]
-	})
-	if !ok {
-		// No applicant-complete matching within E′.
-		return TiesResult{Exists: false, MaxRank1: m1}, nil
-	}
-	_ = totalW // |M ∩ E1| is recomputed exactly below
-	m := onesided.NewMatching(ins)
-	got1 := 0
-	for a := 0; a < n1; a++ {
-		p := int32(rowTo[a])
-		m.Match(int32(a), p)
-		if !ins.IsLastResort(p) {
-			if r, onList := ins.RankOf(a, p); onList && r == 1 {
-				got1++
-			}
-		}
-	}
-	if got1 != m1 {
-		return TiesResult{Exists: false, Rank1Size: got1, MaxRank1: m1}, nil
-	}
-	return TiesResult{Matching: m, Exists: true, Rank1Size: got1, MaxRank1: m1}, nil
+	out, err := engineFor(cx).solveTies(cx, ins, maximizeCardinality, nil)
+	return TiesResult{Matching: out.Matching, Exists: out.Exists, Rank1Size: out.Rank1Size, MaxRank1: out.MaxRank1}, err
 }
 
 // MaxMatchingViaPopular is Theorem 11's reduction: it computes a

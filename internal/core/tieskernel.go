@@ -1,0 +1,168 @@
+package core
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/exec"
+	"repro/internal/hungarian"
+	"repro/internal/onesided"
+)
+
+// The §V ties path as an arena-resident kernel, mirroring the memory
+// discipline of the strict kernel (kernel.go): every buffer the solve needs —
+// the rank-one graph G1 and its Hopcroft–Karp/EOU scratch, the flat
+// lexicographic weight table, and the Hungarian working arrays — lives on
+// the engine and is recycled across solves, so a reused solver's ties (and
+// hence capacitated) solves stop rebuilding a bipartite.Graph and
+// re-make-ing the O(n·total) weight rows on every call. The computation is
+// exactly the one documented on SolveTies; only the memory discipline
+// changes, and the results are bit-identical.
+type tiesKernel struct {
+	gb   bipartite.Builder
+	bs   bipartite.Scratch
+	hung hungarian.Scratch
+
+	evenPost []bool
+	w        []int64 // flat n1 × total weight table
+
+	// Per-solve bindings of the prebound Hungarian weight probe.
+	cx     *exec.Ctx
+	total  int
+	probes int
+
+	fnWeight func(i, j int) int64
+}
+
+// init binds the Hungarian weight probe once; it captures only the kernel
+// pointer, so repeat solves allocate no closures. The probe checks the
+// context every few thousand lookups — the Hungarian assignment dominates
+// the ties path (O(n³)), and this keeps it cancellable without measurable
+// overhead.
+func (tk *tiesKernel) init() {
+	tk.fnWeight = func(i, j int) int64 {
+		tk.probes++
+		if tk.probes&0xfff == 0 {
+			tk.cx.Check()
+		}
+		return tk.w[i*tk.total+j]
+	}
+}
+
+// solveTies finds a popular matching of an instance whose lists may contain
+// ties, per the AIKM characterization (see the package comment on
+// SolveTies). into, when non-nil, is Reset and reused as the result
+// matching. Capacities on ins are ignored (the capacitated route expands
+// first); the engine's dispatch handles that routing.
+func (e *Engine) solveTies(cx *exec.Ctx, ins *onesided.Instance, maximizeCardinality bool, into *onesided.Matching) (Outcome, error) {
+	tk := &e.ties
+	c := ins.CSR()
+	n1 := ins.NumApplicants
+	total := ins.TotalPosts()
+	if n1 == 0 {
+		m := into
+		if m == nil {
+			m = onesided.NewMatching(ins)
+		} else {
+			m.Reset(ins)
+		}
+		return Outcome{Matching: m, Exists: true}, nil
+	}
+
+	// G1: rank-one edges over real posts, read off the flat CSR rows (the
+	// rank-1 prefix of each row, since ranks are nondecreasing), built into
+	// the kernel's pooled flat adjacency.
+	tk.gb.Reset(n1, ins.NumPosts)
+	for a := 0; a < n1; a++ {
+		tk.gb.StartRow()
+		for i := c.Off[a]; i < c.Off[a+1] && c.Rank[i] == 1; i++ {
+			tk.gb.Add(c.Post[i])
+		}
+	}
+	g1 := tk.gb.Graph()
+	matchL, matchR, m1 := tk.bs.HopcroftKarpScratch(cx, g1)
+	_, rightLabel := tk.bs.EOUScratch(g1, matchL, matchR)
+
+	// Even posts over all ids; last resorts are isolated in G1, hence even.
+	evenPost := exec.Grow(&tk.evenPost, total)
+	for p := 0; p < ins.NumPosts; p++ {
+		evenPost[p] = rightLabel[p] == bipartite.Even
+	}
+	for p := ins.NumPosts; p < total; p++ {
+		evenPost[p] = true
+	}
+
+	// E′ = f-edges ∪ s-edges, as a flat weight table for the lexicographic
+	// assignment: rank-one edges weigh W+1 (they advance |M ∩ E1|), other
+	// E′ edges weigh 1 when they avoid a last resort and maximizing
+	// cardinality is requested.
+	const forb = hungarian.Forbidden
+	tk.w = exec.Grow(&tk.w, n1*total)
+	W := int64(n1) + 1
+	for a := 0; a < n1; a++ {
+		row := tk.w[a*total : (a+1)*total]
+		for j := range row {
+			row[j] = forb
+		}
+		sEdge := func(p int32) int64 {
+			if maximizeCardinality && !ins.IsLastResort(p) {
+				return 1
+			}
+			return 0
+		}
+		lo, hi := c.Off[a], c.Off[a+1]
+		// f(a): the whole first tie class (the rank-1 prefix of the row).
+		for i := lo; i < hi && c.Rank[i] == 1; i++ {
+			row[c.Post[i]] = W + sEdge(c.Post[i])
+		}
+		// s(a): the most-preferred even posts (the last resort competes at
+		// rank worst+1).
+		lrRank := c.LastResortRank(a)
+		bestRank := lrRank
+		for i := lo; i < hi; i++ {
+			if evenPost[c.Post[i]] && c.Rank[i] < bestRank {
+				bestRank = c.Rank[i]
+			}
+		}
+		if bestRank == lrRank {
+			lr := ins.LastResort(a)
+			if row[lr] == forb {
+				row[lr] = sEdge(lr)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if p := c.Post[i]; evenPost[p] && c.Rank[i] == bestRank && row[p] == forb {
+					row[p] = sEdge(p)
+				}
+			}
+		}
+	}
+
+	tk.cx, tk.total, tk.probes = cx, total, 0
+	// Deferred so a cancellation panic out of the Hungarian sweep cannot
+	// leave the pooled engine pinning the dead request's context.
+	defer func() { tk.cx = nil }()
+	rowTo, _, ok := tk.hung.MaxAssign(n1, total, tk.fnWeight)
+	if !ok {
+		// No applicant-complete matching within E′.
+		return Outcome{Exists: false, MaxRank1: m1}, nil
+	}
+	m := into
+	if m == nil {
+		m = onesided.NewMatching(ins)
+	} else {
+		m.Reset(ins)
+	}
+	got1 := 0
+	for a := 0; a < n1; a++ {
+		p := int32(rowTo[a])
+		m.Match(int32(a), p)
+		if !ins.IsLastResort(p) {
+			if r, onList := ins.RankOf(a, p); onList && r == 1 {
+				got1++
+			}
+		}
+	}
+	if got1 != m1 {
+		return Outcome{Exists: false, Rank1Size: got1, MaxRank1: m1}, nil
+	}
+	return Outcome{Matching: m, Exists: true, Rank1Size: got1, MaxRank1: m1}, nil
+}

@@ -16,11 +16,12 @@ type atomicInt32 = atomic.Int32
 // An Arena is NOT safe for concurrent use; each in-flight solve needs its
 // own (popmatch.Solver maintains a sync.Pool of them).
 type Arena struct {
-	// Aux carries a solver-layer kernel object that lives alongside the
-	// arena: core's strict-path kernel caches its prebound loop closures
-	// here so a recycled arena brings its kernel (and hence a
-	// zero-allocation steady state) with it. Owned by whichever layer
-	// installed it; other code must leave it alone.
+	// Aux carries a solver-layer engine object that lives alongside the
+	// arena: core's unified solve engine caches its kernels (prebound loop
+	// closures, pooled ties scratch, big.Int pools) here so a recycled
+	// arena brings its engine — and hence a zero-allocation steady state in
+	// every mode — with it. Owned by whichever layer installed it; other
+	// code must leave it alone.
 	Aux any
 
 	ints    bucket[int]
@@ -44,6 +45,18 @@ func (a *Arena) Reset() {
 	a.bools.free = nil
 	a.uint32s.free = nil
 	a.atomics.free = nil
+}
+
+// Grow resizes a recycled slice to length n, reallocating only when the
+// capacity is insufficient; contents are unspecified (callers reset what
+// they read). It is the scratch-reuse primitive for kernel-owned buffers
+// that live outside an Arena's typed buckets.
+func Grow[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // bucket is a per-type free list. Lookup is a linear scan over the free

@@ -105,6 +105,41 @@ func (ins *Instance) Expand() (unit *Instance, cloneOf, firstClone []int32, err 
 	return unit, cloneOf, firstClone, nil
 }
 
+// Expansion is a cached clone reduction: the expanded unit instance plus the
+// id maps relating it to the original. Like the CSR form it is derived once
+// per Instance and shared by every subsequent capacitated solve, so repeat
+// solves of a registered instance skip the reduction entirely. It is
+// immutable; see the Instance immutability contract.
+type Expansion struct {
+	// Unit is the equivalent unit-capacity instance (its CSR form is
+	// prebuilt, so concurrent solves share the flat arrays).
+	Unit *Instance
+	// CloneOf maps each clone post id of Unit to its original post.
+	CloneOf []int32
+	// FirstClone[p] is the first clone id of original post p (FirstClone has
+	// NumPosts+1 entries, so p's clones are FirstClone[p]:FirstClone[p+1]).
+	FirstClone []int32
+}
+
+// Expanded returns the clone reduction of the instance, building and caching
+// it on first use (see Expand for the construction). Concurrent builders
+// race benignly — both derive identical expansions and either may win.
+func (ins *Instance) Expanded() (*Expansion, error) {
+	if e := ins.expCache.Load(); e != nil {
+		ins.checkFingerprint()
+		return e, nil
+	}
+	unit, cloneOf, firstClone, err := ins.Expand()
+	if err != nil {
+		return nil, err
+	}
+	unit.CSR() // prebuild so every solve shares the flat form
+	e := &Expansion{Unit: unit, CloneOf: cloneOf, FirstClone: firstClone}
+	ins.recordFingerprint()
+	ins.expCache.Store(e)
+	return e, nil
+}
+
 // Assignment is a many-to-one matching of a capacitated instance: PostOf[a]
 // is the original post held by applicant a (possibly a's last resort
 // NumPosts+a, or -1 when unmatched) — the same per-applicant view as

@@ -50,6 +50,7 @@ type Instance struct {
 	rankCache atomic.Pointer[[]map[int32]int32]
 	csrCache  atomic.Pointer[CSR]
 	fpCache   atomic.Pointer[string]
+	expCache  atomic.Pointer[Expansion]
 }
 
 // NewStrict builds a strictly-ordered instance: lists[a][i] has rank i+1.
@@ -183,6 +184,7 @@ func (ins *Instance) Invalidate() {
 	ins.rankCache.Store(nil)
 	ins.csrCache.Store(nil)
 	ins.fpCache.Store(nil)
+	ins.expCache.Store(nil)
 	ins.clearFingerprint()
 }
 

@@ -278,25 +278,16 @@ func (b *batcher) runSolveBatch(gs []*group) {
 	}
 }
 
-// runGroup solves one group through its mode's solver entry point.
+// runGroup solves one group through the unified engine: every mode of the
+// shared enum is one Request, so adding a mode to the engine needs no change
+// here. The weighted modes run the built-in cardinality weights (a solve
+// request carries no weight function over the wire), and an invalid mode
+// surfaces the engine's rejection as a solve error.
 func (b *batcher) runGroup(g *group) {
 	ctx, cancel := b.joinGroupCtx([]*group{g})
 	defer cancel()
 	b.stats.Solves.Add(1)
-	var res popmatch.Result
-	var err error
-	switch g.mode {
-	case ModePopular:
-		res, err = b.solver.Solve(ctx, g.snap.Ins)
-	case ModeMaxCard:
-		res, err = b.solver.MaxCardinality(ctx, g.snap.Ins)
-	case ModeTies:
-		res, err = b.solver.SolveTies(ctx, g.snap.Ins, false)
-	case ModeTiesMax:
-		res, err = b.solver.SolveTies(ctx, g.snap.Ins, true)
-	default:
-		err = &modeError{mode: g.mode}
-	}
+	res, err := b.solver.SolveRequest(ctx, g.snap.Ins, popmatch.Request{Mode: g.mode})
 	if err != nil {
 		b.stats.SolveErrors.Add(1)
 		g.deliver(nil, err)
@@ -311,7 +302,3 @@ func (g *group) deliver(out *Outcome, err error) {
 		job.done <- jobResult{out: out, err: err}
 	}
 }
-
-type modeError struct{ mode Mode }
-
-func (e *modeError) Error() string { return "serve: unknown mode " + string(e.mode) }

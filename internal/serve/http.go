@@ -28,6 +28,22 @@ import (
 // applicant's virtual last resort (id = posts + applicant), and -1 means
 // unmatched; solve responses use the same convention, so a solution can be
 // fed back to /v1/verify unchanged.
+//
+// Solve modes (the shared engine enum; unknown names are a 400):
+//
+//	popular      any popular matching (strict lists; capacitated instances
+//	             route through the clone reduction)
+//	maxcard      maximum-cardinality popular matching
+//	ties         §V ties solver (valid for strict instances too)
+//	tiesmax      ties solver maximizing cardinality
+//	maxweight    maximum-weight popular matching under the built-in
+//	             cardinality weights (strict unit instances only)
+//	minweight    minimizing twin of maxweight
+//	rankmaximal  rank-maximal popular matching ("rankmax" accepted)
+//	fair         fair popular matching
+//
+// Mode/instance mismatches (popular on tied lists, weighted modes on
+// capacitated instances) are the request's fault: 422.
 
 // instanceInfo is the wire form of a Snapshot.
 type instanceInfo struct {
@@ -151,7 +167,7 @@ func NewHandler(s *Server) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, solveResponse{
 			Instance:   req.Instance,
-			Mode:       string(mode),
+			Mode:       mode.String(),
 			Cached:     cached,
 			Exists:     out.Exists,
 			Size:       out.Size,

@@ -73,7 +73,7 @@ func (h *httpClient) upload(ins *onesided.Instance) instanceInfo {
 
 func (h *httpClient) solve(id string, mode Mode) (solveResponse, int) {
 	h.t.Helper()
-	body, _ := json.Marshal(solveRequest{Instance: id, Mode: string(mode)})
+	body, _ := json.Marshal(solveRequest{Instance: id, Mode: mode.String()})
 	var out solveResponse
 	st := h.do("POST", "/v1/solve", "application/json", body, &out)
 	return out, st
@@ -268,5 +268,58 @@ func TestHTTPLastResortWireConvention(t *testing.T) {
 	var verdict verifyResponse
 	if st := h.do("POST", "/v1/verify", "application/json", vbody, &verdict); st != http.StatusOK || !verdict.Popular {
 		t.Fatalf("round-tripped solution did not verify: %d %+v", st, verdict)
+	}
+}
+
+// TestHTTPUnifiedModeSet drives the extended mode table over HTTP: every
+// mode of the shared engine enum is servable by name, the weighted modes run
+// the built-in cardinality weights without a weight upload, and the
+// response echoes the canonical mode name. Unknown modes stay a clear 400
+// and weighted modes on capacitated instances a 422.
+func TestHTTPUnifiedModeSet(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1})
+	rng := rand.New(rand.NewSource(12))
+	strict := h.upload(onesided.Solvable(rng, 30, 8, 4))
+	capIns := h.upload(onesided.RandomCapacitated(rng, 20, 8, 2, 4, 3))
+
+	for _, mode := range []Mode{ModeRankMaximal, ModeFair, ModeMaxWeight, ModeMinWeight} {
+		out, st := h.solve(strict.ID, mode)
+		if st != http.StatusOK {
+			t.Fatalf("solve %s: status %d", mode, st)
+		}
+		if out.Mode != mode.String() {
+			t.Fatalf("response mode %q, want %q", out.Mode, mode.String())
+		}
+		if !out.Exists {
+			t.Fatalf("mode %s: solvable instance reported unsolvable", mode)
+		}
+		// Every optimal variant is popular; verify through the margin oracle.
+		vbody, _ := json.Marshal(verifyRequest{Instance: strict.ID, PostOf: out.PostOf})
+		var verdict verifyResponse
+		if st := h.do("POST", "/v1/verify", "application/json", vbody, &verdict); st != http.StatusOK || !verdict.Popular {
+			t.Fatalf("mode %s solution did not verify: %d %+v", mode, st, verdict)
+		}
+	}
+
+	// The historical CLI alias parses too.
+	body, _ := json.Marshal(solveRequest{Instance: strict.ID, Mode: "rankmax"})
+	var out solveResponse
+	if st := h.do("POST", "/v1/solve", "application/json", body, &out); st != http.StatusOK || out.Mode != "rankmaximal" {
+		t.Fatalf("rankmax alias: %d %+v", st, out)
+	}
+
+	// Unknown mode: a clear 400 naming the valid set.
+	var e errorResponse
+	body, _ = json.Marshal(solveRequest{Instance: strict.ID, Mode: "optimal"})
+	if st := h.do("POST", "/v1/solve", "application/json", body, &e); st != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", st)
+	}
+	if !strings.Contains(e.Error, "unknown mode") || !strings.Contains(e.Error, "rankmaximal") {
+		t.Fatalf("unknown-mode error unhelpful: %q", e.Error)
+	}
+
+	// Weighted modes have no capacitated route: the request's fault, 422.
+	if _, st := h.solve(capIns.ID, ModeMaxWeight); st != http.StatusUnprocessableEntity {
+		t.Fatalf("maxweight on capacitated instance: %d, want 422", st)
 	}
 }

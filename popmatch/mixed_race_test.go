@@ -1,0 +1,101 @@
+package popmatch
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSolverConcurrentMixedModeSolveInto hammers ONE shared Solver with
+// concurrent SolveRequestInto calls across the full mode matrix — strict,
+// tied and capacitated instances, every applicable mode, each goroutine
+// recycling its own result — and asserts every outcome matches the
+// reference answer computed up front. Under -race this is the isolation
+// proof for the unified engine: sessions (and hence engines, arenas and
+// kernels) must never be shared between in-flight solves.
+func TestSolverConcurrentMixedModeSolveInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	type workload struct {
+		ins   *Instance
+		modes []Mode
+	}
+	workloads := []workload{
+		{Solvable(rng, 60, 10, 4), []Mode{ModePopular, ModeMaxCard, ModeTies, ModeTiesMax, ModeMaxWeight, ModeMinWeight, ModeRankMaximal, ModeFair}},
+		{RandomTies(rng, 40, 30, 2, 4, 0.3), []Mode{ModeTies, ModeTiesMax}},
+		{RandomCapacitated(rng, 40, 20, 2, 4, 3), []Mode{ModePopular, ModeMaxCard, ModeTies, ModeTiesMax}},
+	}
+
+	s := NewSolver(Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	// Reference answers from the same solver before the contention starts
+	// (Solver results are deterministic for a given instance and mode).
+	type key struct {
+		w int
+		m Mode
+	}
+	want := map[key]Result{}
+	for wi, wl := range workloads {
+		for _, mode := range wl.modes {
+			res, err := s.SolveRequest(ctx, wl.ins, Request{Mode: mode})
+			if err != nil {
+				t.Fatalf("reference solve %d/%s: %v", wi, mode, err)
+			}
+			want[key{wi, mode}] = res
+		}
+	}
+	samePostOf := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var res Result // recycled across every mode and instance shape
+			for i := 0; i < iters; i++ {
+				wl := workloads[(g+i)%len(workloads)]
+				mode := wl.modes[(g*7+i)%len(wl.modes)]
+				if err := s.SolveRequestInto(ctx, wl.ins, Request{Mode: mode}, &res); err != nil {
+					t.Errorf("goroutine %d iter %d (%s): %v", g, i, mode, err)
+					return
+				}
+				ref := want[key{(g + i) % len(workloads), mode}]
+				if res.Exists != ref.Exists || res.Size != ref.Size {
+					t.Errorf("goroutine %d iter %d (%s): exists=%v size=%d, want exists=%v size=%d",
+						g, i, mode, res.Exists, res.Size, ref.Exists, ref.Size)
+					return
+				}
+				if !res.Exists {
+					continue
+				}
+				switch {
+				case ref.Assignment != nil:
+					if res.Assignment == nil || !samePostOf(res.Assignment.PostOf, ref.Assignment.PostOf) {
+						t.Errorf("goroutine %d iter %d (%s): capacitated result drifted", g, i, mode)
+						return
+					}
+				default:
+					if res.Matching == nil || !samePostOf(res.Matching.PostOf, ref.Matching.PostOf) {
+						t.Errorf("goroutine %d iter %d (%s): matching drifted", g, i, mode)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

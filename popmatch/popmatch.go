@@ -93,6 +93,39 @@ var (
 	PaperInstance = onesided.PaperFigure1
 )
 
+// Mode selects a solve surface of the unified engine — the same enum at
+// every layer (core, this package, the serve request layer, the CLIs). See
+// Solver.SolveRequest.
+type Mode = core.Mode
+
+// The mode constants, re-exported from the core engine.
+const (
+	ModePopular     = core.ModePopular
+	ModeMaxCard     = core.ModeMaxCard
+	ModeTies        = core.ModeTies
+	ModeTiesMax     = core.ModeTiesMax
+	ModeMaxWeight   = core.ModeMaxWeight
+	ModeMinWeight   = core.ModeMinWeight
+	ModeRankMaximal = core.ModeRankMaximal
+	ModeFair        = core.ModeFair
+)
+
+// Modes lists every valid mode; ParseMode maps a wire-format mode string
+// (e.g. "maxcard") to its Mode, and ModeNames is the canonical help string.
+var (
+	Modes     = core.Modes
+	ParseMode = core.ParseMode
+	ModeNames = core.ModeNames
+)
+
+// Request describes one solve for SolveRequest: the mode plus the optional
+// weight function of the weighted modes (nil selects the built-in
+// cardinality weights — 1 per real post, 0 per last resort).
+type Request struct {
+	Mode    Mode
+	Weights WeightFn
+}
+
 // Options configures a solver call or a Solver handle.
 type Options struct {
 	// Workers sets the goroutine pool size; 0 shares the process-wide
@@ -140,36 +173,47 @@ type Result struct {
 	// PeelRounds is the number of while-loop rounds Algorithm 2 used
 	// (Lemma 2 bounds it by ceil(log2 n)+1); -1 when not applicable.
 	PeelRounds int
+
+	// cloneMatching retains the cloned-instance matching of a capacitated
+	// result (which the public surface exposes only as Assignment), so
+	// SolveRequestInto can recycle its buffers on the next solve.
+	cloneMatching *Matching
 }
 
-func wrap(ins *Instance, res core.Result) Result {
-	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Peel.Valid {
-		out.PeelRounds = res.Peel.Rounds
+// wrapOutcome projects a core engine Outcome onto the public Result shape:
+// unit results expose the Matching, capacitated ones the Assignment (plus
+// the Matching when an explicit all-ones capacity vector took the unit path
+// underneath, so that case is a strict superset of the historical API).
+func wrapOutcome(ins *Instance, out core.Outcome) Result {
+	res := Result{Exists: out.Exists, PeelRounds: -1}
+	if out.Peel.Valid {
+		res.PeelRounds = out.Peel.Rounds
 	}
-	if res.Exists {
-		out.Matching = res.Matching
-		out.Size = res.Matching.Size(ins)
+	if !out.Exists {
+		return res
 	}
-	return out
-}
-
-func wrapCap(ins *Instance, res core.CapResult) Result {
-	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Peel.Valid {
-		out.PeelRounds = res.Peel.Rounds
-	}
-	if res.Exists {
-		out.Assignment = res.Assignment
-		out.Size = res.Assignment.Size(ins)
+	if out.Assignment != nil {
+		res.Assignment = out.Assignment
+		res.Size = out.Assignment.Size(ins)
 		if ins.UnitCapacity() {
-			// The unit path ran underneath; expose its matching too, so an
-			// explicit all-ones capacity vector is a strict superset of the
-			// historical API.
-			out.Matching = res.Matching
+			res.Matching = out.Matching
+		} else {
+			res.cloneMatching = out.Matching
 		}
+		return res
 	}
-	return out
+	res.Matching = out.Matching
+	res.Size = out.Matching.Size(ins)
+	return res
+}
+
+// SolveRequest solves one Request with a throwaway Solver; services should
+// hold a Solver and call its SolveRequest instead to amortize the pool and
+// the engine's scratch.
+func SolveRequest(ins *Instance, req Request, o Options) (Result, error) {
+	return oneShot(o, func(s *Solver) (Result, error) {
+		return s.SolveRequest(context.Background(), ins, req)
+	})
 }
 
 // Solve finds a popular matching of a strictly-ordered instance, or reports

@@ -120,6 +120,49 @@ func (s *Solver) putSession(sess *session) {
 	s.mu.RUnlock()
 }
 
+// SolveRequest solves one Request — the unified entry point every other
+// solve method wraps. The mode picks the algorithm; instances constructed
+// with a capacity vector route through the clone reduction automatically
+// (reported in Result.Assignment), and the weighted modes reject capacitated
+// instances rather than mis-solving them.
+func (s *Solver) SolveRequest(ctx context.Context, ins *Instance, req Request) (Result, error) {
+	var res Result
+	if err := s.SolveRequestInto(ctx, ins, req, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// SolveRequestInto is SolveRequest with result reuse: the previous contents
+// of *res — in particular its Matching buffers — are recycled into the new
+// result where sizes permit, so a caller looping over solves of same-shaped
+// instances reaches a (near-)zero-allocation steady state in every mode:
+// the engine's kernels and their prebound loop closures persist on the
+// pooled session, scratch comes from the session arena or the engine's
+// pools, and the result matching is Reset in place. On return *res is
+// overwritten in full; any Matching it previously pointed to must no longer
+// be used by the caller. For capacitated instances the recycled matching
+// backs the cloned-instance result while the folded Assignment is freshly
+// allocated; unsolvable instances report Exists=false and drop the recycled
+// buffers.
+func (s *Solver) SolveRequestInto(ctx context.Context, ins *Instance, req Request, res *Result) error {
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return err
+	}
+	defer s.putSession(sess)
+	into := res.Matching
+	if into == nil {
+		into = res.cloneMatching // a previous capacitated result's clone matching
+	}
+	out, err := core.SolveRequest(ins, core.Request{Mode: req.Mode, Weights: req.Weights, Into: into}, opt)
+	if err != nil {
+		return err
+	}
+	*res = wrapOutcome(ins, out)
+	return nil
+}
+
 // Solve finds a popular matching of a strictly-ordered instance, or reports
 // that none exists (Algorithm 1; Theorem 3).
 //
@@ -129,85 +172,20 @@ func (s *Solver) putSession(sess *session) {
 // outcome is reported in Result.Assignment. A unit-capacity vector routes
 // to the exact uncapacitated code path.
 func (s *Solver) Solve(ctx context.Context, ins *Instance) (Result, error) {
-	if ins.Capacities != nil {
-		return s.solveCapacitated(ctx, ins, false)
-	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, err := core.Popular(ins, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModePopular})
 }
 
-// SolveInto is Solve with result reuse: the previous contents of *res —
-// in particular its Matching buffers — are recycled into the new result
-// where sizes permit, so a caller looping over solves of same-shaped strict
-// unit instances reaches a zero-allocation steady state (the kernel's loop
-// closures persist on the pooled session, scratch comes from the session
-// arena, and the result matching is Reset in place). On return *res is
-// overwritten in full; any Matching it previously pointed to must no longer
-// be used by the caller. Capacitated instances take the regular Solve path
-// (their many-to-one Assignment has no reusable form yet); unsolvable
-// instances report Exists=false and drop the recycled buffers.
+// SolveInto is Solve with result reuse; see SolveRequestInto for the
+// recycling contract.
 func (s *Solver) SolveInto(ctx context.Context, ins *Instance, res *Result) error {
-	if ins.Capacities != nil {
-		out, err := s.solveCapacitated(ctx, ins, false)
-		if err != nil {
-			return err
-		}
-		*res = out
-		return nil
-	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return err
-	}
-	defer s.putSession(sess)
-	out, err := core.PopularInto(ins, res.Matching, opt)
-	if err != nil {
-		return err
-	}
-	*res = wrap(ins, out)
-	return nil
+	return s.SolveRequestInto(ctx, ins, Request{Mode: ModePopular}, res)
 }
 
 // MaxCardinality finds a largest popular matching (Algorithm 3; Theorem 10).
 // Capacitated instances route through the clone reduction, maximizing the
 // number of applicants on real posts among popular assignments.
 func (s *Solver) MaxCardinality(ctx context.Context, ins *Instance) (Result, error) {
-	if ins.Capacities != nil {
-		return s.solveCapacitated(ctx, ins, true)
-	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, _, err := core.MaxCardinality(ins, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
-}
-
-// solveCapacitated runs the clone reduction (core.SolveCapacitated) under
-// the Solver's execution context.
-func (s *Solver) solveCapacitated(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, err := core.SolveCapacitated(ins, maximizeCardinality, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrapCap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModeMaxCard})
 }
 
 // requireUnit rejects capacitated instances on the solver surfaces that have
@@ -225,16 +203,7 @@ func (s *Solver) MaxWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MaxWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, _, err := core.Optimize(ins, w, true, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModeMaxWeight, Weights: w})
 }
 
 // MinWeight finds a minimum-weight popular matching (§IV-E).
@@ -242,16 +211,7 @@ func (s *Solver) MinWeight(ctx context.Context, ins *Instance, w WeightFn) (Resu
 	if err := requireUnit(ins, "MinWeight"); err != nil {
 		return Result{}, err
 	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, _, err := core.Optimize(ins, w, false, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModeMinWeight, Weights: w})
 }
 
 // RankMaximal finds a popular matching whose profile is lexicographically
@@ -260,16 +220,7 @@ func (s *Solver) RankMaximal(ctx context.Context, ins *Instance) (Result, error)
 	if err := requireUnit(ins, "RankMaximal"); err != nil {
 		return Result{}, err
 	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, _, err := core.RankMaximal(ins, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModeRankMaximal})
 }
 
 // Fair finds a fair popular matching (§IV-E).
@@ -277,40 +228,28 @@ func (s *Solver) Fair(ctx context.Context, ins *Instance) (Result, error) {
 	if err := requireUnit(ins, "Fair"); err != nil {
 		return Result{}, err
 	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.putSession(sess)
-	res, _, err := core.Fair(ins, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return wrap(ins, res), nil
+	return s.SolveRequest(ctx, ins, Request{Mode: ModeFair})
 }
 
 // SolveTies finds a popular matching of an instance whose lists may contain
 // ties (§V), optionally of maximum cardinality. Capacitated instances route
 // through the clone reduction (see Solve).
 func (s *Solver) SolveTies(ctx context.Context, ins *Instance, maximizeCardinality bool) (Result, error) {
-	if ins.Capacities != nil {
-		return s.solveCapacitated(ctx, ins, maximizeCardinality)
+	mode := ModeTies
+	if maximizeCardinality {
+		mode = ModeTiesMax
 	}
-	opt, sess, err := s.session(ctx)
-	if err != nil {
-		return Result{}, err
+	return s.SolveRequest(ctx, ins, Request{Mode: mode})
+}
+
+// SolveTiesInto is SolveTies with result reuse; see SolveRequestInto for
+// the recycling contract.
+func (s *Solver) SolveTiesInto(ctx context.Context, ins *Instance, maximizeCardinality bool, res *Result) error {
+	mode := ModeTies
+	if maximizeCardinality {
+		mode = ModeTiesMax
 	}
-	defer s.putSession(sess)
-	res, err := core.SolveTies(ins, maximizeCardinality, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{Exists: res.Exists, PeelRounds: -1}
-	if res.Exists {
-		out.Matching = res.Matching
-		out.Size = res.Matching.Size(ins)
-	}
-	return out, nil
+	return s.SolveRequestInto(ctx, ins, Request{Mode: mode}, res)
 }
 
 // Verify checks that m is popular (Theorem 1 characterization).
