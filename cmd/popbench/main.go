@@ -9,6 +9,7 @@
 //	popbench -json BENCH_capacitated.json -scenario capacitated [-seed N]
 //	popbench -json BENCH_ties.json -scenario ties [-n N] [-seed N]
 //	popbench -json BENCH_serve.json -scenario serve [-n N] [-seed N]
+//	popbench -json BENCH_scaling.json -scenario scaling [-n N] [-workers 1,2,4,8] [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
 // With -json it instead benchmarks a machine-readable scenario and writes a
@@ -19,7 +20,8 @@
 // CHA clone-reduction pipeline against its unit baseline; `ties` the §V
 // ties path against the strict kernel; `serve` the HTTP serving stack under
 // closed-loop load (throughput, p50/p99 latency, batching and cache
-// counters).
+// counters); `scaling` sweeps the -workers counts at fixed -n and reports
+// speedup over workers=1 plus the bit-identical-matching check.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -37,8 +40,9 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
-	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve|scaling")
 	sizeN := flag.Int("n", 0, "override the scenario's instance size (0 = scenario default; used by CI smoke runs)")
+	workersCSV := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -scenario scaling")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -54,8 +58,19 @@ func main() {
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteTiesJSON(w, seed, *sizeN) }
 		case "serve":
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteServeJSON(w, seed, *sizeN) }
+		case "scaling":
+			workers, err := parseWorkers(*workersCSV)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+				os.Exit(2)
+			}
+			n := *sizeN
+			if n == 0 {
+				n = 1_000_000
+			}
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteScalingJSON(w, seed, n, workers) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, scaling)\n", *scenario)
 			os.Exit(2)
 		}
 		if *sizeN != 0 && (*scenario == "pool" || *scenario == "capacitated") {
@@ -112,4 +127,24 @@ func main() {
 			t.Fprint(os.Stdout)
 		}
 	}
+}
+
+// parseWorkers parses the -workers CSV into positive ints.
+func parseWorkers(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("invalid -workers entry %q (want positive integers)", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
 }

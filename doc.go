@@ -60,10 +60,25 @@
 // layer stack (onesided → core.Engine → exec → popmatch → serve → cmd) and
 // when CSR vs Instance is the right type.
 //
+// The paper's PRAM rounds run on the internal/par substrate: a persistent
+// worker pool driven by a chunk-claiming round scheduler. Each
+// bulk-synchronous round publishes one cache-line-padded descriptor;
+// workers claim fixed-grain index chunks off a single atomic cursor (no
+// per-chunk channel handoff, no full-barrier recruitment), spin briefly
+// before parking, and the shared grain policy (par.Grain / par.RowGrain
+// with the par.MinGrain floor) sizes chunks to amortize the claim and
+// align bit-matrix work to whole cache lines of words. Worker count never
+// changes results: the corpus-wide differential test pins every engine
+// mode bit-identical at workers 1/2/8 under -race, and the popbench
+// scaling scenario (BENCH_scaling.json) records speedup curves together
+// with that identity check and the host's CPU count. See the README's
+// "Parallelism" section.
+//
 // The parallel substrate and algorithm internals are under internal/; see
 // README.md for the package map. The benchmarks in bench_test.go regenerate
 // the experiment tables of EXPERIMENTS.md (one benchmark family per table);
 // cmd/popbench prints the tables directly, and `popbench -json` emits the
 // machine-readable scenario benchmarks recorded in BENCH_pool.json,
-// BENCH_capacitated.json and BENCH_csr.json (the flat-core before/after).
+// BENCH_capacitated.json, BENCH_csr.json (the flat-core before/after) and
+// BENCH_scaling.json (the worker-count scaling curves).
 package repro

@@ -34,6 +34,7 @@ func CapacitatedBench(seed int64) []PoolRecord {
 	for _, n := range []int{200, 500, 1000} {
 		ins := capacitatedInstance(seed, n)
 		for _, workers := range workersSet {
+			rounds, work := traceCosts(ins, workers)
 			s := popmatch.NewSolver(popmatch.Options{Workers: workers})
 			capSolve := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -55,8 +56,8 @@ func CapacitatedBench(seed int64) []PoolRecord {
 				}
 			})
 			s.Close()
-			out = append(out, record("capacitated_solve", n, 1, workers, 0, 0, capSolve))
-			out = append(out, record("capacitated_solve_into", n, 1, workers, 0, 0, capInto))
+			out = append(out, record("capacitated_solve", n, 1, workers, rounds, work, capSolve))
+			out = append(out, record("capacitated_solve_into", n, 1, workers, rounds, work, capInto))
 
 			// Unit baseline: the same preference lists with capacities
 			// stripped, so the clone-reduction overhead is the diff.
@@ -64,6 +65,7 @@ func CapacitatedBench(seed int64) []PoolRecord {
 			if err := unit.SetCapacities(nil); err != nil {
 				panic(err)
 			}
+			unitRounds, unitWork := traceCosts(unit, workers)
 			s = popmatch.NewSolver(popmatch.Options{Workers: workers})
 			unitSolve := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -75,7 +77,7 @@ func CapacitatedBench(seed int64) []PoolRecord {
 				}
 			})
 			s.Close()
-			out = append(out, record("capacitated_unit_baseline", n, 1, workers, 0, 0, unitSolve))
+			out = append(out, record("capacitated_unit_baseline", n, 1, workers, unitRounds, unitWork, unitSolve))
 		}
 	}
 	return out

@@ -44,10 +44,17 @@ func poolInstance(seed int64, n int) *onesided.Instance {
 
 // traceCosts runs one traced solve and reports its PRAM rounds and work.
 func traceCosts(ins *popmatch.Instance, workers int) (int64, int64) {
+	return traceRequestCosts(ins, workers, popmatch.Request{Mode: popmatch.ModePopular})
+}
+
+// traceRequestCosts runs one traced solve of the given request and reports
+// its PRAM rounds and work, so every scenario's records carry truthful
+// round/work accounting instead of zero placeholders.
+func traceRequestCosts(ins *popmatch.Instance, workers int, req popmatch.Request) (int64, int64) {
 	var st popmatch.Stats
 	s := popmatch.NewSolver(popmatch.Options{Workers: workers, Trace: &st})
 	defer s.Close()
-	if _, err := s.Solve(context.Background(), ins); err != nil {
+	if _, err := s.SolveRequest(context.Background(), ins, req); err != nil {
 		panic(err)
 	}
 	return st.Rounds(), st.Work()

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/popmatch"
+)
+
+// ScalingRecord is one point of a worker-count scaling sweep at fixed
+// instance size. Unlike PoolRecord it carries the host's CPU count and the
+// speedup over the workers=1 baseline, so a curve committed from a
+// single-core container is honestly distinguishable from one measured on a
+// many-core box: speedup claims are only meaningful where NumCPU >= Workers.
+type ScalingRecord struct {
+	// Name identifies the kernel: strict_scaling or ties_scaling.
+	Name string `json:"name"`
+	// N is the instance size (applicants).
+	N int `json:"n"`
+	// Workers is the pool size this point ran on.
+	Workers int `json:"workers"`
+	// NumCPU is runtime.NumCPU() on the measuring host — the hard ceiling
+	// on achievable speedup, recorded so curves are interpretable.
+	NumCPU int `json:"num_cpu"`
+	// Rounds/Work are the PRAM cost counters of one traced solve at this
+	// worker count (rounds must not grow with workers; work may not blow
+	// up polynomially — the NC accounting).
+	Rounds int64 `json:"rounds"`
+	Work   int64 `json:"work"`
+	// Go benchmark results.
+	Iterations int   `json:"iterations"`
+	NsPerOp    int64 `json:"ns_per_op"`
+	// SpeedupVs1 is ns_per_op(workers=1) / ns_per_op(this point).
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// IdenticalToWorkers1 reports that this worker count produced a
+	// bit-identical matching to the workers=1 run — the determinism
+	// contract every parallel point must keep.
+	IdenticalToWorkers1 bool `json:"identical_to_workers_1"`
+}
+
+// tiesScalingN is the fixed ties-kernel size for the scaling sweep: the §V
+// path is dominated by the O(n³) Hungarian assignment, so the sweep uses a
+// moderate size where the parallel G1/weight-table rounds are still visible.
+const tiesScalingN = 2000
+
+// ScalingBench sweeps the given worker counts at fixed n over the strict
+// kernel, and at tiesScalingN over the ties kernel, reporting wall-clock
+// speedup relative to workers=1 plus the bit-identical-matching check. The
+// workers list is solved in the order given; a leading 1 is prepended if
+// missing, since every speedup is relative to the workers=1 point.
+func ScalingBench(seed int64, n int, workers []int) []ScalingRecord {
+	if len(workers) == 0 || workers[0] != 1 {
+		workers = append([]int{1}, workers...)
+	}
+	var out []ScalingRecord
+	out = append(out, scaleKernel("strict_scaling", poolInstance(seed, n), n,
+		popmatch.Request{Mode: popmatch.ModePopular}, workers)...)
+	out = append(out, scaleKernel("ties_scaling", tiesInstance(seed, tiesScalingN), tiesScalingN,
+		popmatch.Request{Mode: popmatch.ModeTies}, workers)...)
+	return out
+}
+
+// scaleKernel measures one kernel's scaling curve over the worker list.
+func scaleKernel(name string, ins *popmatch.Instance, n int, req popmatch.Request, workers []int) []ScalingRecord {
+	ctx := context.Background()
+	var ref popmatch.Result // workers=1 matching, the identity baseline
+	var baseNs int64
+	out := make([]ScalingRecord, 0, len(workers))
+	for i, w := range workers {
+		rounds, work := traceRequestCosts(ins, w, req)
+		s := popmatch.NewSolver(popmatch.Options{Workers: w})
+		var res popmatch.Result
+		if err := s.SolveRequestInto(ctx, ins, req, &res); err != nil {
+			s.Close()
+			panic(err)
+		}
+		identical := true
+		if i == 0 {
+			// Keep a private copy: later SolveRequestInto calls recycle res.
+			ref.Matching = res.Matching.Clone()
+		} else {
+			identical = res.Matching != nil && ref.Matching.Equal(res.Matching)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.SolveRequestInto(ctx, ins, req, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s.Close()
+		ns := r.NsPerOp()
+		if i == 0 {
+			baseNs = ns
+		}
+		speedup := 0.0
+		if ns > 0 {
+			speedup = float64(baseNs) / float64(ns)
+		}
+		out = append(out, ScalingRecord{
+			Name:                name,
+			N:                   n,
+			Workers:             w,
+			NumCPU:              runtime.NumCPU(),
+			Rounds:              rounds,
+			Work:                work,
+			Iterations:          r.N,
+			NsPerOp:             ns,
+			SpeedupVs1:          speedup,
+			IdenticalToWorkers1: identical,
+		})
+	}
+	return out
+}
+
+// WriteScalingJSON runs ScalingBench and writes the records as indented
+// JSON (the BENCH_scaling.json trajectory).
+func WriteScalingJSON(w io.Writer, seed int64, n int, workers []int) error {
+	records := ScalingBench(seed, n, workers)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

@@ -43,8 +43,10 @@ func TiesBench(seed int64, n int) []PoolRecord {
 			s := popmatch.NewSolver(popmatch.Options{Workers: workers})
 			for _, tc := range []struct {
 				name    string
+				mode    popmatch.Mode
 				maxcard bool
-			}{{"ties_solve", false}, {"tiesmax_solve", true}} {
+			}{{"ties_solve", popmatch.ModeTies, false}, {"tiesmax_solve", popmatch.ModeTiesMax, true}} {
+				rounds, work := traceRequestCosts(ins, workers, popmatch.Request{Mode: tc.mode})
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					ctx := context.Background()
@@ -54,8 +56,10 @@ func TiesBench(seed int64, n int) []PoolRecord {
 						}
 					}
 				})
-				out = append(out, record(tc.name, size, 1, workers, 0, 0, r))
+				out = append(out, record(tc.name, size, 1, workers, rounds, work, r))
 			}
+			tiesRounds, tiesWork := traceRequestCosts(ins, workers, popmatch.Request{Mode: popmatch.ModeTies})
+			strictRounds, strictWork := traceCosts(strict, workers)
 			// The engine's result-recycling surface: repeated SolveTiesInto
 			// on one solver is the steady state the arena-resident ties
 			// kernel targets (zero allocs/op; pinned by the CI canary).
@@ -69,7 +73,7 @@ func TiesBench(seed int64, n int) []PoolRecord {
 					}
 				}
 			})
-			out = append(out, record("ties_solve_into", size, 1, workers, 0, 0, intoR))
+			out = append(out, record("ties_solve_into", size, 1, workers, tiesRounds, tiesWork, intoR))
 			baseline := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				ctx := context.Background()
@@ -80,7 +84,7 @@ func TiesBench(seed int64, n int) []PoolRecord {
 				}
 			})
 			s.Close()
-			out = append(out, record("ties_strict_baseline", size, 1, workers, 0, 0, baseline))
+			out = append(out, record("ties_strict_baseline", size, 1, workers, strictRounds, strictWork, baseline))
 		}
 	}
 	return out

@@ -113,16 +113,22 @@ func Mul(x par.Runner, a, b *Matrix) *Matrix {
 	}
 	n := a.N
 	c := New(n)
-	x.ForGrain(n, 8, func(i int) {
-		dst := c.Row(i)
-		src := a.Row(i)
-		for wi, w := range src {
-			for w != 0 {
-				k := wi*64 + bits.TrailingZeros64(w)
-				w &= w - 1
-				brow := b.Row(k)
-				for x := range dst {
-					dst[x] |= brow[x]
+	// Row blocks are cache-line aligned (par.RowGrain): each worker owns
+	// whole 64-byte lines of the result, so the OR-accumulate sweeps never
+	// false-share.
+	grain := par.RowGrain(n, c.words, x.Workers())
+	x.Range(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := c.Row(i)
+			src := a.Row(i)
+			for wi, w := range src {
+				for w != 0 {
+					k := wi*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					brow := b.Row(k)
+					for t := range dst {
+						dst[t] |= brow[t]
+					}
 				}
 			}
 		}
@@ -131,13 +137,20 @@ func Mul(x par.Runner, a, b *Matrix) *Matrix {
 	return c
 }
 
-// Or returns the element-wise disjunction a | b.
+// Or returns the element-wise disjunction a | b. The word array is split
+// into contiguous chunks so each worker runs a tight 64-bit-word OR sweep
+// over its own lines.
 func Or(x par.Runner, a, b *Matrix) *Matrix {
 	if a.N != b.N {
 		panic(fmt.Sprintf("bitmat: size mismatch %d vs %d", a.N, b.N))
 	}
 	c := a.Clone()
-	x.For(len(c.bits), func(i int) { c.bits[i] |= b.bits[i] })
+	x.Range(len(c.bits), par.Grain(len(c.bits), x.Workers()), func(lo, hi int) {
+		cb, bb := c.bits[lo:hi], b.bits[lo:hi]
+		for i := range cb {
+			cb[i] |= bb[i]
+		}
+	})
 	x.Round(len(c.bits))
 	return c
 }

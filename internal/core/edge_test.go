@@ -92,63 +92,82 @@ func TestEdgeCaseShapes(t *testing.T) {
 // peeling matches are structurally forced, cycle matching uses canonical
 // leaders, promotion picks the smallest applicant, and switch selection
 // breaks ties deterministically.
+//
+// It is the corpus-wide differential form of the determinism contract:
+// every engine mode defined on every corpus instance (strict, tied,
+// capacitated — see engineCorpus/modesFor) must produce a bit-identical
+// result at workers 1, 2 and 8. The CI race job runs it under -race, so a
+// scheduling-dependent write anywhere in the parallel kernels surfaces as
+// either a diff here or a race report.
 func TestSolverDeterministicAcrossWorkers(t *testing.T) {
-	rng := rand.New(rand.NewSource(151))
-	pools := []Options{
-		{Pool: par.Sequential()},
-		{Pool: par.NewPool(3)},
-		{Pool: par.NewPool(0)},
-	}
-	for trial := 0; trial < 25; trial++ {
-		ins := onesided.RandomStrict(rng, 30+rng.Intn(120), 20+rng.Intn(80), 1, 6)
-		type runner struct {
-			name string
-			run  func(Options) (*onesided.Matching, bool)
-		}
-		runners := []runner{
-			{"popular", func(o Options) (*onesided.Matching, bool) {
-				r, err := Popular(ins, o)
+	pools := []*par.Pool{par.Sequential(), par.NewPool(2), par.NewPool(8)}
+	defer pools[1].Close()
+	defer pools[2].Close()
+	w := func(a, p int32) int64 { return int64((int(p)+3*int(a))%5) - 1 }
+	for i, ins := range engineCorpus() {
+		for _, mode := range modesFor(ins) {
+			var refExists bool
+			var ref []int32
+			for pi, pool := range pools {
+				out, err := SolveRequest(ins, Request{Mode: mode, Weights: w}, Options{Pool: pool})
 				if err != nil {
-					t.Fatal(err)
+					t.Fatalf("instance %d mode %s workers %d: %v", i, mode, pool.Workers(), err)
 				}
-				return r.Matching, r.Exists
-			}},
-			{"maxcard", func(o Options) (*onesided.Matching, bool) {
-				r, _, err := MaxCardinality(ins, o)
-				if err != nil {
-					t.Fatal(err)
+				var got []int32
+				if out.Exists {
+					got = out.Matching.PostOf
+					if ins.Capacities != nil {
+						if out.Assignment == nil {
+							t.Fatalf("instance %d mode %s workers %d: capacitated result without assignment",
+								i, mode, pool.Workers())
+						}
+						got = out.Assignment.PostOf
+					}
 				}
-				return r.Matching, r.Exists
-			}},
-			{"fair", func(o Options) (*onesided.Matching, bool) {
-				r, _, err := Fair(ins, o)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return r.Matching, r.Exists
-			}},
-			{"rankmax", func(o Options) (*onesided.Matching, bool) {
-				r, _, err := RankMaximal(ins, o)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return r.Matching, r.Exists
-			}},
-		}
-		for _, rn := range runners {
-			ref, refOK := rn.run(pools[0])
-			for _, o := range pools[1:] {
-				got, ok := rn.run(o)
-				if ok != refOK {
-					t.Fatalf("trial %d %s: existence varies with workers", trial, rn.name)
-				}
-				if !ok {
+				if pi == 0 {
+					refExists, ref = out.Exists, append([]int32(nil), got...)
 					continue
 				}
-				for a := range ref.PostOf {
-					if got.PostOf[a] != ref.PostOf[a] {
-						t.Fatalf("trial %d %s: output differs between worker counts at applicant %d",
-							trial, rn.name, a)
+				if out.Exists != refExists {
+					t.Fatalf("instance %d mode %s: existence varies with workers (%d: %v, 1: %v)",
+						i, mode, pool.Workers(), out.Exists, refExists)
+				}
+				for a := range ref {
+					if got[a] != ref[a] {
+						t.Fatalf("instance %d mode %s: output differs between workers %d and 1 at applicant %d",
+							i, mode, pool.Workers(), a)
+					}
+				}
+			}
+		}
+	}
+	// Larger random strict instances: big enough that every loop takes the
+	// parallel path at 8 workers (the corpus instances are tiny).
+	if !testing.Short() {
+		rng := rand.New(rand.NewSource(151))
+		for trial := 0; trial < 5; trial++ {
+			ins := onesided.RandomStrict(rng, 5000+rng.Intn(3000), 3000+rng.Intn(2000), 1, 6)
+			var refExists bool
+			var ref []int32
+			for pi, pool := range pools {
+				out, err := SolveRequest(ins, Request{Mode: ModePopular}, Options{Pool: pool})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []int32
+				if out.Exists {
+					got = out.Matching.PostOf
+				}
+				if pi == 0 {
+					refExists, ref = out.Exists, append([]int32(nil), got...)
+					continue
+				}
+				if out.Exists != refExists {
+					t.Fatalf("trial %d: existence varies with workers", trial)
+				}
+				for a := range ref {
+					if got[a] != ref[a] {
+						t.Fatalf("trial %d: output differs between worker counts at applicant %d", trial, a)
 					}
 				}
 			}

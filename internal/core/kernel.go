@@ -79,6 +79,15 @@ type kernel struct {
 	scanBlock        []int32
 	scanGrain        int
 
+	// Early-exit doubling state: per-chunk change flags (cache-line padded)
+	// and the grain the prebound Range bodies use to find their flag slot.
+	dblFlags []dblFlag
+	dblGrain int
+
+	// Per-solve loop grains, derived once in begin from the shared par.Grain
+	// policy: applicants, posts, darts.
+	grainA, grainP, grainD int
+
 	// Prebound loop bodies. Created once per kernel in newKernel; each
 	// captures only the kernel pointer, so repeat solves allocate nothing.
 	fnMarkF         func(a int)
@@ -97,23 +106,26 @@ type kernel struct {
 	fnScatterAdj    func(a int)
 	fnCountDeg      func(ei int)
 	fnLoadDeg       func(q int)
-	fnSucc          func(di int)
-	fnSeedDist      func(d int)
-	fnClearActive   func(d int)
+	fnSuccSeed      func(di int)
 	fnActivate      func(qi int)
 	fnMatchDarts    func(d int)
-	fnApplyMatches  func(d int)
-	fnDeleteMatched func(d int)
+	fnApplyDelete   func(d int)
 	fnCountAliveA   func(a int)
 	fnCountAliveP   func(q int)
-	fnCycleSucc     func(di int)
-	fnSeedLeader    func(d int)
-	fnCanonical     func(di int)
-	fnSeedDist2     func(d int)
+	fnCycleSuccSeed func(di int)
+	fnCanonSeed     func(di int)
 	fnMatchCycles   func(di int)
-	fnDoubleSum     func(v int)
-	fnDoubleMin     func(v int)
+	fnDoubleSumR    func(lo, hi int)
+	fnDoubleMinR    func(lo, hi int)
 	fnPromote       func(qi int)
+}
+
+// dblFlag is a cache-line-padded per-chunk change flag for the early-exit
+// pointer-doubling rounds: each chunk's writer owns its own line, so flag
+// traffic never invalidates a neighboring chunk's worker.
+type dblFlag struct {
+	v int32
+	_ [60]byte
 }
 
 // kernelFor returns the session's strict-path kernel: the one owned by the
@@ -217,31 +229,38 @@ func (k *kernel) init() {
 			k.deg1Count.Add(1)
 		}
 	}
-	k.fnSucc = func(di int) {
+	// One fused round per peel iteration: dart successor, doubling seed
+	// (terminal pointer + unit distance) and the active-flag clear all
+	// depend only on index d, so they share a single barrier.
+	k.fnSuccSeed = func(di int) {
 		d := int32(di)
+		k.active[d] = false
 		e := d / 2
 		if !k.edgeAlive(e) {
 			k.dartDead[d] = true
 			k.succ[d] = d // absorbing, never consulted
+			k.dPtr[d] = d
+			k.dVal[d] = 0
 			return
 		}
 		k.dartDead[d] = false
+		var s int32
 		if d%2 == 0 {
 			// applicant -> post: continue through the post iff deg 2.
 			q := k.edgePost(e)
 			if k.deg[q] != 2 {
-				k.succ[d] = d // terminal
-				return
-			}
-			var other int32 = -1
-			for t := k.postAdjStart[q]; t < k.postAdjStart[q+1]; t++ {
-				e2 := k.postAdjEdges[t]
-				if e2 != e && k.edgeAlive(e2) {
-					other = e2
-					break
+				s = d // terminal
+			} else {
+				var other int32 = -1
+				for t := k.postAdjStart[q]; t < k.postAdjStart[q+1]; t++ {
+					e2 := k.postAdjEdges[t]
+					if e2 != e && k.edgeAlive(e2) {
+						other = e2
+						break
+					}
 				}
+				s = 2*other + 1 // post -> applicant along the other edge
 			}
-			k.succ[d] = 2*other + 1 // post -> applicant along the other edge
 		} else {
 			// post -> applicant: applicants always have degree 2; exit
 			// along the applicant's other edge.
@@ -252,19 +271,16 @@ func (k *kernel) init() {
 			} else {
 				other = 2 * a
 			}
-			k.succ[d] = 2 * other // applicant -> post
+			s = 2 * other // applicant -> post
 		}
-	}
-	k.fnSeedDist = func(d int) {
-		s := k.succ[d]
+		k.succ[d] = s
 		k.dPtr[d] = s
-		if s != int32(d) {
+		if s != d {
 			k.dVal[d] = 1
 		} else {
 			k.dVal[d] = 0
 		}
 	}
-	k.fnClearActive = func(d int) { k.active[d] = false }
 	// Every degree-1 post activates its chain; if both endpoints have
 	// degree 1 the smaller post id wins ("we only consider this path once").
 	k.fnActivate = func(qi int) {
@@ -312,7 +328,11 @@ func (k *kernel) init() {
 			k.matchedDart[d] = true
 		}
 	}
-	k.fnApplyMatches = func(d int) {
+	// Fused apply+delete: both rounds key off the precomputed matchedDart
+	// flags and write disjoint arrays (the matching vs. the aliveness
+	// vectors), so neither observes the other's effect and one barrier
+	// suffices.
+	k.fnApplyDelete = func(d int) {
 		if !k.matchedDart[d] {
 			return
 		}
@@ -322,14 +342,8 @@ func (k *kernel) init() {
 		k.m.PostOf[a] = q
 		k.m.ApplicantOf[q] = a
 		k.peeled.Add(1)
-	}
-	k.fnDeleteMatched = func(d int) {
-		if !k.matchedDart[d] {
-			return
-		}
-		e := int32(d) / 2
-		k.aliveA[e/2] = false
-		k.alivePostB[k.edgePost(e)] = false
+		k.aliveA[a] = false
+		k.alivePostB[q] = false
 	}
 	k.fnCountAliveA = func(a int) {
 		if k.aliveA[a] {
@@ -344,15 +358,22 @@ func (k *kernel) init() {
 
 	// --- Residual even cycles (§III-B-1) ---
 
-	k.fnCycleSucc = func(di int) {
+	// Fused cycle successor + leader-election seed: the seed reads only
+	// this dart's succ/dartDead, both written just above it. When the
+	// 2-regularity check trips (bad != 0) the seeded values are discarded
+	// by the caller before any doubling runs.
+	k.fnCycleSuccSeed = func(di int) {
 		d := int32(di)
 		e := d / 2
 		if !k.edgeAlive(e) {
 			k.dartDead[d] = true
 			k.succ[d] = d
+			k.dPtr[d] = d
+			k.dVal[d] = infVid
 			return
 		}
 		k.dartDead[d] = false
+		var s int32
 		if d%2 == 0 {
 			q := k.edgePost(e)
 			var other int32 = -1
@@ -365,10 +386,10 @@ func (k *kernel) init() {
 			}
 			if other < 0 {
 				k.bad.Store(1)
-				k.succ[d] = d
-				return
+				s = d
+			} else {
+				s = 2*other + 1
 			}
-			k.succ[d] = 2*other + 1
 		} else {
 			a := e / 2
 			var other int32
@@ -377,39 +398,34 @@ func (k *kernel) init() {
 			} else {
 				other = 2 * a
 			}
-			k.succ[d] = 2 * other
+			s = 2 * other
 		}
+		k.succ[d] = s
+		k.dPtr[d] = s
+		k.dVal[d] = k.headVid(d)
 	}
-	k.fnSeedLeader = func(d int) {
-		k.dPtr[d] = k.succ[d]
-		if k.dartDead[d] {
-			k.dVal[d] = infVid
-		} else {
-			k.dVal[d] = k.headVid(int32(d))
-		}
-	}
-	// Canonical darts: the leader applicant's outgoing dart toward its
-	// smaller post — exactly one of the two orientations per cycle.
-	k.fnCanonical = func(di int) {
+	// Fused canonical-dart selection + distance seed. Canonical darts: the
+	// leader applicant's outgoing dart toward its smaller post — exactly
+	// one of the two orientations per cycle. The canonical test consumes
+	// this dart's min-fold leader (dVal[d]) before the seed overwrites it,
+	// and the seed reads only canonical[d], so one barrier suffices.
+	k.fnCanonSeed = func(di int) {
 		d := int32(di)
-		k.canonical[d] = false
-		if k.dartDead[d] || d%2 != 0 {
-			return // only applicant->post darts can leave the leader
+		can := false
+		if !k.dartDead[d] && d%2 == 0 { // only applicant->post darts can leave the leader
+			e := d / 2
+			a := e / 2
+			if a == k.dVal[d] { // dVal holds the min-fold leader after doubling
+				minPost := k.red.F[a]
+				if k.red.S[a] < minPost {
+					minPost = k.red.S[a]
+				}
+				can = k.edgePost(e) == minPost
+			}
 		}
-		e := d / 2
-		a := e / 2
-		if a != k.dVal[d] { // dVal holds the min-fold leader after doubling
-			return
-		}
-		minPost := k.red.F[a]
-		if k.red.S[a] < minPost {
-			minPost = k.red.S[a]
-		}
-		k.canonical[d] = k.edgePost(e) == minPost
-	}
-	k.fnSeedDist2 = func(d int) {
-		if k.canonical[d] || k.dartDead[d] {
-			k.dPtr[d] = int32(d)
+		k.canonical[d] = can
+		if can || k.dartDead[d] {
+			k.dPtr[d] = d
 			k.dVal[d] = 0
 		} else {
 			k.dPtr[d] = k.succ[d]
@@ -441,19 +457,50 @@ func (k *kernel) init() {
 	}
 
 	// --- Pointer doubling (the paper's doubling trick, double-buffered) ---
-	k.fnDoubleSum = func(v int) {
-		w := k.dPtr[v]
-		k.dNxtVal[v] = k.dVal[v] + k.dVal[w]
-		k.dNxtPtr[v] = k.dPtr[w]
-	}
-	k.fnDoubleMin = func(v int) {
-		w := k.dPtr[v]
-		a, b := k.dVal[v], k.dVal[w]
-		if b < a {
-			a = b
+	//
+	// Both bodies are chunk (Range) form so each chunk tracks whether it
+	// changed anything this round; doubleRounds exits at the global
+	// fixpoint instead of always running the worst-case ceil(log2 n)+1
+	// rounds. The sum fold tracks pointer and value changes: no change
+	// means every pointee is absorbing with zero distance, a true
+	// fixpoint. The min fold tracks value changes only — on a cycle whose
+	// length is not a power of two the pointers rotate forever, but once
+	// no value decreases anywhere, dVal[dPtr[v]] >= dVal[v] holds
+	// everywhere and is preserved by every further round, so the frozen
+	// values already equal the full-round result. The exit predicate is a
+	// global any-change, identical under any chunking, so the executed
+	// round count (and the result) is worker-count-independent.
+	k.fnDoubleSumR = func(lo, hi int) {
+		changed := false
+		for v := lo; v < hi; v++ {
+			w := k.dPtr[v]
+			nv := k.dVal[v] + k.dVal[w]
+			np := k.dPtr[w]
+			if nv != k.dVal[v] || np != k.dPtr[v] {
+				changed = true
+			}
+			k.dNxtVal[v] = nv
+			k.dNxtPtr[v] = np
 		}
-		k.dNxtVal[v] = a
-		k.dNxtPtr[v] = k.dPtr[w]
+		if changed {
+			k.dblFlags[lo/k.dblGrain].v = 1
+		}
+	}
+	k.fnDoubleMinR = func(lo, hi int) {
+		changed := false
+		for v := lo; v < hi; v++ {
+			w := k.dPtr[v]
+			a, b := k.dVal[v], k.dVal[w]
+			if b < a {
+				a = b
+				changed = true
+			}
+			k.dNxtVal[v] = a
+			k.dNxtPtr[v] = k.dPtr[w]
+		}
+		if changed {
+			k.dblFlags[lo/k.dblGrain].v = 1
+		}
 	}
 
 	// --- Algorithm 1 lines 5-7: promotion ---
@@ -513,6 +560,10 @@ func (k *kernel) begin(cx *exec.Ctx, ins *onesided.Instance, c *onesided.CSR) {
 	k.total = c.TotalPosts()
 	k.nEdges = 2 * k.n1
 	k.nDarts = 2 * k.nEdges
+	w := cx.Workers()
+	k.grainA = par.Grain(k.n1, w)
+	k.grainP = par.Grain(k.total, w)
+	k.grainD = par.Grain(k.nDarts, w)
 }
 
 // exclusiveScan32 scans k.scanSrc[:n] exclusively into k.scanOut[:n] and
@@ -522,10 +573,7 @@ func (k *kernel) exclusiveScan32(n int) int32 {
 	if n == 0 {
 		return 0
 	}
-	grain := n / (4 * k.cx.Workers())
-	if grain < 1024 {
-		grain = 1024
-	}
+	grain := par.Grain(n, k.cx.Workers())
 	k.scanGrain = grain
 	nblocks := (n + grain - 1) / grain
 	if cap(k.scanBlock) < nblocks {
@@ -550,15 +598,38 @@ func (k *kernel) exclusiveScan32(n int) int32 {
 	return running
 }
 
-// doubleRounds runs `rounds` pointer-doubling steps over the seeded
-// dPtr/dVal buffers with the given prebound fold body; results land in
-// dPtr/dVal.
-func (k *kernel) doubleRounds(n, rounds int, body func(v int)) {
+// doubleRounds runs up to `rounds` pointer-doubling steps over the seeded
+// dPtr/dVal buffers with the given prebound chunk body; results land in
+// dPtr/dVal. It exits as soon as a round changes nothing (see the fold
+// bodies for why that is a sound fixpoint test for each fold): typical
+// instances have short chains and small cycles, so most doubling ladders
+// finish in far fewer than the worst-case ceil(log2 n)+1 rounds.
+func (k *kernel) doubleRounds(n, rounds int, body func(lo, hi int)) {
+	grain := par.Grain(n, k.cx.Workers())
+	k.dblGrain = grain
+	nblocks := (n + grain - 1) / grain
+	if cap(k.dblFlags) < nblocks {
+		k.dblFlags = make([]dblFlag, nblocks)
+	}
+	flags := k.dblFlags[:nblocks]
 	for i := 0; i < rounds; i++ {
-		k.cx.For(n, body)
+		for b := range flags {
+			flags[b].v = 0
+		}
+		k.cx.Range(n, grain, body)
 		k.cx.Round(n)
 		k.dPtr, k.dNxtPtr = k.dNxtPtr, k.dPtr
 		k.dVal, k.dNxtVal = k.dNxtVal, k.dVal
+		fixed := true
+		for b := range flags {
+			if flags[b].v != 0 {
+				fixed = false
+				break
+			}
+		}
+		if fixed {
+			return
+		}
 	}
 }
 
@@ -583,28 +654,28 @@ func (k *kernel) buildReduced() {
 	k.cnt32 = cx.Int32s(total)
 
 	// Round 1: mark f-posts.
-	cx.For(n1, k.fnMarkF)
+	cx.ForGrain(n1, k.grainA, k.fnMarkF)
 	cx.Round(n1)
-	cx.For(total, k.fnLoadIsF)
+	cx.ForGrain(total, k.grainP, k.fnLoadIsF)
 	cx.Round(total)
 
 	// Round 2: find s(a).
-	cx.For(n1, k.fnFindS)
+	cx.ForGrain(n1, k.grainA, k.fnFindS)
 	cx.Round(n1)
 
 	// f⁻¹ as CSR: count, scan, scatter, sort buckets.
-	cx.For(n1, k.fnCountF)
+	cx.ForGrain(n1, k.grainA, k.fnCountF)
 	cx.Round(n1)
-	cx.For(total, k.fnLoadCnt)
+	cx.ForGrain(total, k.grainP, k.fnLoadCnt)
 	cx.Round(total)
 	k.scanSrc, k.scanOut = k.cnt32, k.red.FInvStart
 	totalApps := k.exclusiveScan32(total)
 	k.red.FInvStart[total] = totalApps
-	cx.For(total, k.fnZeroCnt)
+	cx.ForGrain(total, k.grainP, k.fnZeroCnt)
 	cx.Round(total)
-	cx.For(n1, k.fnScatterF)
+	cx.ForGrain(n1, k.grainA, k.fnScatterF)
 	cx.Round(n1)
-	cx.For(total, k.fnSortBuckets)
+	cx.ForGrain(total, k.grainP, k.fnSortBuckets)
 	cx.Round(int(totalApps))
 
 	cx.PutUint32s(k.isFBits)
@@ -696,50 +767,46 @@ func (k *kernel) applicantComplete(m *onesided.Matching) (ok bool, err error) {
 	defer k.releaseB()
 
 	// Static post adjacency (CSR over edge ids) and initial aliveness.
-	cx.For(n1, k.fnInitAlive)
+	cx.ForGrain(n1, k.grainA, k.fnInitAlive)
 	cx.Round(n1)
-	cx.For(total, k.fnLoadAlive)
+	cx.ForGrain(total, k.grainP, k.fnLoadAlive)
 	cx.Round(total)
-	cx.For(n1, k.fnCountAdj)
+	cx.ForGrain(n1, k.grainA, k.fnCountAdj)
 	cx.Round(n1)
-	cx.For(total, k.fnLoadCnt)
+	cx.ForGrain(total, k.grainP, k.fnLoadCnt)
 	cx.Round(total)
 	k.scanSrc, k.scanOut = k.cnt32, k.postAdjStart
 	totalAdj := k.exclusiveScan32(total)
 	k.postAdjStart[total] = totalAdj
-	cx.For(total, k.fnZeroCnt)
+	cx.ForGrain(total, k.grainP, k.fnZeroCnt)
 	cx.Round(total)
-	cx.For(n1, k.fnScatterAdj)
+	cx.ForGrain(n1, k.grainA, k.fnScatterAdj)
 	cx.Round(n1)
 
 	for {
 		// --- degrees over alive edges ---
-		cx.For(total, k.fnZeroCnt)
+		cx.ForGrain(total, k.grainP, k.fnZeroCnt)
 		cx.Round(total)
-		cx.For(nEdges, k.fnCountDeg)
+		cx.ForGrain(nEdges, k.grainD, k.fnCountDeg)
 		cx.Round(nEdges)
 		k.deg1Count.Store(0)
-		cx.For(total, k.fnLoadDeg)
+		cx.ForGrain(total, k.grainP, k.fnLoadDeg)
 		cx.Round(total)
 		if k.deg1Count.Load() == 0 {
 			break
 		}
 		k.stats.Rounds++
 
-		// --- dart successors on the alive subgraph ---
-		cx.For(nDarts, k.fnSucc)
+		// --- fused: dart successors + doubling seed + active clear ---
+		cx.ForGrain(nDarts, k.grainD, k.fnSuccSeed)
 		cx.Round(nDarts)
 
 		// --- doubling: terminal dart + distance for every chain ---
-		cx.For(nDarts, k.fnSeedDist)
-		cx.Round(nDarts)
-		k.doubleRounds(nDarts, dblRounds, k.fnDoubleSum)
+		k.doubleRounds(nDarts, dblRounds, k.fnDoubleSumR)
 
 		// --- activate chains from degree-1 posts ---
-		cx.For(nDarts, k.fnClearActive)
-		cx.Round(nDarts)
 		k.bad.Store(0)
-		cx.For(total, k.fnActivate)
+		cx.ForGrain(total, k.grainP, k.fnActivate)
 		cx.Round(int(k.deg1Count.Load()))
 		switch k.bad.Load() {
 		case 1:
@@ -749,24 +816,22 @@ func (k *kernel) applicantComplete(m *onesided.Matching) (ok bool, err error) {
 		}
 
 		// --- match darts at even distance from the chain start ---
-		cx.For(nDarts, k.fnMatchDarts)
+		cx.ForGrain(nDarts, k.grainD, k.fnMatchDarts)
 		cx.Round(nDarts)
 
-		// --- apply matches, delete matched vertices ---
+		// --- fused: apply matches + delete matched vertices ---
 		k.peeled.Store(0)
-		cx.For(nDarts, k.fnApplyMatches)
+		cx.ForGrain(nDarts, k.grainD, k.fnApplyDelete)
 		cx.Round(nDarts)
 		k.stats.PeeledPairs += int(k.peeled.Load())
-		cx.For(nDarts, k.fnDeleteMatched)
-		cx.Round(nDarts)
 	}
 
 	// --- residual check: Hall condition by counting (§III-B-1) ---
 	k.aliveApps.Store(0)
 	k.alivePosts.Store(0)
-	cx.For(n1, k.fnCountAliveA)
+	cx.ForGrain(n1, k.grainA, k.fnCountAliveA)
 	cx.Round(n1)
-	cx.For(total, k.fnCountAliveP)
+	cx.ForGrain(total, k.grainP, k.fnCountAliveP)
 	cx.Round(total)
 	aliveApplicants := int(k.aliveApps.Load())
 	if int(k.alivePosts.Load()) < aliveApplicants {
@@ -779,22 +844,18 @@ func (k *kernel) applicantComplete(m *onesided.Matching) (ok bool, err error) {
 	// Leader election (min head vid, idempotent fold), canonical darts,
 	// then distance-to-canonical with canonical darts absorbing.
 	k.bad.Store(0)
-	cx.For(nDarts, k.fnCycleSucc)
+	cx.ForGrain(nDarts, k.grainD, k.fnCycleSuccSeed)
 	cx.Round(nDarts)
 	if k.bad.Load() != 0 {
 		return false, errNot2Regular
 	}
-	cx.For(nDarts, k.fnSeedLeader)
+	k.doubleRounds(nDarts, dblRounds, k.fnDoubleMinR)
+	cx.ForGrain(nDarts, k.grainD, k.fnCanonSeed)
 	cx.Round(nDarts)
-	k.doubleRounds(nDarts, dblRounds, k.fnDoubleMin)
-	cx.For(nDarts, k.fnCanonical)
-	cx.Round(nDarts)
-	cx.For(nDarts, k.fnSeedDist2)
-	cx.Round(nDarts)
-	k.doubleRounds(nDarts, dblRounds, k.fnDoubleSum)
+	k.doubleRounds(nDarts, dblRounds, k.fnDoubleSumR)
 	k.pairs.Store(0)
 	k.cycleCnt.Store(0)
-	cx.For(nDarts, k.fnMatchCycles)
+	cx.ForGrain(nDarts, k.grainD, k.fnMatchCycles)
 	cx.Round(nDarts)
 	k.stats.CyclePairs = int(k.pairs.Load())
 	k.stats.CycleCount = int(k.cycleCnt.Load())
@@ -807,7 +868,7 @@ func (k *kernel) promote(m *onesided.Matching) (int, error) {
 	k.m = m
 	k.bad.Store(0)
 	k.promotions.Store(0)
-	k.cx.For(k.total, k.fnPromote)
+	k.cx.ForGrain(k.total, k.grainP, k.fnPromote)
 	k.cx.Round(k.total)
 	switch k.bad.Load() {
 	case 1:

@@ -5,6 +5,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/hungarian"
 	"repro/internal/onesided"
+	"repro/internal/par"
 )
 
 // The §V ties path as an arena-resident kernel, mirroring the memory
@@ -24,12 +25,22 @@ type tiesKernel struct {
 	evenPost []bool
 	w        []int64 // flat n1 × total weight table
 
-	// Per-solve bindings of the prebound Hungarian weight probe.
-	cx     *exec.Ctx
-	total  int
-	probes int
+	// Per-solve bindings of the prebound loop bodies (weight probe, even
+	// labelling, weight-row fill). Cleared at the end of each solve so a
+	// pooled engine pins none of the request's data.
+	cx         *exec.Ctx
+	total      int
+	probes     int
+	ins        *onesided.Instance
+	c          *onesided.CSR
+	rightLabel []bipartite.Label
+	nPosts     int
+	maxCard    bool
+	wTop       int64 // the lexicographic W = n1+1 weight of rank-one edges
 
-	fnWeight func(i, j int) int64
+	fnWeight   func(i, j int) int64
+	fnEvenPost func(p int)
+	fnFillRow  func(a int)
 }
 
 // init binds the Hungarian weight probe once; it captures only the kernel
@@ -45,6 +56,62 @@ func (tk *tiesKernel) init() {
 		}
 		return tk.w[i*tk.total+j]
 	}
+	// Even posts over all ids; last resorts are isolated in G1, hence even.
+	tk.fnEvenPost = func(p int) {
+		if p < tk.nPosts {
+			tk.evenPost[p] = tk.rightLabel[p] == bipartite.Even
+		} else {
+			tk.evenPost[p] = true
+		}
+	}
+	// One weight-table row: the E′ = f-edges ∪ s-edges construction for
+	// applicant a. Rows are disjoint and the body reads only immutable
+	// per-solve data (CSR, evenPost), so rows fill in parallel.
+	tk.fnFillRow = func(a int) {
+		const forb = hungarian.Forbidden
+		c, ins, total := tk.c, tk.ins, tk.total
+		row := tk.w[a*total : (a+1)*total]
+		for j := range row {
+			row[j] = forb
+		}
+		lo, hi := c.Off[a], c.Off[a+1]
+		// f(a): the whole first tie class (the rank-1 prefix of the row).
+		for i := lo; i < hi && c.Rank[i] == 1; i++ {
+			p := c.Post[i]
+			row[p] = tk.wTop + tk.sEdgeWeight(p)
+		}
+		// s(a): the most-preferred even posts (the last resort competes at
+		// rank worst+1).
+		lrRank := c.LastResortRank(a)
+		bestRank := lrRank
+		for i := lo; i < hi; i++ {
+			if tk.evenPost[c.Post[i]] && c.Rank[i] < bestRank {
+				bestRank = c.Rank[i]
+			}
+		}
+		if bestRank == lrRank {
+			lr := ins.LastResort(a)
+			if row[lr] == forb {
+				row[lr] = tk.sEdgeWeight(lr)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if p := c.Post[i]; tk.evenPost[p] && c.Rank[i] == bestRank && row[p] == forb {
+					row[p] = tk.sEdgeWeight(p)
+				}
+			}
+		}
+	}
+}
+
+// sEdgeWeight is the cardinality bonus of an s-edge: rank-one edges weigh
+// W+bonus, other E′ edges weigh the bonus alone — 1 when the edge avoids a
+// last resort and maximizing cardinality was requested.
+func (tk *tiesKernel) sEdgeWeight(p int32) int64 {
+	if tk.maxCard && !tk.ins.IsLastResort(p) {
+		return 1
+	}
+	return 0
 }
 
 // solveTies finds a popular matching of an instance whose lists may contain
@@ -81,65 +148,35 @@ func (e *Engine) solveTies(cx *exec.Ctx, ins *onesided.Instance, maximizeCardina
 	matchL, matchR, m1 := tk.bs.HopcroftKarpScratch(cx, g1)
 	_, rightLabel := tk.bs.EOUScratch(g1, matchL, matchR)
 
-	// Even posts over all ids; last resorts are isolated in G1, hence even.
-	evenPost := exec.Grow(&tk.evenPost, total)
-	for p := 0; p < ins.NumPosts; p++ {
-		evenPost[p] = rightLabel[p] == bipartite.Even
-	}
-	for p := ins.NumPosts; p < total; p++ {
-		evenPost[p] = true
-	}
+	// Bind the per-solve state the prebound loop bodies read. Deferred
+	// clear so a cancellation panic out of the Hungarian sweep cannot leave
+	// the pooled engine pinning the dead request's context or data.
+	tk.cx, tk.total, tk.probes = cx, total, 0
+	tk.ins, tk.c, tk.nPosts = ins, c, ins.NumPosts
+	tk.maxCard, tk.wTop = maximizeCardinality, int64(n1)+1
+	tk.rightLabel = rightLabel
+	defer func() {
+		tk.cx, tk.ins, tk.c, tk.rightLabel = nil, nil, nil, nil
+	}()
+
+	// Even posts over all ids, one parallel round.
+	exec.Grow(&tk.evenPost, total)
+	cx.ForGrain(total, par.Grain(total, cx.Workers()), tk.fnEvenPost)
+	cx.Round(total)
 
 	// E′ = f-edges ∪ s-edges, as a flat weight table for the lexicographic
 	// assignment: rank-one edges weigh W+1 (they advance |M ∩ E1|), other
 	// E′ edges weigh 1 when they avoid a last resort and maximizing
-	// cardinality is requested.
-	const forb = hungarian.Forbidden
+	// cardinality is requested. Rows are independent; fill them in
+	// parallel with a grain that keeps at least ~MinGrain table cells per
+	// chunk.
 	tk.w = exec.Grow(&tk.w, n1*total)
-	W := int64(n1) + 1
-	for a := 0; a < n1; a++ {
-		row := tk.w[a*total : (a+1)*total]
-		for j := range row {
-			row[j] = forb
-		}
-		sEdge := func(p int32) int64 {
-			if maximizeCardinality && !ins.IsLastResort(p) {
-				return 1
-			}
-			return 0
-		}
-		lo, hi := c.Off[a], c.Off[a+1]
-		// f(a): the whole first tie class (the rank-1 prefix of the row).
-		for i := lo; i < hi && c.Rank[i] == 1; i++ {
-			row[c.Post[i]] = W + sEdge(c.Post[i])
-		}
-		// s(a): the most-preferred even posts (the last resort competes at
-		// rank worst+1).
-		lrRank := c.LastResortRank(a)
-		bestRank := lrRank
-		for i := lo; i < hi; i++ {
-			if evenPost[c.Post[i]] && c.Rank[i] < bestRank {
-				bestRank = c.Rank[i]
-			}
-		}
-		if bestRank == lrRank {
-			lr := ins.LastResort(a)
-			if row[lr] == forb {
-				row[lr] = sEdge(lr)
-			}
-		} else {
-			for i := lo; i < hi; i++ {
-				if p := c.Post[i]; evenPost[p] && c.Rank[i] == bestRank && row[p] == forb {
-					row[p] = sEdge(p)
-				}
-			}
-		}
+	rowGrain := par.Grain(n1*total, cx.Workers()) / total
+	if rowGrain < 1 {
+		rowGrain = 1
 	}
-
-	tk.cx, tk.total, tk.probes = cx, total, 0
-	// Deferred so a cancellation panic out of the Hungarian sweep cannot
-	// leave the pooled engine pinning the dead request's context.
-	defer func() { tk.cx = nil }()
+	cx.ForGrain(n1, rowGrain, tk.fnFillRow)
+	cx.Round(n1 * total)
 	rowTo, _, ok := tk.hung.MaxAssign(n1, total, tk.fnWeight)
 	if !ok {
 		// No applicant-complete matching within E′.

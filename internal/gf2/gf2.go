@@ -82,14 +82,23 @@ func (m *Matrix) row(i int) []uint64 {
 // Rank computes the GF(2) rank of m by Gaussian elimination. m is not
 // modified. Elimination of each pivot column across the remaining rows is one
 // parallel round; there are at most min(r, c) pivots.
+//
+// The elimination round is chunked over contiguous row blocks sized by
+// par.RowGrain, so each worker owns whole cache lines of the bit matrix, and
+// the pivot column's word index and mask are hoisted out of the row sweep —
+// the inner loop is a pure 64-bit-word XOR stream.
 func Rank(x par.Runner, m *Matrix) int {
 	a := m.Clone()
 	rank := 0
-	for col := 0; col < a.Cols && rank < a.Rows; col++ {
+	words := a.words
+	rows := a.Rows
+	grain := par.RowGrain(rows, words, x.Workers())
+	for col := 0; col < a.Cols && rank < rows; col++ {
+		cw, cmask := col/64, uint64(1)<<(col%64)
 		// Find a pivot row at or below `rank` with a 1 in this column.
 		pivot := -1
-		for i := rank; i < a.Rows; i++ {
-			if a.Get(i, col) {
+		for i := rank; i < rows; i++ {
+			if a.bits[i*words+cw]&cmask != 0 {
 				pivot = i
 				break
 			}
@@ -104,39 +113,46 @@ func Rank(x par.Runner, m *Matrix) int {
 			}
 		}
 		prow := a.row(rank)
-		rows := a.Rows
 		rk := rank
-		x.ForGrain(rows, 16, func(i int) {
-			if i == rk || !a.Get(i, col) {
-				return
-			}
-			ri := a.row(i)
-			for w := range ri {
-				ri[w] ^= prow[w]
+		x.Range(rows, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == rk || a.bits[i*words+cw]&cmask == 0 {
+					continue
+				}
+				ri := a.bits[i*words : i*words+words]
+				for w := range ri {
+					ri[w] ^= prow[w]
+				}
 			}
 		})
-		x.Round(rows * a.words)
+		x.Round(rows * words)
 		rank++
 	}
 	return rank
 }
 
-// Mul returns the GF(2) product a·b (XOR of ANDs).
+// Mul returns the GF(2) product a·b (XOR of ANDs). Rows of the product are
+// partitioned into cache-line-aligned blocks (par.RowGrain); each worker
+// accumulates its rows with word-parallel XOR sweeps and never touches a
+// block another worker writes.
 func Mul(x par.Runner, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("gf2: size mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
-	x.ForGrain(a.Rows, 8, func(i int) {
-		dst := c.row(i)
-		src := a.row(i)
-		for wi, w := range src {
-			for w != 0 {
-				k := wi*64 + bits.TrailingZeros64(w)
-				w &= w - 1
-				brow := b.row(k)
-				for x := range dst {
-					dst[x] ^= brow[x]
+	grain := par.RowGrain(a.Rows, c.words, x.Workers())
+	x.Range(a.Rows, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := c.row(i)
+			src := a.row(i)
+			for wi, w := range src {
+				for w != 0 {
+					k := wi*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					brow := b.row(k)
+					for t := range dst {
+						dst[t] ^= brow[t]
+					}
 				}
 			}
 		}

@@ -139,13 +139,27 @@ func RandomTies(rng *rand.Rand, numApplicants, numPosts, minLen, maxLen int, tie
 func Solvable(rng *rand.Rand, numApplicants int, extraSeconds int, listLen int) *Instance {
 	numPosts := numApplicants + extraSeconds
 	lists := make([][]int32, numApplicants)
+	// One shared pool, partially Fisher–Yates-shuffled per applicant: each
+	// draw of listLen-1 distinct seconds costs O(listLen), not the
+	// O(extraSeconds) of a full rng.Perm — at n=1e6 the latter made
+	// generation quadratic (hundreds of billions of swaps before the first
+	// solve). Leaving the pool shuffled between applicants keeps each draw
+	// uniform; a partial shuffle from any permutation is.
+	pool := make([]int32, extraSeconds)
+	for i := range pool {
+		pool[i] = int32(i)
+	}
+	k := listLen - 1
+	if k > extraSeconds {
+		k = extraSeconds
+	}
 	for a := range lists {
-		l := []int32{int32(a)} // unique first choice => f-post per applicant
-		if listLen > 1 && extraSeconds > 0 {
-			perm := rng.Perm(extraSeconds)
-			for i := 0; i < listLen-1 && i < extraSeconds; i++ {
-				l = append(l, int32(numApplicants+perm[i]))
-			}
+		l := make([]int32, 1, 1+k)
+		l[0] = int32(a) // unique first choice => f-post per applicant
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(extraSeconds-i)
+			pool[i], pool[j] = pool[j], pool[i]
+			l = append(l, int32(numApplicants)+pool[i])
 		}
 		lists[a] = l
 	}

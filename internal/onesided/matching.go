@@ -69,6 +69,26 @@ func (m *Matching) Clone() *Matching {
 	}
 }
 
+// Equal reports whether m and o assign every applicant and post
+// identically — the bit-identical-result check of the determinism
+// contracts (same matching regardless of worker count).
+func (m *Matching) Equal(o *Matching) bool {
+	if o == nil || len(m.PostOf) != len(o.PostOf) || len(m.ApplicantOf) != len(o.ApplicantOf) {
+		return false
+	}
+	for i, p := range m.PostOf {
+		if o.PostOf[i] != p {
+			return false
+		}
+	}
+	for i, a := range m.ApplicantOf {
+		if o.ApplicantOf[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
 // ApplicantComplete reports whether every applicant is matched (Definition 2;
 // last resorts count as matched).
 func (m *Matching) ApplicantComplete() bool {

@@ -13,6 +13,12 @@
 // parallel loop and then live until Close, so repeated solves on one pool pay
 // no per-round spawn cost. The process-wide Shared pool serves callers that
 // do not manage a pool themselves.
+//
+// The scheduler is chunk-atomic and self-scheduling: a round publishes its
+// index range once, and workers (the caller included) claim grain-sized
+// chunks with a single atomic increment until the range drains. Between
+// rounds workers spin briefly before parking, so the back-to-back rounds the
+// kernels issue are handed off without a park/wake cycle on either side.
 package par
 
 import (
@@ -25,6 +31,67 @@ import (
 // before the pool bothers to parallelize a loop. Loops smaller than the grain
 // run on the calling goroutine.
 const DefaultGrain = 256
+
+// MinGrain is the smallest chunk any kernel loop should hand to a worker.
+// Below this, the atomic chunk claim and the cache traffic of touching a
+// fresh range dominate the loop body; all per-kernel grain heuristics clamp
+// to it rather than duplicating a magic constant.
+const MinGrain = 1024
+
+// Grain returns the chunk size for an n-iteration loop on `workers` workers:
+// roughly four chunks per worker to smooth load imbalance, clamped below by
+// MinGrain. This is the shared grain policy for every element-wise kernel
+// loop; it never returns 0 (the bug class where n/(4*workers) truncates for
+// small n or high worker counts).
+func Grain(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	g := n / (4 * workers)
+	if g < MinGrain {
+		g = MinGrain
+	}
+	return g
+}
+
+// RowGrain returns the chunk size for a loop over `rows` rows of `words`
+// 64-bit words each (bit-matrix and GF(2) sweeps). Chunks are sized so every
+// chunk spans at least one 64-byte cache line of payload, keeping adjacent
+// workers off each other's lines, with the usual ~4 chunks per worker above
+// that floor.
+func RowGrain(rows, words, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	g := rows / (4 * workers)
+	min := 1
+	if words > 0 {
+		min = (8 + words - 1) / words // rows per 64-byte line (8 words)
+	}
+	if min < 1 {
+		min = 1
+	}
+	if g < min {
+		g = min
+	}
+	return g
+}
+
+// Scheduler tuning. The spin budgets are deliberately small: spinning is a
+// latency optimization for rounds that arrive back-to-back (the common case
+// inside a kernel), not a substitute for parking. All spins yield the
+// processor, so an oversubscribed machine degrades to the parked behavior.
+const (
+	// workerSpins bounds how many scheduler yields an idle worker burns
+	// polling for the next round before parking in a blocking receive.
+	workerSpins = 64
+	// recruitSpins bounds how many yields dispatch spends waiting for an
+	// idle worker to appear after a failed handoff, per round.
+	recruitSpins = 8
+	// waitSpins bounds how many yields the caller spends polling for helper
+	// completion before falling back to the parking wait.
+	waitSpins = 64
+)
 
 // Pool executes bulk-synchronous parallel loops on a fixed number of
 // persistent workers. The zero value is not usable; construct one with
@@ -41,6 +108,7 @@ type Pool struct {
 	rounds  chan *round
 	done    chan struct{}
 	closed  atomic.Bool
+	tr      atomic.Pointer[Tracer]
 }
 
 // round is one bulk-synchronous parallel step: workers (and the caller)
@@ -49,17 +117,26 @@ type Pool struct {
 // lets For loops run without wrapping the index function in a per-call
 // closure. Completed rounds are recycled through roundPool so a parallel
 // step performs no allocation in the steady state.
+//
+// The claim cursor and the completion counter are the only fields written
+// during a round; each gets its own cache line so claim traffic does not
+// invalidate the read-mostly header (n/grain/chunks/fn) or the completion
+// line the caller polls.
 type round struct {
 	n, grain, chunks int
 	fn               func(lo, hi int)
 	fnIdx            func(i int)
+	_                [64]byte
 	next             atomic.Int64
+	_                [56]byte
+	running          atomic.Int64
+	_                [56]byte
 	wg               sync.WaitGroup
 }
 
-// roundPool recycles round descriptors. A round is returned only after
-// wg.Wait has observed every recruited worker's Done, so no goroutine holds
-// a reference when the descriptor is reused.
+// roundPool recycles round descriptors. A round is returned only after the
+// completion barrier has observed every recruited worker's exit, so no
+// goroutine holds a reference when the descriptor is reused.
 var roundPool = sync.Pool{New: func() any { return new(round) }}
 
 func (r *round) run() {
@@ -81,6 +158,16 @@ func (r *round) run() {
 			r.fn(lo, hi)
 		}
 	}
+}
+
+// join is a recruited worker's participation in a round. wg.Done precedes
+// the running decrement, so a caller that observes running == 0 on the spin
+// path is guaranteed the WaitGroup is settled and the descriptor safe to
+// recycle without calling Wait.
+func (r *round) join() {
+	r.run()
+	r.wg.Done()
+	r.running.Add(-1)
 }
 
 // NewPool returns a pool with the given number of workers. If workers <= 0,
@@ -137,12 +224,24 @@ func SharedSized(workers int) *Pool {
 // Workers reports the number of workers the pool schedules onto.
 func (p *Pool) Workers() int { return p.workers }
 
-// Round is a no-op: a bare pool records no PRAM cost trace. Wrap the pool
-// with WithTracer (or run on an exec.Ctx) to account rounds and work.
-func (p *Pool) Round(work int) {}
+// AttachTracer directs subsequent Round/AddWork calls on the pool to t, so
+// code that runs against a bare *Pool (rather than a WithTracer wrapper or
+// an exec.Ctx) still produces truthful PRAM cost accounting. Attach nil to
+// detach. The attachment is atomic and may be swapped while loops run;
+// callers that need per-solve isolation should use WithTracer instead.
+func (p *Pool) AttachTracer(t *Tracer) { p.tr.Store(t) }
 
-// AddWork is a no-op; see Round.
-func (p *Pool) AddWork(work int) {}
+// Tracer returns the tracer attached with AttachTracer, or nil.
+func (p *Pool) Tracer() *Tracer { return p.tr.Load() }
+
+// Round records one bulk-synchronous step of `work` elementary operations
+// into the attached tracer. Without an attached tracer it records nothing
+// (a nil *Tracer is valid and inert).
+func (p *Pool) Round(work int) { p.tr.Load().Round(work) }
+
+// AddWork adds work to the attached tracer's accounting without starting a
+// new round; see Round.
+func (p *Pool) AddWork(work int) { p.tr.Load().AddWork(work) }
 
 // For runs fn(i) for every i in [0, n) in parallel. It corresponds to one
 // PRAM step ("for each x in parallel do"). fn must be safe to call
@@ -205,27 +304,62 @@ func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 }
 
 // dispatch runs a prepared round on the pool and recycles the descriptor.
+//
+// Recruitment is a bounded sequence of non-blocking rendezvous sends: a send
+// succeeds only if a worker is receiving right now, so every recruited
+// helper is guaranteed to run the round and signal completion. A failed send
+// no longer abandons recruitment for the whole round (the old behavior,
+// which serialized every round issued while workers were between their
+// receive and their park); instead dispatch yields and retries a bounded
+// number of times, stopping early if the recruited helpers have already
+// drained the round. Recruitment never blocks, preserving the no-deadlock
+// guarantee for nested loops.
 func (p *Pool) dispatch(r *round) {
 	p.start.Do(p.startWorkers)
-	// Recruit at most workers-1 helpers (the caller is a participant too).
-	// Handoffs are non-blocking rendezvous: a send succeeds only if a worker
-	// is idle in its receive right now, so every recruited helper is
-	// guaranteed to run the round and signal the WaitGroup.
+	// Recruit at most workers-1 helpers (the caller is a participant too),
+	// and no more than one per chunk beyond the caller's.
 	helpers := p.workers - 1
 	if c := r.chunks - 1; c < helpers {
 		helpers = c
 	}
-	for i := 0; i < helpers; i++ {
+	misses := 0
+	for recruited := 0; recruited < helpers; {
 		r.wg.Add(1)
+		r.running.Add(1)
 		select {
 		case p.rounds <- r:
+			recruited++
+			misses = 0
+			continue
 		default:
 			r.wg.Add(-1)
-			i = helpers // nobody idle; stop recruiting
+			r.running.Add(-1)
 		}
+		if recruited > 0 && int(r.next.Load()) >= r.chunks {
+			break // already drained; a late helper would find nothing
+		}
+		if misses++; misses > recruitSpins {
+			break
+		}
+		runtime.Gosched()
 	}
 	r.run() // the caller claims chunks like any worker
-	r.wg.Wait()
+	// Completion barrier: poll briefly for the last helper before parking.
+	// join() orders wg.Done before the running decrement, so running == 0
+	// proves the WaitGroup is settled.
+	if r.running.Load() != 0 {
+		settled := false
+		for spin := 0; spin < waitSpins; spin++ {
+			runtime.Gosched()
+			if r.running.Load() == 0 {
+				settled = true
+				break
+			}
+		}
+		if !settled {
+			r.wg.Wait()
+		}
+	}
 	r.fn, r.fnIdx = nil, nil
 	r.next.Store(0)
 	roundPool.Put(r)
@@ -242,12 +376,32 @@ func (p *Pool) startWorkers() {
 	}
 }
 
+// worker runs rounds until Close. Between rounds it polls the handoff
+// channel for a bounded number of yields before parking: kernels issue
+// rounds back-to-back, and a parked worker cannot be hit by dispatch's
+// non-blocking send, so staying briefly in a receivable state is what makes
+// consecutive rounds recruit the full pool.
 func (p *Pool) worker() {
+	idle := 0
 	for {
 		select {
 		case r := <-p.rounds:
-			r.run()
-			r.wg.Done()
+			r.join()
+			idle = 0
+			continue
+		case <-p.done:
+			return
+		default:
+		}
+		if idle < workerSpins {
+			idle++
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case r := <-p.rounds:
+			r.join()
+			idle = 0
 		case <-p.done:
 			return
 		}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRoundBarrier measures the fixed cost of one bulk-synchronous
+// round through the pool — dispatch, worker recruitment, chunk claiming and
+// the completion barrier — with a near-empty body. n equals the worker
+// count and grain is 1, so every round takes the parallel path with one
+// chunk per worker and essentially zero work per chunk: the measured time
+// IS the barrier latency, the per-round floor every PRAM step pays.
+func BenchmarkRoundBarrier(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewPool(workers)
+			defer p.Close()
+			var sink atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Range(workers, 1, func(lo, hi int) {
+					sink.Add(int64(hi - lo))
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkForGrainVsGoroutines compares the pool's persistent-worker
+// ForGrain against spawning one goroutine per chunk with a WaitGroup — the
+// naive alternative the scheduler replaces. Both run the same element-wise
+// body over the same chunk decomposition, so the diff is pure scheduling
+// overhead (goroutine spawn + park vs chunk claim on warm workers).
+func BenchmarkForGrainVsGoroutines(b *testing.B) {
+	const n = 1 << 20
+	const workers = 4
+	xs := make([]int64, n)
+	body := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			xs[j]++
+		}
+	}
+	grain := Grain(n, workers)
+	b.Run("pool", func(b *testing.B) {
+		p := NewPool(workers)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Range(n, grain, body)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for lo := 0; lo < n; lo += grain {
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					body(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+	})
+}

@@ -12,7 +12,7 @@ func Reduce[T any](x Runner, n int, id T, f func(i int) T, combine func(a, b T) 
 	if n <= 0 {
 		return id
 	}
-	grain := scanGrain(n, x.Workers())
+	grain := Grain(n, x.Workers())
 	nblocks := (n + grain - 1) / grain
 	partial := make([]T, nblocks)
 	// Pre-fill with the identity: Range may legally cover several blocks

@@ -18,7 +18,7 @@ func ExclusiveScan(x Runner, xs []int) (out []int, total int) {
 	if n == 0 {
 		return out, 0
 	}
-	grain := scanGrain(n, x.Workers())
+	grain := Grain(n, x.Workers())
 	nblocks := (n + grain - 1) / grain
 	blockSum := make([]int, nblocks)
 
@@ -91,14 +91,4 @@ func CompactSlice[T any](x Runner, xs []T, keep func(i int) bool) []T {
 	x.For(len(idx), func(j int) { out[j] = xs[idx[j]] })
 	x.Round(len(idx))
 	return out
-}
-
-func scanGrain(n, workers int) int {
-	// Aim for ~4 blocks per worker to smooth imbalance, but never below a
-	// minimum grain that keeps per-block overhead negligible.
-	g := n / (4 * workers)
-	if g < 1024 {
-		g = 1024
-	}
-	return g
 }
