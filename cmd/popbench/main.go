@@ -9,6 +9,7 @@
 //	popbench -json BENCH_capacitated.json -scenario capacitated [-seed N]
 //	popbench -json BENCH_ties.json -scenario ties [-n N] [-seed N]
 //	popbench -json BENCH_serve.json -scenario serve [-n N] [-seed N]
+//	popbench -json BENCH_delta.json -scenario delta [-n N] [-seed N]
 //	popbench -json BENCH_scaling.json -scenario scaling [-n N] [-workers 1,2,4,8] [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
@@ -20,8 +21,10 @@
 // CHA clone-reduction pipeline against its unit baseline; `ties` the §V
 // ties path against the strict kernel; `serve` the HTTP serving stack under
 // closed-loop load (throughput, p50/p99 latency, batching and cache
-// counters); `scaling` sweeps the -workers counts at fixed -n and reports
-// speedup over workers=1 plus the bit-identical-matching check.
+// counters); `delta` the incremental re-match path (single-row edit + warm
+// solve vs full re-solve, with the bit-identical differential check);
+// `scaling` sweeps the -workers counts at fixed -n and reports speedup over
+// workers=1 plus the bit-identical-matching check.
 package main
 
 import (
@@ -58,6 +61,8 @@ func main() {
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteTiesJSON(w, seed, *sizeN) }
 		case "serve":
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteServeJSON(w, seed, *sizeN) }
+		case "delta":
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteDeltaJSON(w, seed, *sizeN) }
 		case "scaling":
 			workers, err := parseWorkers(*workersCSV)
 			if err != nil {
@@ -70,7 +75,7 @@ func main() {
 			}
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteScalingJSON(w, seed, n, workers) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, scaling)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, delta, scaling)\n", *scenario)
 			os.Exit(2)
 		}
 		if *sizeN != 0 && (*scenario == "pool" || *scenario == "capacitated") {

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	popserved [-addr :8080] [-workers N] [-batch N] [-linger D] [-cache N]
-//	          [-max-instances N] [-max-queue N] [-inflight-batches N]
-//	          [-solve-timeout D]
+//	          [-max-instances N] [-max-sessions N] [-max-queue N]
+//	          [-inflight-batches N] [-solve-timeout D]
 //
 // On startup it prints one line, `popserved listening on <addr>`, to stdout
 // (with -addr :0 the kernel-chosen port appears there), then serves until
@@ -20,6 +20,14 @@
 // POST /v1/verify checks a per-applicant post vector for popularity;
 // GET /v1/instances lists, DELETE /v1/instances/{id} evicts; GET /v1/stats
 // and GET /healthz observe.
+//
+// Delta sessions re-match a mutating instance incrementally: POST
+// /v1/sessions forks a mutable session off a registered instance, POST
+// /v1/sessions/{id}/mutations applies edits (set_preferences, add_applicant,
+// remove_applicant, set_capacity), and POST /v1/sessions/{id}/solve
+// re-matches — warm-starting from the previous solution when only a few
+// rows changed, bit-identical to a full solve. GET/DELETE /v1/sessions{,/id}
+// list, inspect and end sessions.
 package main
 
 import (
@@ -47,6 +55,7 @@ func main() {
 	linger := flag.Duration("linger", time.Millisecond, "how long an underfull batch waits for stragglers (0 = dispatch immediately)")
 	cache := flag.Int("cache", 1024, "result cache capacity in entries (0 disables)")
 	maxInstances := flag.Int("max-instances", 1024, "instance registry capacity (0 = unbounded)")
+	maxSessions := flag.Int("max-sessions", 256, "live delta-session capacity (0 = unbounded)")
 	maxQueue := flag.Int("max-queue", 1024, "request queue depth before admission control rejects")
 	inflight := flag.Int("inflight-batches", 2, "micro-batches executing concurrently")
 	solveTimeout := flag.Duration("solve-timeout", 0, "server-side cap on a single solve (0 = request context only)")
@@ -54,8 +63,8 @@ func main() {
 	if *batch < 1 || *maxQueue < 1 || *inflight < 1 {
 		log.Fatal("-batch, -max-queue and -inflight-batches must be >= 1")
 	}
-	if *linger < 0 || *cache < 0 || *maxInstances < 0 || *solveTimeout < 0 {
-		log.Fatal("-linger, -cache, -max-instances and -solve-timeout must be >= 0")
+	if *linger < 0 || *cache < 0 || *maxInstances < 0 || *maxSessions < 0 || *solveTimeout < 0 {
+		log.Fatal("-linger, -cache, -max-instances, -max-sessions and -solve-timeout must be >= 0")
 	}
 
 	// On the flag surface zero means "off" (no linger, no cache, no registry
@@ -67,6 +76,7 @@ func main() {
 		Linger:          *linger,
 		CacheSize:       *cache,
 		MaxInstances:    *maxInstances,
+		MaxSessions:     *maxSessions,
 		MaxQueue:        *maxQueue,
 		InflightBatches: *inflight,
 		SolveTimeout:    *solveTimeout,
@@ -79,6 +89,9 @@ func main() {
 	}
 	if *maxInstances == 0 {
 		cfg.MaxInstances = -1
+	}
+	if *maxSessions == 0 {
+		cfg.MaxSessions = -1
 	}
 	srv := serve.New(cfg)
 

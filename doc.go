@@ -50,6 +50,21 @@
 // BENCH_serve.json (popbench -scenario serve). See the README's "Serving"
 // section for the curl walkthrough.
 //
+// Mutating workloads use the delta layer instead of re-uploading:
+// onesided.Instance carries a mutation API (SetPreferences, AddApplicant,
+// RemoveApplicant, SetCapacity) that patches the cached CSR in place,
+// journals each edit and advances an epoch with an incrementally-maintained
+// fingerprint; popmatch.DeltaSession (Solver.SolveDelta/SolveDeltaInto)
+// warm-starts the next solve from the previous matching by re-peeling only
+// the G′ components reachable from the edited rows — bit-identical to a
+// full solve, with a transparent full-solve fallback when the dirty region
+// outgrows the warm thresholds. Over HTTP (internal/serve) the same
+// machinery is a session: a mutable fork of a registered snapshot with
+// serialized mutations and epoch-keyed result caching (POST /v1/sessions,
+// .../mutations, .../solve). The trajectory baseline lives in
+// BENCH_delta.json (popbench -scenario delta): 8.3x over a full re-solve
+// on single-row edits at n=100k. See the README's "Delta solves" section.
+//
 // Internally every solver layer shares one flat instance representation:
 // the CSR core (internal/onesided.CSR) — preference lists concatenated into
 // three contiguous Off/Post/Rank arrays, derived once per Instance and
@@ -79,6 +94,7 @@
 // the experiment tables of EXPERIMENTS.md (one benchmark family per table);
 // cmd/popbench prints the tables directly, and `popbench -json` emits the
 // machine-readable scenario benchmarks recorded in BENCH_pool.json,
-// BENCH_capacitated.json, BENCH_csr.json (the flat-core before/after) and
-// BENCH_scaling.json (the worker-count scaling curves).
+// BENCH_capacitated.json, BENCH_csr.json (the flat-core before/after),
+// BENCH_delta.json (incremental vs full re-solve) and BENCH_scaling.json
+// (the worker-count scaling curves).
 package repro

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/onesided"
+	"repro/popmatch"
+)
+
+// DefaultDeltaN is the applicant count of the `delta` scenario: the same
+// n = 10^5 family as the large scenario, where a full re-solve costs ~10^8 ns
+// and the warm incremental path is accountable to a >= 5x speedup on a
+// single-row edit.
+const DefaultDeltaN = 100000
+
+// DeltaRecord is one machine-readable measurement of the incremental
+// (delta) solve path. The trajectory file BENCH_delta.json is an array of
+// these.
+type DeltaRecord struct {
+	// Name identifies the workload: delta_full_resolve (edit + full solve,
+	// the baseline), delta_warm_solve (edit + warm incremental solve) or
+	// delta_cache_hit (re-query with no edit).
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	// Go benchmark results.
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Warm-path telemetry over an untimed probe run (delta_warm_solve only):
+	// the fraction of edits served warm, and the mean dirty-region sizes.
+	WarmFraction    float64 `json:"warm_fraction,omitempty"`
+	MeanChangedRows float64 `json:"mean_changed_rows,omitempty"`
+	MeanSubPosts    float64 `json:"mean_sub_posts,omitempty"`
+	// SpeedupVsFull = full ns/op divided by this workload's ns/op
+	// (delta_warm_solve and delta_cache_hit).
+	SpeedupVsFull float64 `json:"speedup_vs_full,omitempty"`
+	// Identical reports the differential check: the same edit sequence
+	// solved warm and fresh produced bit-identical matchings.
+	Identical bool `json:"identical"`
+}
+
+// deltaEditor generates an endless stream of valid single-row edits on the
+// Solvable family: each edit rewrites one applicant's list to {own post,
+// three distinct random seconds from the surplus pool}, preserving the
+// family's unique-first-choice shape so the instance stays well-formed for
+// unbounded b.N.
+type deltaEditor struct {
+	rng   *rand.Rand
+	n     int
+	extra int
+	row   []int32
+}
+
+func newDeltaEditor(seed int64, n int) *deltaEditor {
+	return &deltaEditor{rng: rand.New(rand.NewSource(seed)), n: n, extra: n / 4, row: make([]int32, 0, 4)}
+}
+
+func (e *deltaEditor) apply(ins *onesided.Instance) error {
+	a := e.rng.Intn(e.n)
+	e.row = append(e.row[:0], int32(a))
+	for len(e.row) < 4 {
+		p := int32(e.n + e.rng.Intn(e.extra))
+		dup := false
+		for _, q := range e.row {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.row = append(e.row, p)
+		}
+	}
+	return ins.SetPreferences(a, e.row, nil)
+}
+
+// DeltaBench measures incremental re-matching after single-row edits at size
+// n against the full re-solve baseline, on one persistent Solver. Every
+// workload patches the cached CSR in place through the mutation API, so the
+// comparison isolates solve cost: full peeling of the whole instance vs
+// warm re-peeling of the affected components only.
+func DeltaBench(seed int64, n int) ([]DeltaRecord, error) {
+	if n <= 0 {
+		n = DefaultDeltaN
+	}
+	workers := runtime.GOMAXPROCS(0)
+	base := largeInstance(seed, n)
+	ctx := context.Background()
+	s := popmatch.NewSolver(popmatch.Options{Workers: workers})
+	defer s.Close()
+	req := popmatch.Request{Mode: popmatch.ModePopular}
+
+	// Differential check first: the same edit sequence, solved warm on one
+	// clone and fresh on another, must match bit for bit.
+	identical := true
+	{
+		warmIns, freshIns := base.Clone(), base.Clone()
+		edW, edF := newDeltaEditor(seed+7, n), newDeltaEditor(seed+7, n)
+		var sess popmatch.DeltaSession
+		var wres popmatch.Result
+		for i := 0; i < 20 && identical; i++ {
+			if err := edW.apply(warmIns); err != nil {
+				return nil, err
+			}
+			if err := edF.apply(freshIns); err != nil {
+				return nil, err
+			}
+			if err := s.SolveDeltaInto(ctx, warmIns, req, &sess, &wres); err != nil {
+				return nil, err
+			}
+			fres, err := s.Solve(ctx, freshIns)
+			if err != nil {
+				return nil, err
+			}
+			if wres.Exists != fres.Exists || wres.Exists && !wres.Matching.Equal(fres.Matching) {
+				identical = false
+			}
+		}
+	}
+
+	// Baseline: edit + full re-solve.
+	fullIns := base.Clone()
+	edFull := newDeltaEditor(seed+1, n)
+	var fullRes popmatch.Result
+	full := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := edFull.apply(fullIns); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SolveInto(ctx, fullIns, &fullRes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Warm path: edit + delta solve, primed so the timed region is
+	// steady-state (the first call is a full capture).
+	warmIns := base.Clone()
+	edWarm := newDeltaEditor(seed+1, n)
+	var sess popmatch.DeltaSession
+	var warmRes popmatch.Result
+	if err := s.SolveDeltaInto(ctx, warmIns, req, &sess, &warmRes); err != nil {
+		return nil, err
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := edWarm.apply(warmIns); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SolveDeltaInto(ctx, warmIns, req, &sess, &warmRes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Untimed probe for warm-path telemetry.
+	const probes = 200
+	var warmHits, changed, subPosts int
+	for i := 0; i < probes; i++ {
+		if err := edWarm.apply(warmIns); err != nil {
+			return nil, err
+		}
+		if err := s.SolveDeltaInto(ctx, warmIns, req, &sess, &warmRes); err != nil {
+			return nil, err
+		}
+		st := sess.Stats()
+		if st.Warm {
+			warmHits++
+			changed += st.ChangedRows
+			subPosts += st.SubPosts
+		}
+	}
+
+	// Re-query with no intervening edit: the retained matching is returned
+	// without solving.
+	cache := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.SolveDeltaInto(ctx, warmIns, req, &sess, &warmRes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	ratio := func(r testing.BenchmarkResult) float64 {
+		if r.NsPerOp() == 0 {
+			return 0
+		}
+		return float64(full.NsPerOp()) / float64(r.NsPerOp())
+	}
+	deltaRecord := func(name string, r testing.BenchmarkResult) DeltaRecord {
+		return DeltaRecord{
+			Name: name, N: n, Workers: workers,
+			Iterations: r.N, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			Identical: identical,
+		}
+	}
+	fullRec := deltaRecord("delta_full_resolve", full)
+	warmRec := deltaRecord("delta_warm_solve", warm)
+	warmRec.SpeedupVsFull = ratio(warm)
+	if warmHits > 0 {
+		warmRec.WarmFraction = float64(warmHits) / probes
+		warmRec.MeanChangedRows = float64(changed) / float64(warmHits)
+		warmRec.MeanSubPosts = float64(subPosts) / float64(warmHits)
+	}
+	cacheRec := deltaRecord("delta_cache_hit", cache)
+	cacheRec.SpeedupVsFull = ratio(cache)
+	return []DeltaRecord{fullRec, warmRec, cacheRec}, nil
+}
+
+// WriteDeltaJSON runs DeltaBench and writes the records as indented JSON
+// (the BENCH_delta.json trajectory). n <= 0 selects DefaultDeltaN.
+func WriteDeltaJSON(w io.Writer, seed int64, n int) error {
+	records, err := DeltaBench(seed, n)
+	if err != nil {
+		return fmt.Errorf("bench: delta scenario: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

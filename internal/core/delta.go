@@ -1,0 +1,398 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/exec"
+	"repro/internal/onesided"
+)
+
+// Delta solves: warm-starting Algorithm 1 from the previous matching.
+//
+// The strict kernel's output is a pure function of the reduced graph G′ —
+// the (f(a), s(a)) arrays — and G′ decomposes into connected components
+// (over posts, with applicants as f–s edges) that the kernel processes
+// independently: peeling, the even-cycle matching and promotion never move
+// information across components, and every tie-break (bucket sort order,
+// degree-1 activation, cycle leader election, canonical darts) depends only
+// on the RELATIVE order of applicant and post ids. Restricting a solve to a
+// union of components under an order-preserving relabeling therefore
+// reproduces, bit for bit, the full solve's assignment on those components.
+//
+// SolveDelta exploits this: it keeps the previous solve's (f, s) arrays and
+// matching in a DeltaState, asks the instance which preference rows changed
+// since then (onesided.Instance.DirtySince), recomputes (f, s), and
+// re-solves ONLY the components touched by a changed applicant's old or new
+// G′ edges — splicing the sub-result into the retained matching. Everything
+// outside the affected components provably keeps its assignment. When the
+// delta is too large (many changed rows, or the touched components cover
+// most of the instance), when the journal window is gone, or when the shape
+// changed, it falls back to one full solve and re-captures.
+
+// deltaChangedMax and deltaAffectedMax bound the warm path: more changed
+// rows than n1/deltaChangedMax, or affected components covering more than
+// n1/deltaAffectedMax applicants, and a full re-solve is cheaper than the
+// splice bookkeeping.
+const (
+	deltaChangedMax  = 4
+	deltaAffectedMax = 2
+)
+
+// DeltaStats reports how the last SolveDelta was served.
+type DeltaStats struct {
+	// Warm is true when the warm splice path ran (false: full solve,
+	// whether by choice or fallback).
+	Warm bool
+	// CacheHit is true when the instance was unchanged since the captured
+	// epoch (or its G′ was), so the retained matching was returned directly.
+	CacheHit bool
+	// ChangedRows counts applicants whose (f, s) pair changed; Affected
+	// counts the applicants of the re-solved components; SubPosts the real
+	// posts of the sub-instance.
+	ChangedRows, Affected, SubPosts int
+}
+
+// DeltaState carries one instance's warm-start state between SolveDelta
+// calls: the (f, s) arrays and matching of the previous solve, the mutation
+// epoch they correspond to, and the scratch the delta path reuses. The zero
+// value is ready to use (the first solve is a full capture). A state serves
+// exactly one Instance; handing it a different instance resets it. Not safe
+// for concurrent use — like the Engine, it belongs to one session.
+type DeltaState struct {
+	ins    *onesided.Instance
+	valid  bool
+	exists bool
+	epoch  uint64
+	n1, n2 int
+	f, s   []int32
+	m      onesided.Matching
+	peel   PeelStats
+	prom   int
+	stats  DeltaStats
+
+	// Scratch reused across delta solves.
+	newF, newS []int32
+	isF        []bool
+	parent     []int32
+	affected   []bool
+	changed    []int32
+	subApps    []int32
+	subPosts   []int32
+	postSub    []int32
+	subInto    *onesided.Matching
+}
+
+// Reset drops the captured state and scratch, releasing the pinned instance.
+func (st *DeltaState) Reset() { *st = DeltaState{} }
+
+// Stats reports how the previous SolveDelta call was served.
+func (st *DeltaState) Stats() DeltaStats { return st.stats }
+
+// SolveDeltaRequest is SolveRequest with warm-start: st carries the previous
+// solve of ins, and eligible requests (ModePopular on a strict, unit-
+// capacity instance) re-solve only the components of G′ affected by the
+// mutations since st's capture. Ineligible requests delegate to the plain
+// engine dispatch untouched. The returned matching is always a copy owned by
+// the caller (recycled through req.Into); it never aliases the retained
+// state. Outcome.Peel and Outcome.Promotions describe only the re-solved
+// region on the warm path (the matching itself is bit-identical to a fresh
+// solve's). On error the state invalidates itself and the next call solves
+// fully.
+func SolveDeltaRequest(ins *onesided.Instance, req Request, st *DeltaState, opt Options) (out Outcome, err error) {
+	defer func() {
+		if err != nil {
+			st.valid = false
+		}
+	}()
+	defer exec.CatchCancel(&err)
+	cx := opt.exec()
+	return engineFor(cx).solveDelta(cx, ins, req, st)
+}
+
+// SolveDelta runs SolveDeltaRequest on this Engine; see there.
+func (e *Engine) SolveDelta(ins *onesided.Instance, req Request, st *DeltaState, opt Options) (out Outcome, err error) {
+	defer func() {
+		if err != nil {
+			st.valid = false
+		}
+	}()
+	defer exec.CatchCancel(&err)
+	return e.solveDelta(opt.exec(), ins, req, st)
+}
+
+func (e *Engine) solveDelta(cx *exec.Ctx, ins *onesided.Instance, req Request, st *DeltaState) (Outcome, error) {
+	if req.Mode != ModePopular || ins.Capacities != nil || !ins.CSR().Strict() {
+		// No warm route for this request shape; plain dispatch, state untouched.
+		return e.solve(cx, ins, req)
+	}
+	if st.ins != ins {
+		st.Reset()
+		st.ins = ins
+	}
+	st.stats = DeltaStats{}
+	if !st.valid {
+		return e.deltaFull(cx, ins, st, req.Into)
+	}
+	rows, shape, ok := ins.DirtySince(st.epoch)
+	if !ok || shape || st.n1 != ins.NumApplicants || st.n2 != ins.NumPosts {
+		return e.deltaFull(cx, ins, st, req.Into)
+	}
+	if len(rows) == 0 {
+		// Unchanged instance: the captured answer (including a captured
+		// "no popular matching exists") still stands.
+		st.stats.CacheHit = true
+		return st.deliver(req.Into), nil
+	}
+	if !st.exists {
+		// Mutations happened but the captured solve had no matching to warm
+		// from; re-capture with a full solve.
+		return e.deltaFull(cx, ins, st, req.Into)
+	}
+	return e.deltaWarm(cx, ins, st, req.Into)
+}
+
+// deltaFull is the capture path: one full strict solve, with the reduced
+// graph's (f, s) arrays and the result matching copied into the state before
+// the kernel scratch is released.
+func (e *Engine) deltaFull(cx *exec.Ctx, ins *onesided.Instance, st *DeltaState, into *onesided.Matching) (Outcome, error) {
+	st.valid = false // stays false if the solve is interrupted mid-capture
+	r, err := e.buildReduced(cx, ins)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer r.release(cx)
+	st.f = append(st.f[:0], r.F...)
+	st.s = append(st.s[:0], r.S...)
+	res, err := popularFromReducedInto(r, into, Options{Exec: cx})
+	if err != nil {
+		return Outcome{}, err
+	}
+	st.n1, st.n2 = ins.NumApplicants, ins.NumPosts
+	st.epoch = ins.Epoch()
+	st.exists = res.Exists
+	st.peel, st.prom = res.Peel, res.Promotions
+	if res.Exists {
+		st.m.PostOf = append(st.m.PostOf[:0], res.Matching.PostOf...)
+		st.m.ApplicantOf = append(st.m.ApplicantOf[:0], res.Matching.ApplicantOf...)
+	}
+	st.valid = true
+	return Outcome{Matching: res.Matching, Exists: res.Exists, Peel: res.Peel, Promotions: res.Promotions}, nil
+}
+
+// deltaWarm re-solves only the components of G′ affected by the dirty rows.
+func (e *Engine) deltaWarm(cx *exec.Ctx, ins *onesided.Instance, st *DeltaState, into *onesided.Matching) (Outcome, error) {
+	c := ins.CSR()
+	n1, n2 := st.n1, st.n2
+	total := n2 + n1
+
+	// Recompute (f, s) wholesale: a dirty row can add or remove an f-post,
+	// which shifts s(b) for applicants far from the edit, so the honest dirty
+	// set for G′ is found by rebuilding it — three linear passes, no matching
+	// work.
+	st.newF = grow32(st.newF, n1)
+	st.newS = grow32(st.newS, n1)
+	st.isF = growB(st.isF, total)
+	clear(st.isF)
+	for a := 0; a < n1; a++ {
+		f := c.Post[c.Off[a]]
+		st.newF[a] = f
+		st.isF[f] = true
+	}
+	for a := 0; a < n1; a++ {
+		s := int32(n2 + a)
+		for _, q := range c.Post[c.Off[a]:c.Off[a+1]] {
+			if !st.isF[q] {
+				s = q
+				break
+			}
+		}
+		st.newS[a] = s
+	}
+	st.changed = st.changed[:0]
+	for a := 0; a < n1; a++ {
+		if st.newF[a] != st.f[a] || st.newS[a] != st.s[a] {
+			st.changed = append(st.changed, int32(a))
+		}
+	}
+	st.stats.ChangedRows = len(st.changed)
+	if len(st.changed) == 0 {
+		// The edits didn't move G′ (e.g. reordering below s(a)): the matching
+		// is exactly the retained one. Advance the epoch so later DirtySince
+		// windows stay small.
+		st.epoch = ins.Epoch()
+		st.stats.CacheHit = true
+		return st.deliver(into), nil
+	}
+	if len(st.changed) > n1/deltaChangedMax+1 {
+		return e.deltaFull(cx, ins, st, into)
+	}
+
+	// Components of the NEW G′ over post ids (applicants are f–s edges),
+	// via union-find with path halving.
+	st.parent = grow32(st.parent, total)
+	for i := range st.parent {
+		st.parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for st.parent[x] != x {
+			st.parent[x] = st.parent[st.parent[x]]
+			x = st.parent[x]
+		}
+		return x
+	}
+	for a := 0; a < n1; a++ {
+		rf, rs := find(st.newF[a]), find(st.newS[a])
+		if rf != rs {
+			st.parent[rs] = rf
+		}
+	}
+
+	// Affected components: those containing a changed applicant's new edge,
+	// or a post its old edge touched (losing an edge re-shapes a component's
+	// peeling just as surely as gaining one).
+	st.affected = growB(st.affected, total)
+	clear(st.affected)
+	for _, a := range st.changed {
+		st.affected[find(st.newF[a])] = true
+		st.affected[find(st.f[a])] = true
+		st.affected[find(st.s[a])] = true
+	}
+	st.subApps = st.subApps[:0]
+	for a := 0; a < n1; a++ {
+		if st.affected[find(st.newF[a])] {
+			st.subApps = append(st.subApps, int32(a))
+		}
+	}
+	st.stats.Affected = len(st.subApps)
+	if len(st.subApps) > n1/deltaAffectedMax+1 {
+		return e.deltaFull(cx, ins, st, into)
+	}
+
+	// Build the sub-instance over the affected components under an
+	// order-preserving relabeling: applicants in ascending global id order,
+	// real posts in ascending global id order, last resorts implicit (the
+	// relabeling preserves their order too, since sub last resorts follow
+	// sub applicant order). Each row is [f′(a)] or [f′(a), s′(a)] — s(a) is
+	// never an f-post globally, hence not one in the sub-instance, so the
+	// sub-solve re-derives exactly these (f, s) pairs.
+	st.subPosts = st.subPosts[:0]
+	st.postSub = grow32(st.postSub, n2)
+	// Refill the stamps every time: a cancellation panic inside the sub-solve
+	// can abandon this pass anywhere, so no cleanup invariant would survive.
+	for i := range st.postSub {
+		st.postSub[i] = -1
+	}
+	for _, a := range st.subApps {
+		f, s := st.newF[a], st.newS[a]
+		if st.postSub[f] != -2 {
+			st.postSub[f] = -2
+			st.subPosts = append(st.subPosts, f)
+		}
+		if int(s) < n2 && st.postSub[s] != -2 {
+			st.postSub[s] = -2
+			st.subPosts = append(st.subPosts, s)
+		}
+	}
+	slices.Sort(st.subPosts)
+	for i, p := range st.subPosts {
+		st.postSub[p] = int32(i)
+	}
+	st.stats.SubPosts = len(st.subPosts)
+	kPosts := len(st.subPosts)
+	lists := make([][]int32, len(st.subApps))
+	rowBuf := make([]int32, 0, 2*len(st.subApps))
+	for i, a := range st.subApps {
+		f, s := st.newF[a], st.newS[a]
+		row := append(rowBuf, st.postSub[f])
+		if int(s) < n2 {
+			row = append(row, st.postSub[s])
+		}
+		rowBuf = row[len(row):]
+		lists[i] = row
+	}
+	subIns, err := onesided.NewStrict(kPosts, lists)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if st.subInto == nil {
+		st.subInto = &onesided.Matching{}
+	}
+	subOut, err := e.popularStrict(cx, subIns, st.subInto)
+	if err != nil {
+		return Outcome{}, err
+	}
+	st.stats.Warm = true
+	if !subOut.Exists {
+		// Some affected component fails Hall's condition, so the full
+		// instance has no popular matching either (unaffected components
+		// passed at capture time and are untouched). The retained matching is
+		// now stale; the next solve after further mutations re-captures.
+		st.f, st.newF = st.newF, st.f
+		st.s, st.newS = st.newS, st.s
+		st.epoch = ins.Epoch()
+		st.exists = false
+		st.peel, st.prom = subOut.Peel, 0
+		return Outcome{Exists: false, Peel: subOut.Peel}, nil
+	}
+
+	// Splice: clear the affected applicants' old assignments, then write the
+	// sub-solve's. No post conflicts with an unaffected applicant are
+	// possible — components partition the posts.
+	for _, a := range st.subApps {
+		if p := st.m.PostOf[a]; p >= 0 {
+			st.m.ApplicantOf[p] = -1
+		}
+	}
+	sub := subOut.Matching
+	for i, a := range st.subApps {
+		ps := sub.PostOf[i]
+		var p int32
+		if int(ps) >= kPosts {
+			p = int32(n2) + st.subApps[int(ps)-kPosts] // sub last resort -> l(a)
+		} else {
+			p = st.subPosts[ps]
+		}
+		st.m.PostOf[a] = p
+		st.m.ApplicantOf[p] = a
+	}
+	st.f, st.newF = st.newF, st.f
+	st.s, st.newS = st.newS, st.s
+	st.epoch = ins.Epoch()
+	st.exists = true
+	st.peel, st.prom = subOut.Peel, subOut.Promotions
+	out := st.deliver(into)
+	out.Peel, out.Promotions = subOut.Peel, subOut.Promotions
+	return out, nil
+}
+
+// deliver copies the retained matching into the caller's recycled matching
+// (or a fresh one) — the caller must never alias state that the next
+// mutation+solve rewrites.
+func (st *DeltaState) deliver(into *onesided.Matching) Outcome {
+	if !st.exists {
+		return Outcome{Exists: false, Peel: st.peel}
+	}
+	m := into
+	if m == nil {
+		m = &onesided.Matching{}
+	}
+	m.PostOf = append(m.PostOf[:0], st.m.PostOf...)
+	m.ApplicantOf = append(m.ApplicantOf[:0], st.m.ApplicantOf...)
+	return Outcome{Matching: m, Exists: true, Peel: st.peel, Promotions: st.prom}
+}
+
+// grow32 resizes s to n without preserving contents beyond the reused
+// prefix; growB is the bool twin.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

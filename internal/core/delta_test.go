@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/onesided"
+	"repro/internal/par"
+)
+
+// mutateRandom applies one random mutation through the onesided delta API,
+// keeping the instance valid (rows stay strict; tied instances may lose
+// their last tie, which both sides of the differential handle).
+func mutateRandom(t *testing.T, rng *rand.Rand, ins *onesided.Instance) {
+	t.Helper()
+	row := func() []int32 {
+		k := 1 + rng.Intn(min(ins.NumPosts, 5))
+		perm := rng.Perm(ins.NumPosts)
+		r := make([]int32, k)
+		for i := range r {
+			r[i] = int32(perm[i])
+		}
+		return r
+	}
+	switch k := rng.Intn(10); {
+	case k == 0 && ins.NumApplicants > 2:
+		if _, err := ins.RemoveApplicant(rng.Intn(ins.NumApplicants)); err != nil {
+			t.Fatal(err)
+		}
+	case k == 1:
+		if _, err := ins.AddApplicant(row(), nil); err != nil {
+			t.Fatal(err)
+		}
+	case k == 2 && ins.Capacities != nil:
+		if err := ins.SetCapacity(int32(rng.Intn(ins.NumPosts)), int32(1+rng.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		if err := ins.SetPreferences(rng.Intn(ins.NumApplicants), row(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSolveDeltaDifferentialCorpus drives mutation scripts over every corpus
+// instance and asserts, after every mutation and for every mode the instance
+// shape supports, that SolveDeltaRequest (one warm DeltaState per instance,
+// reused engine, recycled Into) returns results bit-identical to a fresh
+// SolveRequest on a fresh engine. It also asserts the warm path actually
+// engages somewhere in the corpus — a delta layer that always fell back to
+// full solves would pass the equality check trivially.
+func TestSolveDeltaDifferentialCorpus(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	arena := exec.NewArena()
+	cx := exec.New(exec.Config{Pool: pool, Arena: arena})
+	reused := Options{Exec: cx}
+	fresh := Options{Pool: pool}
+
+	weights := func(ins *onesided.Instance) WeightFn {
+		return func(a, p int32) int64 {
+			if ins.IsLastResort(p) {
+				return -int64(a % 3)
+			}
+			return int64((int(p)+2*int(a))%7) - 2
+		}
+	}
+
+	rng := rand.New(rand.NewSource(20260808))
+	warm := 0
+	var recycled onesided.Matching
+	for i, base := range engineCorpus() {
+		ins := base.Clone()
+		var st DeltaState
+		for step := 0; step < 6; step++ {
+			if step > 0 {
+				mutateRandom(t, rng, ins)
+			}
+			w := weights(ins)
+			for _, mode := range modesFor(ins) {
+				out, err := SolveDeltaRequest(ins, Request{Mode: mode, Weights: w, Into: &recycled}, &st, reused)
+				if err != nil {
+					t.Fatalf("instance %d step %d mode %s: delta: %v", i, step, mode, err)
+				}
+				want, err := SolveRequest(ins, Request{Mode: mode, Weights: w}, fresh)
+				if err != nil {
+					t.Fatalf("instance %d step %d mode %s: fresh: %v", i, step, mode, err)
+				}
+				if out.Exists != want.Exists {
+					t.Fatalf("instance %d step %d mode %s: delta exists=%v fresh=%v",
+						i, step, mode, out.Exists, want.Exists)
+				}
+				if mode == ModePopular && ins.Capacities == nil && st.Stats().Warm {
+					warm++
+				}
+				if !out.Exists {
+					continue
+				}
+				got, exp := out.Matching.PostOf, want.Matching.PostOf
+				if ins.Capacities != nil {
+					got, exp = out.Assignment.PostOf, want.Assignment.PostOf
+				}
+				if fmt.Sprint(got) != fmt.Sprint(exp) {
+					t.Fatalf("instance %d step %d mode %s: delta %v fresh %v", i, step, mode, got, exp)
+				}
+				if out.Matching != nil {
+					recycled = *out.Matching
+				}
+			}
+			// Re-query without mutating: must serve the cached matching.
+			if ins.Capacities == nil && ins.CSR().Strict() {
+				again, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused)
+				if err != nil {
+					t.Fatalf("instance %d step %d: cached re-query: %v", i, step, err)
+				}
+				if !st.Stats().CacheHit {
+					t.Fatalf("instance %d step %d: unmutated re-query missed the cache", i, step)
+				}
+				want, err := SolveRequest(ins, Request{Mode: ModePopular}, fresh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.Exists != want.Exists {
+					t.Fatalf("instance %d step %d: cached exists=%v fresh=%v", i, step, again.Exists, want.Exists)
+				}
+				if again.Exists && !again.Matching.Equal(want.Matching) {
+					t.Fatalf("instance %d step %d: cached matching diverged from fresh", i, step)
+				}
+			}
+		}
+	}
+	if warm == 0 {
+		t.Fatal("warm splice path never engaged across the corpus")
+	}
+}
+
+// blockInstance builds `blocks` disjoint 4-applicant/4-post blocks with
+// distinct first choices, so G′ components are tiny and a single-row edit
+// stays local.
+func blockInstance(t *testing.T, blocks int) *onesided.Instance {
+	t.Helper()
+	lists := make([][]int32, 0, 4*blocks)
+	for b := 0; b < blocks; b++ {
+		base := int32(4 * b)
+		for i := int32(0); i < 4; i++ {
+			lists = append(lists, []int32{base + i, base + (i+1)%4})
+		}
+	}
+	ins, err := onesided.NewStrict(4*blocks, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+// TestSolveDeltaLocalEdit pins the locality contract: on a block-structured
+// instance a single-row edit must take the warm path, touch only a few
+// applicants, and still match a fresh solve exactly.
+func TestSolveDeltaLocalEdit(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	cx := exec.New(exec.Config{Pool: pool, Arena: exec.NewArena()})
+	reused := Options{Exec: cx}
+
+	const blocks = 50
+	ins := blockInstance(t, blocks)
+	var st DeltaState
+	if _, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Warm {
+		t.Fatal("first solve reported warm")
+	}
+
+	// Swap applicant 0's two posts: f(0) moves 0 -> 1, post 0 stops being an
+	// f-post, so s shifts for the applicants listing post 0 — all inside
+	// block 0.
+	if err := ins.SetPreferences(0, []int32{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if !s.Warm {
+		t.Fatalf("local edit did not take the warm path: %+v", s)
+	}
+	if s.Affected > 8 {
+		t.Fatalf("local edit affected %d applicants, want <= 8", s.Affected)
+	}
+	want, err := SolveRequest(ins, Request{Mode: ModePopular}, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exists != want.Exists || !out.Matching.Equal(want.Matching) {
+		t.Fatal("warm delta result diverged from fresh solve")
+	}
+
+	// An edit below s(a) leaves G′ untouched: appending an f-post to a row
+	// changes the instance but not (f, s) — must be served as a cache hit.
+	if err := ins.SetPreferences(3, []int32{3, 0, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err = SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stats().CacheHit || st.Stats().ChangedRows != 0 {
+		t.Fatalf("G′-preserving edit not served from cache: %+v", st.Stats())
+	}
+	want, err = SolveRequest(ins, Request{Mode: ModePopular}, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Matching.Equal(want.Matching) {
+		t.Fatal("cache-served matching diverged from fresh solve")
+	}
+}
+
+// TestSolveDeltaSequentialTrial runs a long single-row-edit sequence on a
+// mid-size solvable instance, checking bit-identical results against fresh
+// solves at every step and that the warm path carries most of the steps.
+func TestSolveDeltaSequentialTrial(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	cx := exec.New(exec.Config{Pool: pool, Arena: exec.NewArena()})
+	reused := Options{Exec: cx}
+	fresh := Options{Pool: pool}
+
+	rng := rand.New(rand.NewSource(31))
+	const n = 3000
+	ins := onesided.Solvable(rng, n, n/4, 5)
+	var st DeltaState
+	var into, freshInto onesided.Matching
+	warm := 0
+	for step := 0; step < 50; step++ {
+		if step > 0 {
+			// Single-row edit: replace one applicant's seconds, keeping the
+			// unique-first-choice structure so the instance stays solvable.
+			a := rng.Intn(n)
+			row := []int32{int32(a)}
+			for len(row) < 4 {
+				row = append(row, int32(n+rng.Intn(n/4)))
+			}
+			if row[1] == row[2] || row[1] == row[3] || row[2] == row[3] {
+				continue
+			}
+			if err := ins.SetPreferences(a, row, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := SolveDeltaRequest(ins, Request{Mode: ModePopular, Into: &into}, &st, reused)
+		if err != nil {
+			t.Fatalf("step %d: delta: %v", step, err)
+		}
+		if step > 0 && st.Stats().Warm {
+			warm++
+		}
+		want, err := SolveRequest(ins, Request{Mode: ModePopular, Into: &freshInto}, fresh)
+		if err != nil {
+			t.Fatalf("step %d: fresh: %v", step, err)
+		}
+		if out.Exists != want.Exists {
+			t.Fatalf("step %d: delta exists=%v fresh=%v", step, out.Exists, want.Exists)
+		}
+		if out.Exists && !out.Matching.Equal(want.Matching) {
+			t.Fatalf("step %d: delta matching diverged from fresh", step)
+		}
+		if out.Matching != nil {
+			into = *out.Matching
+		}
+		if want.Matching != nil {
+			freshInto = *want.Matching
+		}
+	}
+	if warm < 30 {
+		t.Fatalf("warm path carried only %d/49 edit steps", warm)
+	}
+}
+
+// TestSolveDeltaAfterInvalidate pins the wholesale-epoch contract: a direct
+// in-place mutation followed by Invalidate makes the journal unreplayable,
+// so the next delta solve runs full and then warms up again.
+func TestSolveDeltaAfterInvalidate(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	cx := exec.New(exec.Config{Pool: pool, Arena: exec.NewArena()})
+	reused := Options{Exec: cx}
+
+	ins := blockInstance(t, 20)
+	var st DeltaState
+	if _, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused); err != nil {
+		t.Fatal(err)
+	}
+	ins.Lists[0] = []int32{1, 0}
+	ins.Ranks[0] = []int32{1, 2}
+	ins.Invalidate()
+	out, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Warm || st.Stats().CacheHit {
+		t.Fatalf("post-Invalidate solve was not full: %+v", st.Stats())
+	}
+	want, err := SolveRequest(ins, Request{Mode: ModePopular}, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Matching.Equal(want.Matching) {
+		t.Fatal("post-Invalidate result diverged")
+	}
+	// And the state it captured is warm-startable again.
+	if err := ins.SetPreferences(5, []int32{5, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stats().Warm && !st.Stats().CacheHit {
+		t.Fatalf("delta after re-capture did not warm: %+v", st.Stats())
+	}
+}
+
+// TestSolveDeltaExistenceFlips drives the warm path across exists=true ->
+// false -> true transitions (an affected component failing Hall and then
+// recovering) and checks each answer against a fresh solve.
+func TestSolveDeltaExistenceFlips(t *testing.T) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	cx := exec.New(exec.Config{Pool: pool, Arena: exec.NewArena()})
+	reused := Options{Exec: cx}
+
+	// Blocks keep everything local; then wedge three applicants onto two
+	// posts (the classic Hall violation) inside block 0.
+	ins := blockInstance(t, 10)
+	var st DeltaState
+	if _, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		out, err := SolveDeltaRequest(ins, Request{Mode: ModePopular}, &st, reused)
+		if err != nil {
+			t.Fatalf("%s: delta: %v", label, err)
+		}
+		want, err := SolveRequest(ins, Request{Mode: ModePopular}, Options{Pool: pool})
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", label, err)
+		}
+		if out.Exists != want.Exists {
+			t.Fatalf("%s: delta exists=%v fresh=%v", label, out.Exists, want.Exists)
+		}
+		if out.Exists && !out.Matching.Equal(want.Matching) {
+			t.Fatalf("%s: matching diverged", label)
+		}
+	}
+	mustSet := func(a int, posts []int32) {
+		t.Helper()
+		if err := ins.SetPreferences(a, posts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(0, []int32{0, 1})
+	mustSet(1, []int32{0, 1})
+	mustSet(2, []int32{0, 1})
+	check("three-on-two wedge")
+	mustSet(2, []int32{2, 3})
+	check("wedge released")
+	check("re-query")
+}

@@ -135,10 +135,24 @@ func (ins *Instance) Expanded() (*Expansion, error) {
 	}
 	unit.CSR() // prebuild so every solve shares the flat form
 	e := &Expansion{Unit: unit, CloneOf: cloneOf, FirstClone: firstClone}
-	ins.recordFingerprint()
+	// Store the expansion BEFORE re-recording the fingerprint: in the
+	// reverse order a mutate+Invalidate interleaved between the two calls
+	// would clear the cache slot and the debug side table first — and then
+	// the Store would plant an expansion of the pre-mutation lists that every
+	// later Expanded call serves as current. Storing first closes the window:
+	// anything stored here is dropped by that Invalidate.
 	ins.expCache.Store(e)
+	if expandedRaceHook != nil {
+		expandedRaceHook()
+	}
+	ins.recordFingerprint()
 	return e, nil
 }
+
+// expandedRaceHook, when non-nil, runs between the expansion store and the
+// fingerprint re-record in Expanded. Tests use it to interleave a mutation
+// exactly inside the former race window.
+var expandedRaceHook func()
 
 // Assignment is a many-to-one matching of a capacitated instance: PostOf[a]
 // is the original post held by applicant a (possibly a's last resort

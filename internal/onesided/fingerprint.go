@@ -6,51 +6,86 @@ import (
 	"encoding/hex"
 )
 
+// rowDigests caches one truncated SHA-256 per applicant preference row. The
+// content fingerprint is a hash over these digests (plus dimensions and
+// capacities), so a single-row mutation re-hashes one row and one O(n) pass
+// over fixed-size digests instead of the whole edge set — while keeping the
+// full collision resistance of SHA-256 for registry/cache keying.
+type rowDigests [][16]byte
+
 // Fingerprint returns a stable content hash of the instance: 32 lowercase
-// hex characters derived from a SHA-256 over the flat CSR arrays, the
-// dimensions and the capacity vector. Two instances have equal fingerprints
-// exactly when they describe the same preference system (same applicants,
-// posts, lists, ranks and capacities), independent of how they were
-// constructed, the process that hashes them, or the host architecture — so
-// the fingerprint is a valid registry key and cache key across daemon
-// restarts.
+// hex characters derived from SHA-256 over the dimensions, one per-row
+// digest of each applicant's (posts, ranks) list, and the capacity vector.
+// Two instances have equal fingerprints exactly when they describe the same
+// preference system (same applicants, posts, lists, ranks and capacities),
+// independent of how they were constructed, the process that hashes them, or
+// the host architecture — so the fingerprint is a valid registry key and
+// cache key across daemon restarts.
 //
-// The hash is computed once and cached alongside the other derived
-// structures; it is subject to the Instance immutability contract
-// (Invalidate drops it together with the rank maps and the CSR form).
+// The row digests are maintained incrementally by the mutation API
+// (delta.go): editing one preference row re-hashes that row only, and the
+// next Fingerprint call recombines the cached digests. Both levels are
+// cached alongside the other derived structures and subject to the Instance
+// immutability contract (Invalidate drops them with the rank maps and CSR).
 func (ins *Instance) Fingerprint() string {
 	if fp := ins.fpCache.Load(); fp != nil {
 		return *fp
 	}
-	fp := fingerprintCSR(ins.CSR())
+	d := ins.digests.Load()
+	if d == nil {
+		built := make(rowDigests, ins.NumApplicants)
+		for a := range ins.Lists {
+			built[a] = rowDigest(ins.Lists[a], ins.Ranks[a])
+		}
+		// Concurrent builders race benignly: identical digests, either wins.
+		ins.digests.Store(&built)
+		d = &built
+	}
+	fp := fingerprintRows(ins.NumApplicants, ins.NumPosts, *d, ins.Capacities)
 	ins.fpCache.Store(&fp)
 	return fp
 }
 
-// fingerprintCSR hashes the canonical flat form. All integers are written
-// little-endian; section tags keep differently-shaped inputs from colliding
-// by concatenation.
-func fingerprintCSR(c *CSR) string {
+// rowDigest hashes one preference row. The length prefix keeps rows from
+// colliding by concatenation; posts and ranks are interleaved little-endian.
+func rowDigest(posts, ranks []int32) (d [16]byte) {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(posts)))
+	h.Write(buf[:])
+	for i := range posts {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(posts[i]))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(ranks[i]))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	copy(d[:], sum[:16])
+	return d
+}
+
+// fingerprintRows combines the per-row digests into the top-level hash. Each
+// row digest is fixed-size and the row count is written first, so the
+// encoding is prefix-free; section tags keep the capacity vector from
+// colliding with digest bytes.
+func fingerprintRows(numApplicants, numPosts int, rows rowDigests, caps []int32) string {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(v int) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
-	writeInt32s := func(tag byte, s []int32) {
-		h.Write([]byte{tag})
-		writeInt(len(s))
-		for _, v := range s {
-			binary.LittleEndian.PutUint32(buf[:4], uint32(v))
-			h.Write(buf[:4])
-		}
+	writeInt(numApplicants)
+	writeInt(numPosts)
+	h.Write([]byte{'R'})
+	for i := range rows {
+		h.Write(rows[i][:])
 	}
-	writeInt(c.NumApplicants)
-	writeInt(c.NumPosts)
-	writeInt32s('o', c.Off)
-	writeInt32s('p', c.Post)
-	writeInt32s('r', c.Rank)
-	writeInt32s('c', c.Capacities)
+	h.Write([]byte{'c'})
+	writeInt(len(caps))
+	for _, v := range caps {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])
 }

@@ -51,6 +51,15 @@ type Instance struct {
 	csrCache  atomic.Pointer[CSR]
 	fpCache   atomic.Pointer[string]
 	expCache  atomic.Pointer[Expansion]
+	digests   atomic.Pointer[rowDigests]
+
+	// Delta-solve state, owned by the mutation API (delta.go). epoch counts
+	// mutations, log journals the recent ones for DirtySince, and tied
+	// maintains the CSR strictness flag as a count+1 of tied rows (0 =
+	// unknown, recount lazily).
+	epoch uint64
+	log   mutLog
+	tied  int
 }
 
 // NewStrict builds a strictly-ordered instance: lists[a][i] has rank i+1.
@@ -176,15 +185,22 @@ func (ins *Instance) SetCapacities(caps []int32) error {
 	return nil
 }
 
-// Invalidate drops the lazily derived caches (rank maps, the CSR form and
-// the content fingerprint). Call it after mutating Lists, Ranks or
-// Capacities of an instance that has already been solved or queried; see the
-// immutability contract on Instance.
+// Invalidate drops the lazily derived caches (rank maps, the CSR form, the
+// content fingerprint and its row digests). Call it after mutating Lists,
+// Ranks or Capacities of an instance that has already been solved or
+// queried; see the immutability contract on Instance. Prefer the mutation
+// API (SetPreferences and friends, delta.go), which patches the caches in
+// place instead of dropping them and keeps the mutation journal replayable;
+// Invalidate advances the epoch wholesale, so delta solvers holding an older
+// epoch fall back to a full solve.
 func (ins *Instance) Invalidate() {
 	ins.rankCache.Store(nil)
 	ins.csrCache.Store(nil)
 	ins.fpCache.Store(nil)
 	ins.expCache.Store(nil)
+	ins.digests.Store(nil)
+	ins.tied = 0
+	ins.bumpWholesale()
 	ins.clearFingerprint()
 }
 
@@ -198,8 +214,11 @@ func (ins *Instance) CSR() *CSR {
 		return c
 	}
 	c := BuildCSR(ins)
-	ins.recordFingerprint()
+	// Store before recording: if a mutate+Invalidate lands between the two,
+	// the Invalidate clears this cache entry, whereas the reverse order could
+	// leave a freshly-stored stale structure behind (see Expanded).
 	ins.csrCache.Store(c)
+	ins.recordFingerprint()
 	return c
 }
 
@@ -249,10 +268,11 @@ func (ins *Instance) RankOf(a int, p int32) (rank int32, ok bool) {
 			}
 			built[i] = m
 		}
-		ins.recordFingerprint()
 		// Concurrent builders race benignly: both compute identical maps
-		// from the (immutable-by-contract) lists and either may win.
+		// from the (immutable-by-contract) lists and either may win. Store
+		// before recording so an interleaved Invalidate clears the entry.
 		ins.rankCache.Store(&built)
+		ins.recordFingerprint()
 		maps = &built
 	} else {
 		ins.checkFingerprintRow(a)

@@ -81,7 +81,9 @@ func (b *batcher) submit(ctx context.Context, snap *Snapshot, mode Mode) (*Outco
 	case <-ctx.Done():
 		// The job stays in the pipeline; its batch group observes the
 		// abandoned context through the joined context and stops when no
-		// waiter remains.
+		// waiter remains. The eventual deliver lands in the job's buffered
+		// done channel, so it neither blocks the batch executor nor leaks.
+		b.stats.Abandoned.Add(1)
 		return nil, ctx.Err()
 	}
 }
@@ -274,7 +276,7 @@ func (b *batcher) runSolveBatch(gs []*group) {
 	}
 	b.stats.Solves.Add(int64(len(gs)))
 	for i, g := range gs {
-		g.deliver(outcomeOf(g.snap, results[i]), nil)
+		g.deliver(outcomeOf(g.snap.Posts, results[i]), nil)
 	}
 }
 
@@ -293,7 +295,7 @@ func (b *batcher) runGroup(g *group) {
 		g.deliver(nil, err)
 		return
 	}
-	g.deliver(outcomeOf(g.snap, res), nil)
+	g.deliver(outcomeOf(g.snap.Posts, res), nil)
 }
 
 // deliver fans one result out to every waiter of the group.

@@ -8,10 +8,14 @@ import (
 // cacheKey identifies a cached solve outcome: the instance's content
 // fingerprint plus the solve mode. Keying by fingerprint (not by upload
 // identity) means re-uploading the same instance — or two clients uploading
-// identical instances — shares one cache line.
+// identical instances — shares one cache line. Session solves key by session
+// id instead and additionally carry the mutation epoch, so a re-match after
+// an edit can never be answered with a stale line (registered snapshots are
+// immutable and always use epoch 0).
 type cacheKey struct {
-	id   string
-	mode Mode
+	id    string
+	mode  Mode
+	epoch uint64
 }
 
 // resultCache is a mutex-guarded LRU over immutable *Outcome values. A hit
@@ -71,19 +75,26 @@ func (c *resultCache) Put(k cacheKey, out *Outcome) {
 	}
 }
 
-// EvictInstance drops every mode's entry for instance id (called when the
-// instance leaves the registry, so the cache cannot serve results for
-// unknown instances).
+// EvictInstance drops every entry whose key names instance (or session) id —
+// called when the id leaves the registry or session table, so the cache
+// cannot serve results for unknown instances. It walks the LRU list rather
+// than probing known (id, mode) combinations: keys carry more dimensions
+// than the mode (the session epoch, and historically keys have gained
+// fields), and a probe loop silently leaks every combination it does not
+// think to probe. The walk is O(entries), which is bounded by CacheSize and
+// only paid on eviction.
 func (c *resultCache) EvictInstance(id string) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, mode := range Modes {
-		if el, ok := c.items[cacheKey{id: id, mode: mode}]; ok {
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.id == id {
 			c.ll.Remove(el)
-			delete(c.items, cacheKey{id: id, mode: mode})
+			delete(c.items, ent.key)
 		}
 	}
 }

@@ -22,6 +22,16 @@ import (
 //	GET    /v1/stats           counter snapshot
 //	GET    /healthz            liveness
 //
+// Delta sessions (mutable forks of a registered instance, re-matched
+// incrementally — see Session):
+//
+//	POST   /v1/sessions                 {"instance": id} → session info
+//	GET    /v1/sessions                 list live sessions
+//	GET    /v1/sessions/{id}            one session's info
+//	DELETE /v1/sessions/{id}            end a session
+//	POST   /v1/sessions/{id}/mutations  {"mutations": [...]} → info + results
+//	POST   /v1/sessions/{id}/solve      {"mode": m} → solution
+//
 // Instance ids are content fingerprints (Instance.Fingerprint), so uploads
 // are idempotent and solve results are cacheable across re-uploads. In
 // post_of vectors, entries >= the instance's post count denote the
@@ -65,6 +75,38 @@ type solveResponse struct {
 	Instance   string    `json:"instance"`
 	Mode       string    `json:"mode"`
 	Cached     bool      `json:"cached"`
+	Exists     bool      `json:"exists"`
+	Size       int       `json:"size"`
+	PeelRounds int       `json:"peel_rounds"`
+	PostOf     []int32   `json:"post_of,omitempty"`
+	AssignedTo [][]int32 `json:"assigned_to,omitempty"`
+}
+
+type sessionCreateRequest struct {
+	Instance string `json:"instance"`
+}
+
+type sessionMutateRequest struct {
+	Mutations []Mutation `json:"mutations"`
+}
+
+type sessionMutateResponse struct {
+	Session SessionInfo      `json:"session"`
+	Applied []MutationResult `json:"applied"`
+}
+
+type sessionSolveRequest struct {
+	Mode string `json:"mode"`
+}
+
+// sessionSolveResponse extends the solve wire form with the session epoch the
+// answer is valid for and whether the warm incremental path produced it.
+type sessionSolveResponse struct {
+	Session    string    `json:"session"`
+	Mode       string    `json:"mode"`
+	Epoch      uint64    `json:"epoch"`
+	Cached     bool      `json:"cached"`
+	Warm       bool      `json:"warm"`
 	Exists     bool      `json:"exists"`
 	Size       int       `json:"size"`
 	PeelRounds int       `json:"peel_rounds"`
@@ -176,6 +218,87 @@ func NewHandler(s *Server) http.Handler {
 			AssignedTo: out.AssignedTo,
 		})
 	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req sessionCreateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := s.CreateSession(req.Instance)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		infos := s.Sessions()
+		if infos == nil {
+			infos = []SessionInfo{}
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := s.Session(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrUnknownSession)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.DeleteSession(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, ErrUnknownSession)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/mutations", func(w http.ResponseWriter, r *http.Request) {
+		var req sessionMutateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, applied, err := s.MutateSession(r.PathValue("id"), req.Mutations)
+		if err != nil {
+			// A failed batch may have partially applied; the 422 body still
+			// carries what stuck so the client can resynchronize, but the
+			// top-level error keeps the failure unmissable.
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sessionMutateResponse{Session: info, Applied: applied})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req sessionSolveRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		mode, err := ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		id := r.PathValue("id")
+		out, meta, err := s.SolveSession(r.Context(), id, mode)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sessionSolveResponse{
+			Session:    id,
+			Mode:       mode.String(),
+			Epoch:      meta.Epoch,
+			Cached:     meta.Cached,
+			Warm:       meta.Warm,
+			Exists:     out.Exists,
+			Size:       out.Size,
+			PeelRounds: out.PeelRounds,
+			PostOf:     out.PostOf,
+			AssignedTo: out.AssignedTo,
+		})
+	})
 	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
 		var req verifyRequest
 		if err := decodeJSON(r, &req); err != nil {
@@ -206,9 +329,9 @@ func infoOf(snap *Snapshot) instanceInfo {
 // statusOf maps service errors to HTTP statuses.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownInstance):
+	case errors.Is(err, ErrUnknownInstance), errors.Is(err, ErrUnknownSession):
 		return http.StatusNotFound
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTooManySessions):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrServerClosed):
 		return http.StatusServiceUnavailable

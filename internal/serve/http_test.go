@@ -323,3 +323,103 @@ func TestHTTPUnifiedModeSet(t *testing.T) {
 		t.Fatalf("maxweight on capacitated instance: %d, want 422", st)
 	}
 }
+
+// TestHTTPSessionLifecycle drives the delta-session endpoints end to end:
+// fork a session off an uploaded instance, re-match, mutate, re-match warm,
+// and check the epoch/cache semantics a client sees on the wire.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1})
+	rng := rand.New(rand.NewSource(51))
+	ins := onesided.Solvable(rng, 100, 25, 4)
+	info := h.upload(ins)
+
+	// Create.
+	body, _ := json.Marshal(sessionCreateRequest{Instance: info.ID})
+	var sess SessionInfo
+	if st := h.do("POST", "/v1/sessions", "application/json", body, &sess); st != http.StatusCreated {
+		t.Fatalf("create session: %d", st)
+	}
+	if sess.Source != info.ID || sess.Applicants != 100 {
+		t.Fatalf("session info: %+v", sess)
+	}
+	// Creating from an unknown instance is a 404.
+	body, _ = json.Marshal(sessionCreateRequest{Instance: "deadbeef"})
+	if st := h.do("POST", "/v1/sessions", "application/json", body, nil); st != http.StatusNotFound {
+		t.Fatalf("create from unknown instance: %d", st)
+	}
+
+	// List and get.
+	var list []SessionInfo
+	if st := h.do("GET", "/v1/sessions", "", nil, &list); st != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list sessions: %d with %d entries", st, len(list))
+	}
+	if st := h.do("GET", "/v1/sessions/"+sess.ID, "", nil, &sess); st != http.StatusOK {
+		t.Fatalf("get session: %d", st)
+	}
+
+	solve := func() sessionSolveResponse {
+		t.Helper()
+		body, _ := json.Marshal(sessionSolveRequest{Mode: "popular"})
+		var out sessionSolveResponse
+		if st := h.do("POST", "/v1/sessions/"+sess.ID+"/solve", "application/json", body, &out); st != http.StatusOK {
+			t.Fatalf("session solve: %d", st)
+		}
+		return out
+	}
+
+	// First solve: full capture; repeat: cache hit at the same epoch.
+	first := solve()
+	if first.Cached || first.Warm || !first.Exists || first.Epoch != 0 {
+		t.Fatalf("first session solve: %+v", first)
+	}
+	if again := solve(); !again.Cached {
+		t.Fatalf("re-query not cached: %+v", again)
+	}
+
+	// Mutate one row, re-match: a new epoch, served warm, uncached.
+	mbody, _ := json.Marshal(sessionMutateRequest{Mutations: []Mutation{
+		{Op: "set_preferences", Applicant: 7, Posts: []int32{7, 100, 101}},
+	}})
+	var mut sessionMutateResponse
+	if st := h.do("POST", "/v1/sessions/"+sess.ID+"/mutations", "application/json", mbody, &mut); st != http.StatusOK {
+		t.Fatalf("mutate: %d", st)
+	}
+	if mut.Session.Epoch == 0 || len(mut.Applied) != 1 {
+		t.Fatalf("mutate response: %+v", mut)
+	}
+	second := solve()
+	if second.Cached || !second.Warm || second.Epoch != mut.Session.Epoch {
+		t.Fatalf("post-mutation solve: %+v", second)
+	}
+	// The re-match verifies popular against the session's current instance
+	// via the one-shot oracle on an identically mutated copy.
+	mutated := ins.Clone()
+	if err := mutated.SetPreferences(7, []int32{7, 100, 101}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mutatedInfo := h.upload(mutated)
+	vbody, _ := json.Marshal(verifyRequest{Instance: mutatedInfo.ID, PostOf: second.PostOf})
+	var verdict verifyResponse
+	if st := h.do("POST", "/v1/verify", "application/json", vbody, &verdict); st != http.StatusOK || !verdict.Popular {
+		t.Fatalf("warm re-match did not verify popular: %d %+v", st, verdict)
+	}
+
+	// Invalid mutations are the request's fault: 422.
+	mbody, _ = json.Marshal(sessionMutateRequest{Mutations: []Mutation{{Op: "set_preferences", Applicant: 1000, Posts: []int32{0}}}})
+	var e errorResponse
+	if st := h.do("POST", "/v1/sessions/"+sess.ID+"/mutations", "application/json", mbody, &e); st != http.StatusUnprocessableEntity {
+		t.Fatalf("bad mutation: %d (%+v)", st, e)
+	}
+
+	// Delete, then everything 404s.
+	if st := h.do("DELETE", "/v1/sessions/"+sess.ID, "", nil, nil); st != http.StatusOK {
+		t.Fatalf("delete session: %d", st)
+	}
+	body, _ = json.Marshal(sessionSolveRequest{Mode: "popular"})
+	if st := h.do("POST", "/v1/sessions/"+sess.ID+"/solve", "application/json", body, &e); st != http.StatusNotFound {
+		t.Fatalf("solve of deleted session: %d", st)
+	}
+	if st := h.do("GET", "/v1/sessions/"+sess.ID, "", nil, &e); st != http.StatusNotFound {
+		t.Fatalf("get of deleted session: %d", st)
+	}
+}

@@ -112,10 +112,16 @@ type Config struct {
 	// negative = disable caching).
 	CacheSize int
 	// MaxQueue bounds the request queue; a full queue rejects with
-	// ErrOverloaded (default 1024).
+	// ErrOverloaded (default 1024; negative = minimal queueing, capacity 1).
+	// The queue can never have zero capacity: an unbuffered handoff would
+	// reject any request that does not land exactly on the dispatcher's
+	// receive, i.e. an idle server would bounce traffic at random.
 	MaxQueue int
 	// MaxInstances bounds the registry (default 1024; negative = unbounded).
 	MaxInstances int
+	// MaxSessions bounds concurrently live delta sessions (default 256;
+	// negative = unbounded).
+	MaxSessions int
 	// InflightBatches is how many micro-batches may execute concurrently
 	// (default 2) — backpressure that lets the next batch fill while the
 	// current one solves.
@@ -139,7 +145,16 @@ func (c Config) withDefaults() Config {
 	}
 	def(&c.CacheSize, 1024)
 	def(&c.MaxQueue, 1024)
+	if c.MaxQueue == 0 {
+		// Negative MaxQueue means "as little queueing as possible", which is
+		// capacity 1, not 0: a zero-capacity jobs channel only accepts a
+		// request while the dispatcher is parked on its receive, so requests
+		// arriving during gather or dispatch would be rejected as
+		// ErrOverloaded even with the server otherwise idle.
+		c.MaxQueue = 1
+	}
 	def(&c.MaxInstances, 1024)
+	def(&c.MaxSessions, 256)
 	def(&c.InflightBatches, 2)
 	if c.InflightBatches == 0 {
 		c.InflightBatches = 1
@@ -161,6 +176,7 @@ type Server struct {
 	stats    Stats
 	solver   *popmatch.Solver
 	batch    *batcher
+	sessions sessionTable
 	started  time.Time
 }
 
@@ -174,6 +190,7 @@ func New(cfg Config) *Server {
 		solver:   popmatch.NewSolver(popmatch.Options{Workers: cfg.Workers}),
 		started:  time.Now(),
 	}
+	s.sessions.max = cfg.MaxSessions
 	s.batch = newBatcher(cfg, s.solver, &s.stats)
 	return s
 }
@@ -211,6 +228,7 @@ func (s *Server) Evict(id string) bool {
 func (s *Server) Stats() map[string]int64 {
 	m := s.stats.Snapshot()
 	m["instances"] = int64(s.registry.Len())
+	m["sessions"] = int64(s.sessions.len())
 	m["cache_entries"] = int64(s.cache.Len())
 	m["uptime_seconds"] = int64(time.Since(s.started) / time.Second)
 	return m
@@ -282,15 +300,17 @@ func (s *Server) Verify(ctx context.Context, id string, postOf []int32) (popular
 
 // outcomeOf freezes a solver result into an immutable Outcome (buffers
 // copied: results may share storage with solver-recycled matchings, and
-// cached outcomes outlive the solve that produced them).
-func outcomeOf(snap *Snapshot, res popmatch.Result) *Outcome {
+// cached outcomes outlive the solve that produced them). posts is the
+// instance's post count — it sizes capacitated rosters and cannot be read
+// off the result itself.
+func outcomeOf(posts int, res popmatch.Result) *Outcome {
 	out := &Outcome{Exists: res.Exists, Size: res.Size, PeelRounds: res.PeelRounds}
 	if !res.Exists {
 		return out
 	}
 	if res.Assignment != nil {
 		out.PostOf = append([]int32(nil), res.Assignment.PostOf...)
-		out.AssignedTo = make([][]int32, snap.Posts)
+		out.AssignedTo = make([][]int32, posts)
 		for p := range out.AssignedTo {
 			roster := res.Assignment.AssignedTo(int32(p))
 			out.AssignedTo[p] = append(make([]int32, 0, len(roster)), roster...)

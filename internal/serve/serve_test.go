@@ -165,19 +165,46 @@ func TestCacheEvictionOnInstanceEvict(t *testing.T) {
 func TestLRUEvictsOldest(t *testing.T) {
 	c := newResultCache(2)
 	o := &Outcome{}
-	c.Put(cacheKey{"a", ModePopular}, o)
-	c.Put(cacheKey{"b", ModePopular}, o)
-	if _, ok := c.Get(cacheKey{"a", ModePopular}); !ok {
+	c.Put(cacheKey{id: "a", mode: ModePopular}, o)
+	c.Put(cacheKey{id: "b", mode: ModePopular}, o)
+	if _, ok := c.Get(cacheKey{id: "a", mode: ModePopular}); !ok {
 		t.Fatal("a missing")
 	}
-	c.Put(cacheKey{"c", ModePopular}, o) // evicts b (a was refreshed)
-	if _, ok := c.Get(cacheKey{"b", ModePopular}); ok {
+	c.Put(cacheKey{id: "c", mode: ModePopular}, o) // evicts b (a was refreshed)
+	if _, ok := c.Get(cacheKey{id: "b", mode: ModePopular}); ok {
 		t.Fatal("b survived beyond capacity")
 	}
 	for _, id := range []string{"a", "c"} {
-		if _, ok := c.Get(cacheKey{id, ModePopular}); !ok {
+		if _, ok := c.Get(cacheKey{id: id, mode: ModePopular}); !ok {
 			t.Fatalf("%s missing", id)
 		}
+	}
+}
+
+// TestEvictInstanceDropsEveryKeyShape is the regression test for the evict
+// bug: the old implementation probed cacheKey{id, mode} for each mode in the
+// global Modes list, so any key carrying an out-of-list mode — or, since
+// sessions, a nonzero epoch — survived eviction and leaked until LRU
+// pressure pushed it out (while staying servable for a deleted id).
+func TestEvictInstanceDropsEveryKeyShape(t *testing.T) {
+	c := newResultCache(8)
+	o := &Outcome{}
+	c.Put(cacheKey{id: "x", mode: ModePopular}, o)
+	c.Put(cacheKey{id: "x", mode: Mode(99)}, o)              // not in Modes
+	c.Put(cacheKey{id: "x", mode: ModePopular, epoch: 7}, o) // session epoch key
+	c.Put(cacheKey{id: "y", mode: ModePopular}, o)
+	c.EvictInstance("x")
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cache holds %d entries after evicting x, want 1", got)
+	}
+	if _, ok := c.Get(cacheKey{id: "x", mode: ModePopular, epoch: 7}); ok {
+		t.Fatal("epoch-carrying key survived EvictInstance")
+	}
+	if _, ok := c.Get(cacheKey{id: "x", mode: Mode(99)}); ok {
+		t.Fatal("foreign-mode key survived EvictInstance")
+	}
+	if _, ok := c.Get(cacheKey{id: "y", mode: ModePopular}); !ok {
+		t.Fatal("unrelated instance was evicted")
 	}
 }
 
@@ -232,38 +259,119 @@ func TestAdmissionControlRejectsWhenFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Saturate: all submitters release together against a multi-millisecond
-	// solve, so at most 1 executing + 1 gathered + 2 queued are absorbed and
-	// the rest must bounce.
-	var wg sync.WaitGroup
-	start := make(chan struct{})
-	errs := make(chan error, 16)
-	for i := 0; i < 16; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			<-start
-			_, _, err := s.Solve(context.Background(), snap.ID, ModePopular)
-			errs <- err
-		}()
+	// Fill every pipeline stage deterministically (racing a flock of
+	// submitters against the dispatcher flakes: the queue drains between
+	// their sends). Stage 1 — one solve executing, holding the single
+	// inflight slot.
+	execDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Solve(context.Background(), snap.ID, ModePopular)
+		execDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.stats.Batches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first solve never dispatched")
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
-	close(start)
-	wg.Wait()
-	close(errs)
-	var rejected int
-	for err := range errs {
-		if errors.Is(err, ErrOverloaded) {
-			rejected++
-		} else if err != nil {
-			t.Fatalf("unexpected error: %v", err)
+	// Stages 2–4 — blocking sends of three more jobs. The dispatcher takes
+	// exactly one (its next gathered batch, parked on the inflight
+	// semaphore); the other two fill the MaxQueue=2 buffer. The third send
+	// can only return once that state is reached, so after it the pipeline
+	// is provably full.
+	filler := make([]*solveJob, 3)
+	for i := range filler {
+		filler[i] = &solveJob{snap: snap, mode: ModePopular, ctx: context.Background(), done: make(chan jobResult, 1)}
+		s.batch.jobs <- filler[i]
+	}
+	// The next request must bounce.
+	if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("solve against a full pipeline: %v, want ErrOverloaded", err)
+	}
+	if got := s.Stats()["rejected"]; got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	// Everything admitted completes once the executing solve releases the
+	// slot.
+	if err := <-execDone; err != nil {
+		t.Fatalf("executing solve: %v", err)
+	}
+	for i, job := range filler {
+		if res := <-job.done; res.err != nil {
+			t.Fatalf("queued job %d: %v", i, res.err)
 		}
 	}
-	if rejected == 0 {
-		t.Fatal("no request was rejected by admission control")
+}
+
+// TestNegativeMaxQueueMeansMinimalQueue is the regression test for the
+// admission-control config bug: a negative MaxQueue used to clamp to 0, and
+// a zero-capacity jobs channel only admits a request while the dispatcher
+// happens to be parked on its receive — an otherwise idle server rejected
+// traffic at random. The defined semantics are "minimal queueing" =
+// capacity 1.
+func TestNegativeMaxQueueMeansMinimalQueue(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1, MaxQueue: -1})
+	if got := cap(s.batch.jobs); got != 1 {
+		t.Fatalf("MaxQueue=-1 built a queue of capacity %d, want 1", got)
 	}
-	if got := s.Stats()["rejected"]; got != int64(rejected) {
-		t.Fatalf("rejected counter %d, want %d", got, rejected)
+	snap, _, err := s.Upload(strictInstance(t, 23, 40))
+	if err != nil {
+		t.Fatal(err)
 	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Solve(context.Background(), snap.ID, ModePopular); err != nil {
+			t.Fatalf("solve %d with MaxQueue=-1: %v", i, err)
+		}
+	}
+}
+
+// TestAbandonedWaiterCountedAndHarmless pins the abandoned-waiter path of
+// batcher.submit: a caller whose context ends while its job is still in the
+// pipeline gets its context error immediately, is counted in stats, and the
+// job's eventual delivery into the buffered done channel neither blocks the
+// batch executor nor wedges shutdown.
+func TestAbandonedWaiterCountedAndHarmless(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 1, CacheSize: -1, MaxBatch: 1, Linger: -1, InflightBatches: 1, MaxQueue: 4,
+	})
+	slow, _, err := s.Upload(strictInstance(t, 29, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single solve slot so the abandoned job stays queued behind
+	// it for the whole test.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Solve(context.Background(), slow.ID, ModePopular)
+		firstDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.stats.Batches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first solve never dispatched")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// The abandoned waiter: its context is already dead, so submit enqueues
+	// the job and returns the context error without waiting for a result.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Solve(ctx, slow.ID, ModePopular); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned solve returned %v, want context.Canceled", err)
+	}
+	if got := s.stats.Abandoned.Load(); got != 1 {
+		t.Fatalf("abandoned counter %d, want 1", got)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	// The orphaned job's delivery must not wedge the pipeline: a fresh
+	// request still gets served afterwards.
+	if _, _, err := s.Solve(context.Background(), slow.ID, ModePopular); err != nil {
+		t.Fatalf("solve after abandoned waiter: %v", err)
+	}
+	// t.Cleanup closes the server; a hang there would fail the test run.
 }
 
 func TestPerRequestCancellation(t *testing.T) {

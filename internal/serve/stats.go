@@ -32,6 +32,15 @@ type Stats struct {
 	// work the serving layer absorbed.
 	Solves      atomic.Int64
 	SolveErrors atomic.Int64
+	// Abandoned counts waiters that gave up (context ended) while their job
+	// was still in the pipeline; the job's solve may still run for the sake
+	// of coalesced siblings, but its result goes undelivered to this caller.
+	Abandoned atomic.Int64
+	// SessionSolves counts kernel dispatches made on behalf of delta
+	// sessions (these bypass the batcher); SessionWarm the subset answered
+	// by the incremental warm-start path rather than a full solve.
+	SessionSolves atomic.Int64
+	SessionWarm   atomic.Int64
 }
 
 // observeBatch records one dispatched micro-batch of n requests.
@@ -59,5 +68,8 @@ func (st *Stats) Snapshot() map[string]int64 {
 		"coalesced":        st.Coalesced.Load(),
 		"solves":           st.Solves.Load(),
 		"solve_errors":     st.SolveErrors.Load(),
+		"abandoned":        st.Abandoned.Load(),
+		"session_solves":   st.SessionSolves.Load(),
+		"session_warm":     st.SessionWarm.Load(),
 	}
 }

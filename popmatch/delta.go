@@ -1,0 +1,71 @@
+package popmatch
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// DeltaStats reports how a delta solve was served; see SolveDelta.
+type DeltaStats = core.DeltaStats
+
+// DeltaSession carries warm-start state for delta solves of ONE mutating
+// instance: the previous solve's reduced graph and matching, plus the
+// scratch the incremental path reuses. Create one per live instance (the
+// zero value is ready; the first solve is a full capture), mutate the
+// instance through its delta API (SetPreferences, AddApplicant,
+// RemoveApplicant, SetCapacity), and call Solver.SolveDelta after each batch
+// of edits.
+//
+// A DeltaSession is NOT safe for concurrent use, and no solve or mutation of
+// its instance may overlap a SolveDelta call — the serve layer serializes
+// with a per-session lock; library callers own that serialization. Handing
+// the session a different instance resets it transparently.
+type DeltaSession struct {
+	st core.DeltaState
+}
+
+// Reset drops the warm state; the next SolveDelta performs a full capture.
+func (d *DeltaSession) Reset() { d.st.Reset() }
+
+// Stats reports how the previous SolveDelta call was served: whether the
+// warm splice path ran, whether the retained matching was returned without
+// solving, and how large the re-solved region was.
+func (d *DeltaSession) Stats() DeltaStats { return d.st.Stats() }
+
+// SolveDelta solves req against ins warm-starting from d: for ModePopular on
+// strict unit-capacity instances, only the components of the reduced graph
+// G′ affected by the mutations since the previous call are re-solved, with
+// the rest of the retained matching reused — results are bit-identical to a
+// fresh solve. Other modes (and instances mutated beyond the journal, or
+// whose shape changed) fall back to a full solve transparently. The returned
+// Result owns its matching; it never aliases session state.
+func (s *Solver) SolveDelta(ctx context.Context, ins *Instance, req Request, d *DeltaSession) (Result, error) {
+	var res Result
+	if err := s.SolveDeltaInto(ctx, ins, req, d, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// SolveDeltaInto is SolveDelta with result reuse; see SolveRequestInto for
+// the recycling contract. Steady-state delta solves of a same-shaped
+// instance reuse the result buffers, the session engine and the delta
+// scratch, so a mutate→re-match loop allocates only in the re-solved region.
+func (s *Solver) SolveDeltaInto(ctx context.Context, ins *Instance, req Request, d *DeltaSession, res *Result) error {
+	opt, sess, err := s.session(ctx)
+	if err != nil {
+		return err
+	}
+	defer s.putSession(sess)
+	into := res.Matching
+	if into == nil {
+		into = res.cloneMatching
+	}
+	out, err := core.SolveDeltaRequest(ins, core.Request{Mode: req.Mode, Weights: req.Weights, Into: into}, &d.st, opt)
+	if err != nil {
+		return err
+	}
+	*res = wrapOutcome(ins, out)
+	return nil
+}
