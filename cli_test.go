@@ -53,6 +53,40 @@ func TestCLIGenerateAndSolvePipeline(t *testing.T) {
 	}
 }
 
+// TestCLIBinaryFormatPipeline pins the cross-format CLI contract:
+// geninstance -format binary emits the binary encoding, popmatch
+// auto-detects it by magic, and the solve output is byte-identical to the
+// text pipeline over the same generated instance.
+func TestCLIBinaryFormatPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	gen := []string{"./cmd/geninstance", "-kind", "ties",
+		"-applicants", "25", "-posts", "20", "-maxlen", "4", "-tieprob", "0.4", "-seed", "9"}
+	textIns, err := runTool(t, "", gen...)
+	if err != nil {
+		t.Fatalf("geninstance: %v\n%s", err, textIns)
+	}
+	binIns, err := runTool(t, "", append(gen, "-format", "binary")...)
+	if err != nil {
+		t.Fatalf("geninstance -format binary: %v", err)
+	}
+	if !strings.HasPrefix(binIns, "\x89PMC") {
+		t.Fatalf("binary output does not start with the magic: %q", binIns[:min(16, len(binIns))])
+	}
+	fromText, err := runTool(t, textIns, "./cmd/popmatch", "-mode", "tiesmax", "-verify")
+	if err != nil {
+		t.Fatalf("popmatch over text: %v\n%s", err, fromText)
+	}
+	fromBinary, err := runTool(t, binIns, "./cmd/popmatch", "-mode", "tiesmax", "-verify")
+	if err != nil {
+		t.Fatalf("popmatch over binary: %v\n%s", err, fromBinary)
+	}
+	if fromText != fromBinary {
+		t.Fatalf("solve output differs across formats:\ntext:\n%s\nbinary:\n%s", fromText, fromBinary)
+	}
+}
+
 func TestCLIUnsolvableExitCode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration test")

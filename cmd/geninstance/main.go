@@ -1,14 +1,20 @@
-// geninstance generates popular-matching instances in the text format.
+// geninstance generates popular-matching instances in the text or binary
+// format.
 //
 // Usage:
 //
 //	geninstance [-kind random|zipf|ties|solvable|unsolvable|broom|capacitated]
 //	            [-applicants N] [-posts N] [-minlen N] [-maxlen N]
 //	            [-skew F] [-tieprob F] [-depth N] [-maxcap N] [-seed N]
+//	            [-format text|binary]
 //
 // -maxcap > 1 attaches uniform random per-post capacities in [1, maxcap] to
 // any kind, emitted as the `c <caps...>` header line; kind=capacitated is
 // shorthand for kind=random with capacities (default maxcap 3).
+//
+// -format binary emits the zero-copy columnar binary encoding instead of
+// text; every read surface (popmatch, popbench, popserved uploads)
+// auto-detects it by magic.
 package main
 
 import (
@@ -34,7 +40,11 @@ func main() {
 	depth := flag.Int("depth", 8, "tree depth (kind=broom); groups (kind=unsolvable)")
 	maxCap := flag.Int("maxcap", 1, "attach per-post capacities uniform in [1,maxcap] (1 = unit posts)")
 	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "text", "output format: text|binary")
 	flag.Parse()
+	if *format != "text" && *format != "binary" {
+		log.Fatalf("unknown format %q (want text or binary)", *format)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var ins *popmatch.Instance
@@ -72,7 +82,11 @@ func main() {
 	// from being dominated by small stdout writes; Write flushes its own
 	// internal bufio through this one.
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
-	if err := popmatch.Write(w, ins); err != nil {
+	write := popmatch.Write
+	if *format == "binary" {
+		write = popmatch.WriteBinary
+	}
+	if err := write(w, ins); err != nil {
 		log.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {

@@ -11,6 +11,7 @@
 //	popbench -json BENCH_serve.json -scenario serve [-n N] [-seed N]
 //	popbench -json BENCH_delta.json -scenario delta [-n N] [-seed N]
 //	popbench -json BENCH_scaling.json -scenario scaling [-n N] [-workers 1,2,4,8] [-seed N]
+//	popbench -json BENCH_ingest.json -scenario ingest [-n N] [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
 // With -json it instead benchmarks a machine-readable scenario and writes a
@@ -24,7 +25,10 @@
 // counters); `delta` the incremental re-match path (single-row edit + warm
 // solve vs full re-solve, with the bit-identical differential check);
 // `scaling` sweeps the -workers counts at fixed -n and reports speedup over
-// workers=1 plus the bit-identical-matching check.
+// workers=1 plus the bit-identical-matching check; `ingest` prices every
+// instance-ingest surface (text parse, zero-copy binary decode with and
+// without streamed fingerprinting, stream read, mmap) with the cross-format
+// fingerprint check on each record.
 package main
 
 import (
@@ -43,7 +47,7 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
-	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve|scaling")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve|delta|scaling|ingest")
 	sizeN := flag.Int("n", 0, "override the scenario's instance size (0 = scenario default; used by CI smoke runs)")
 	workersCSV := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -scenario scaling")
 	flag.Parse()
@@ -63,6 +67,8 @@ func main() {
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteServeJSON(w, seed, *sizeN) }
 		case "delta":
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteDeltaJSON(w, seed, *sizeN) }
+		case "ingest":
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteIngestJSON(w, seed, *sizeN) }
 		case "scaling":
 			workers, err := parseWorkers(*workersCSV)
 			if err != nil {
@@ -75,7 +81,7 @@ func main() {
 			}
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteScalingJSON(w, seed, n, workers) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, delta, scaling)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, delta, scaling, ingest)\n", *scenario)
 			os.Exit(2)
 		}
 		if *sizeN != 0 && (*scenario == "pool" || *scenario == "capacitated") {

@@ -168,7 +168,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	ins, err := popmatch.Read(in)
+	ins, err := popmatch.ReadAuto(in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,15 +6,21 @@
 //
 //	popserved [-addr :8080] [-workers N] [-batch N] [-linger D] [-cache N]
 //	          [-max-instances N] [-max-sessions N] [-max-queue N]
-//	          [-inflight-batches N] [-solve-timeout D]
+//	          [-inflight-batches N] [-solve-timeout D] [-store DIR]
+//
+// -store persists the instance registry to DIR: uploads are written there
+// in the binary format (one <fingerprint>.pmb file each) and mmap'd back on
+// the next boot, so a restart re-serves every instance without re-parsing
+// anything (the stats counter store_loaded reports how many).
 //
 // On startup it prints one line, `popserved listening on <addr>`, to stdout
 // (with -addr :0 the kernel-chosen port appears there), then serves until
 // SIGINT/SIGTERM, at which point it stops accepting, drains in-flight
 // requests and exits 0.
 //
-// The API (see internal/serve): POST /v1/instances uploads the text format
-// and returns the instance's content fingerprint as its id; POST /v1/solve
+// The API (see internal/serve): POST /v1/instances uploads an instance —
+// text or binary format, negotiated by Content-Type and sniffed by magic
+// for generic types — and returns its content fingerprint as its id; POST /v1/solve
 // solves {"instance": id, "mode": m} for any mode of the shared engine enum
 // (popular|maxcard|ties|tiesmax|maxweight|minweight|rankmaximal|fair);
 // POST /v1/verify checks a per-applicant post vector for popularity;
@@ -59,6 +65,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 1024, "request queue depth before admission control rejects")
 	inflight := flag.Int("inflight-batches", 2, "micro-batches executing concurrently")
 	solveTimeout := flag.Duration("solve-timeout", 0, "server-side cap on a single solve (0 = request context only)")
+	storeDir := flag.String("store", "", "persist uploaded instances to this directory and re-serve them on restart")
 	flag.Parse()
 	if *batch < 1 || *maxQueue < 1 || *inflight < 1 {
 		log.Fatal("-batch, -max-queue and -inflight-batches must be >= 1")
@@ -80,6 +87,7 @@ func main() {
 		MaxQueue:        *maxQueue,
 		InflightBatches: *inflight,
 		SolveTimeout:    *solveTimeout,
+		StoreDir:        *storeDir,
 	}
 	if *linger == 0 {
 		cfg.Linger = -1
@@ -93,7 +101,13 @@ func main() {
 	if *maxSessions == 0 {
 		cfg.MaxSessions = -1
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := srv.Stats()["store_loaded"]; n > 0 {
+		log.Printf("restored %d instances from %s", n, *storeDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -65,6 +65,20 @@
 // BENCH_delta.json (popbench -scenario delta): 8.3x over a full re-solve
 // on single-row edits at n=100k. See the README's "Delta solves" section.
 //
+// Instances enter the system through two wire formats: the line-oriented
+// text format (for humans) and a versioned little-endian columnar binary
+// format that mirrors the CSR core exactly (onesided.EncodeBinary /
+// DecodeBinary, magic "\x89PMC\r\n\x1a\n"), so an uploaded or on-disk
+// instance is validated in one bounds-checking pass and aliased — or
+// mmap'd via onesided.MapBinaryFile — straight into the kernel with zero
+// conversion, streaming the content fingerprint during that same pass.
+// popmatch re-exports ReadAuto/ReadBinary/WriteBinary; every CLI ingest
+// path auto-detects the format by magic, the serve upload endpoint
+// negotiates it by Content-Type (415 otherwise), and `popserved -store`
+// persists the registry as binary files re-mmap'd on restart. At n=10^6
+// the alias decode ingests 9.7x faster than the text parser at 6 allocs
+// per op (BENCH_ingest.json, popbench -scenario ingest).
+//
 // Internally every solver layer shares one flat instance representation:
 // the CSR core (internal/onesided.CSR) — preference lists concatenated into
 // three contiguous Off/Post/Rank arrays, derived once per Instance and

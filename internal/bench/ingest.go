@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/onesided"
+)
+
+// DefaultIngestN is the applicant count of the `ingest` scenario: large
+// enough (n = 10^6, ~5M edges) that parse throughput and per-edge overhead
+// dominate, which is exactly what the binary format exists to eliminate.
+// CI smoke runs pass a reduced n via popbench -n.
+const DefaultIngestN = 1_000_000
+
+// IngestRecord is one ingest-path measurement: how fast one wire format
+// turns into a solver-ready instance, and what it allocates on the way.
+type IngestRecord struct {
+	// Name identifies the path: ingest_text, ingest_binary_alias,
+	// ingest_binary_alias_fp, ingest_binary_stream, ingest_binary_mmap.
+	Name string `json:"name"`
+	// N is the instance size (applicants), Edges the total list length, and
+	// InputBytes the encoded size this path parses per op.
+	N          int   `json:"n"`
+	Edges      int   `json:"edges"`
+	InputBytes int64 `json:"input_bytes"`
+	// Go benchmark results; MBPerS is InputBytes at NsPerOp.
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpeedupVsText is ingest_text's ns/op over this path's (1.0 for the
+	// text baseline itself).
+	SpeedupVsText float64 `json:"speedup_vs_text"`
+	// FingerprintMatch asserts the cross-format contract: this path's
+	// decoded instance carries the same content fingerprint as the
+	// text-parsed baseline.
+	FingerprintMatch bool `json:"fingerprint_match"`
+}
+
+// ingestRecord freezes one benchmark run into a record.
+func ingestRecord(name string, n, edges int, size int64, textNs int64, fpMatch bool, r testing.BenchmarkResult) IngestRecord {
+	ns := r.NsPerOp()
+	rec := IngestRecord{
+		Name:             name,
+		N:                n,
+		Edges:            edges,
+		InputBytes:       size,
+		Iterations:       r.N,
+		NsPerOp:          ns,
+		AllocsPerOp:      r.AllocsPerOp(),
+		BytesPerOp:       r.AllocedBytesPerOp(),
+		SpeedupVsText:    1,
+		FingerprintMatch: fpMatch,
+	}
+	if ns > 0 {
+		rec.MBPerS = float64(size) / float64(ns) * 1e9 / 1e6
+		if textNs > 0 {
+			rec.SpeedupVsText = float64(textNs) / float64(ns)
+		}
+	}
+	return rec
+}
+
+// IngestBench prices every ingest surface on one deterministic instance:
+// the text parser (the historical baseline), the zero-copy binary decoder
+// with and without streamed fingerprinting, the incremental stream reader,
+// and the mmap-backed file path the persistent registry boots from. Every
+// binary record carries the fingerprint cross-check against the text parse,
+// so a speedup with a broken identity contract cannot look like a win.
+func IngestBench(seed int64, n int) ([]IngestRecord, error) {
+	if n <= 0 {
+		n = DefaultIngestN
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ins := onesided.Solvable(rng, n, n/4, 5)
+	edges := ins.CSR().NumEdges()
+
+	var textBuf bytes.Buffer
+	if err := onesided.Write(&textBuf, ins); err != nil {
+		return nil, err
+	}
+	text := textBuf.Bytes()
+	bin := onesided.EncodeBinary(nil, ins.CSR())
+
+	fromText, err := onesided.Read(bytes.NewReader(text))
+	if err != nil {
+		return nil, err
+	}
+	wantFP := fromText.Fingerprint()
+
+	var out []IngestRecord
+
+	textRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := onesided.Read(bytes.NewReader(text)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	textNs := textRes.NsPerOp()
+	out = append(out, ingestRecord("ingest_text", n, edges, int64(len(text)), textNs, true, textRes))
+
+	// Fingerprint cross-checks run outside the timed loops: the alias path
+	// deliberately skips fingerprint streaming, so asking the decoded
+	// instance for one there would charge the lazy per-row hashing to the
+	// benchmark it exists to avoid.
+	aliasOnce, err := onesided.DecodeBinary(bin)
+	if err != nil {
+		return nil, err
+	}
+	alias := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := onesided.DecodeBinary(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, ingestRecord("ingest_binary_alias", n, edges, int64(len(bin)), textNs, aliasOnce.Fingerprint() == wantFP, alias))
+
+	fpOnce, err := onesided.DecodeBinaryWithFingerprint(bin)
+	if err != nil {
+		return nil, err
+	}
+	fp := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := onesided.DecodeBinaryWithFingerprint(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, ingestRecord("ingest_binary_alias_fp", n, edges, int64(len(bin)), textNs, fpOnce.Fingerprint() == wantFP, fp))
+
+	streamOnce, err := onesided.ReadBinary(bytes.NewReader(bin))
+	if err != nil {
+		return nil, err
+	}
+	stream := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := onesided.ReadBinary(bytes.NewReader(bin)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, ingestRecord("ingest_binary_stream", n, edges, int64(len(bin)), textNs, streamOnce.Fingerprint() == wantFP, stream))
+
+	f, err := os.CreateTemp("", "popbench-ingest-*.pmb")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	if _, err := f.Write(bin); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	mmapOnce, err := onesided.MapBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mmapFPMatch := mmapOnce.Ins.Fingerprint() == wantFP
+	mmapOnce.Close()
+	mmap := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := onesided.MapBinaryFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+	})
+	out = append(out, ingestRecord("ingest_binary_mmap", n, edges, int64(len(bin)), textNs, mmapFPMatch, mmap))
+
+	return out, nil
+}
+
+// WriteIngestJSON runs IngestBench and writes the records as indented JSON
+// (the BENCH_ingest.json trajectory). n <= 0 selects DefaultIngestN.
+func WriteIngestJSON(w io.Writer, seed int64, n int) error {
+	records, err := IngestBench(seed, n)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

@@ -127,6 +127,42 @@ func (c *CSR) Capacity(p int32) int32 {
 	return c.Capacities[p]
 }
 
+// dupSet detects duplicate posts within an applicant's row. When the post
+// space is data-backed (at most a small multiple of the edge count) it is one
+// stamp array over the posts — two linear passes, no hashing. A declared post
+// space vastly larger than the edge set (legal, but typical only of hostile
+// or degenerate inputs: a tiny file claiming 10^9 posts) falls back to a map
+// so validation memory stays proportional to the actual input, never to an
+// unvalidated claim.
+type dupSet struct {
+	stamps []int32 // stamps[p] == a+1 iff applicant a listed p
+	m      map[int32]int32
+}
+
+func newDupSet(numPosts, edges int) dupSet {
+	if numPosts <= 4*edges+64 {
+		return dupSet{stamps: make([]int32, numPosts)}
+	}
+	return dupSet{m: make(map[int32]int32, 16)}
+}
+
+// mark records that the applicant with the given stamp lists post p and
+// reports whether that applicant already listed it.
+func (d *dupSet) mark(p, stamp int32) bool {
+	if d.m == nil {
+		if d.stamps[p] == stamp {
+			return true
+		}
+		d.stamps[p] = stamp
+		return false
+	}
+	if d.m[p] == stamp {
+		return true
+	}
+	d.m[p] = stamp
+	return false
+}
+
 // Validate checks the CSR structural invariants: monotone offsets covering
 // the flat arrays, non-empty rows, in-range distinct posts per row, 1-based
 // contiguous nondecreasing ranks, and positive capacities. It mirrors
@@ -155,7 +191,7 @@ func (c *CSR) Validate() error {
 			}
 		}
 	}
-	seen := make([]int32, c.NumPosts) // stamp array: seen[p] == a+1 iff a listed p
+	seen := newDupSet(c.NumPosts, len(c.Post))
 	for a := 0; a < c.NumApplicants; a++ {
 		lo, hi := c.Off[a], c.Off[a+1]
 		if hi < lo {
@@ -170,10 +206,9 @@ func (c *CSR) Validate() error {
 			if p < 0 || int(p) >= c.NumPosts {
 				return fmt.Errorf("onesided: applicant %d lists out-of-range post %d", a, p)
 			}
-			if seen[p] == stamp {
+			if seen.mark(p, stamp) {
 				return fmt.Errorf("onesided: applicant %d lists post %d twice", a, p)
 			}
-			seen[p] = stamp
 			switch {
 			case i == lo && c.Rank[i] != 1:
 				return fmt.Errorf("onesided: applicant %d first rank is %d, want 1", a, c.Rank[i])

@@ -90,9 +90,10 @@ func NewWithTies(numPosts int, lists [][]int32, ranks [][]int32) (*Instance, err
 
 // Validate checks structural invariants: non-empty lists, in-range distinct
 // posts, 1-based nondecreasing ranks starting at 1, and (when present)
-// positive per-post capacities. Duplicate detection uses one stamp array
-// over the posts instead of a per-applicant map, so validating a large
-// instance is a pair of linear passes.
+// positive per-post capacities. Duplicate detection goes through dupSet —
+// one stamp array over the posts when the post space is data-backed, a map
+// when a tiny input declares a huge one — so validating a large instance is
+// a pair of linear passes and memory never exceeds the input size.
 func (ins *Instance) Validate() error {
 	if len(ins.Lists) != ins.NumApplicants || len(ins.Ranks) != ins.NumApplicants {
 		return fmt.Errorf("onesided: %d applicants but %d lists / %d rank rows",
@@ -108,7 +109,11 @@ func (ins *Instance) Validate() error {
 			}
 		}
 	}
-	seen := make([]int32, ins.NumPosts) // stamp array: seen[p] == a+1 iff a listed p
+	edges := 0
+	for _, l := range ins.Lists {
+		edges += len(l)
+	}
+	seen := newDupSet(ins.NumPosts, edges)
 	for a, l := range ins.Lists {
 		if len(l) == 0 {
 			return fmt.Errorf("onesided: applicant %d has an empty preference list", a)
@@ -122,10 +127,9 @@ func (ins *Instance) Validate() error {
 			if p < 0 || int(p) >= ins.NumPosts {
 				return fmt.Errorf("onesided: applicant %d lists out-of-range post %d", a, p)
 			}
-			if seen[p] == stamp {
+			if seen.mark(p, stamp) {
 				return fmt.Errorf("onesided: applicant %d lists post %d twice", a, p)
 			}
-			seen[p] = stamp
 			switch {
 			case i == 0 && r[i] != 1:
 				return fmt.Errorf("onesided: applicant %d first rank is %d, want 1", a, r[i])

@@ -2,11 +2,17 @@ package onesided
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// maxTextLine caps a single line of the text format (16 MiB — a capacity
+// header for ~1.6M posts, or one preference row of ~2M entries). Longer
+// lines are a malformed or hostile input, reported with their line number.
+const maxTextLine = 1 << 24
 
 // Text interchange format, one instance per stream:
 //
@@ -73,7 +79,7 @@ func Write(w io.Writer, ins *Instance) error {
 // Read parses an instance from the text format.
 func Read(r io.Reader) (*Instance, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 1<<20), maxTextLine)
 	numPosts := -1
 	var capacities []int32
 	var lists [][]int32
@@ -118,7 +124,14 @@ func Read(r io.Reader) (*Instance, error) {
 		ranks = append(ranks, rk)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner surfaces bufio.ErrTooLong bare; the failing line is the
+		// one after the last complete scan. Re-wrap with that context so a
+		// 16MiB+ capacity header names its line instead of a bare "token too
+		// long".
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("onesided: line %d: %w (lines are capped at %d bytes)", lineNo+1, err, maxTextLine)
+		}
+		return nil, fmt.Errorf("onesided: line %d: %w", lineNo+1, err)
 	}
 	if numPosts < 0 {
 		return nil, fmt.Errorf("onesided: missing `posts <n>` header")

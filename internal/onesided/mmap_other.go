@@ -1,0 +1,31 @@
+//go:build !unix
+
+package onesided
+
+import "os"
+
+// MappedInstance on platforms without mmap holds a plain in-memory copy of
+// the file; the API matches the unix implementation so callers are portable.
+type MappedInstance struct {
+	Ins  *Instance
+	data []byte
+}
+
+// MapBinaryFile reads and decodes path (no mapping on this platform).
+func MapBinaryFile(path string) (*MappedInstance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := DecodeBinaryWithFingerprint(data)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedInstance{Ins: ins, data: data}, nil
+}
+
+// Close drops the buffer reference.
+func (m *MappedInstance) Close() error {
+	m.data, m.Ins = nil, nil
+	return nil
+}

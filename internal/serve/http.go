@@ -1,19 +1,21 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/onesided"
 )
 
 // The HTTP/JSON surface of a Server.
 //
-//	POST   /v1/instances       upload an instance (text format body) → info
+//	POST   /v1/instances       upload an instance (text or binary body) → info
 //	GET    /v1/instances       list registered instances
 //	GET    /v1/instances/{id}  one instance's info
 //	DELETE /v1/instances/{id}  evict an instance (and its cached results)
@@ -31,6 +33,13 @@ import (
 //	DELETE /v1/sessions/{id}            end a session
 //	POST   /v1/sessions/{id}/mutations  {"mutations": [...]} → info + results
 //	POST   /v1/sessions/{id}/solve      {"mode": m} → solution
+//
+// Uploads accept both instance formats, negotiated by Content-Type:
+// text/plain parses the text format, application/x-popmatch-binary decodes
+// the binary format, and generic or absent types (application/octet-stream,
+// application/x-www-form-urlencoded, none) are sniffed by the binary magic.
+// Any other Content-Type is a 415 listing the supported types. Either way
+// the same content yields the same instance id.
 //
 // Instance ids are content fingerprints (Instance.Fingerprint), so uploads
 // are idempotent and solve results are cacheable across re-uploads. In
@@ -136,6 +145,54 @@ type errorResponse struct {
 // could register a valid-looking prefix of the intended instance.
 const maxInstanceBody = 64 << 20
 
+// ContentTypeBinary is the media type of the binary instance format on the
+// upload endpoint. Text uploads use text/plain; requests without a usable
+// Content-Type (empty, octet-stream, or the curl --data default) are
+// sniffed by the binary magic. Anything else is a 415.
+const ContentTypeBinary = "application/x-popmatch-binary"
+
+// uploadContentTypes is advertised in 415 responses.
+const uploadContentTypes = "text/plain, " + ContentTypeBinary +
+	", application/octet-stream (sniffed by magic)"
+
+// errUnsupportedMediaType marks a Content-Type the upload endpoint does not
+// speak; statusOf maps it to 415.
+type errUnsupportedMediaType struct{ ct string }
+
+func (e errUnsupportedMediaType) Error() string {
+	return fmt.Sprintf("serve: unsupported Content-Type %q (supported: %s)", e.ct, uploadContentTypes)
+}
+
+// readInstanceBody parses an upload body according to its Content-Type,
+// reporting which wire format it used. Explicit types dispatch directly;
+// generic or absent types are sniffed: binary encodings start with the
+// 8-byte magic (first byte non-ASCII), text instances never do.
+func readInstanceBody(w http.ResponseWriter, r *http.Request) (ins *onesided.Instance, binary bool, err error) {
+	body := http.MaxBytesReader(w, r.Body, maxInstanceBody)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i] // drop parameters such as charset
+	}
+	switch strings.ToLower(strings.TrimSpace(ct)) {
+	case "text/plain":
+		ins, err = onesided.Read(body)
+		return ins, false, err
+	case ContentTypeBinary:
+		ins, err = onesided.ReadBinary(body)
+		return ins, true, err
+	case "", "application/octet-stream", "application/x-www-form-urlencoded":
+		br := bufio.NewReaderSize(body, 1<<16)
+		if prefix, perr := br.Peek(len(onesided.BinaryMagic)); perr == nil && onesided.LooksBinary(prefix) {
+			ins, err = onesided.ReadBinary(br)
+			return ins, true, err
+		}
+		ins, err = onesided.Read(br)
+		return ins, false, err
+	default:
+		return nil, false, errUnsupportedMediaType{ct: ct}
+	}
+}
+
 // NewHandler returns the HTTP handler serving s.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
@@ -146,12 +203,15 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("POST /v1/instances", func(w http.ResponseWriter, r *http.Request) {
-		ins, err := onesided.Read(http.MaxBytesReader(w, r.Body, maxInstanceBody))
+		ins, isBinary, err := readInstanceBody(w, r)
 		if err != nil {
 			status := http.StatusBadRequest
 			var tooLarge *http.MaxBytesError
+			var unsupported errUnsupportedMediaType
 			if errors.As(err, &tooLarge) {
 				status = http.StatusRequestEntityTooLarge
+			} else if errors.As(err, &unsupported) {
+				status = http.StatusUnsupportedMediaType
 			}
 			writeError(w, status, err)
 			return
@@ -160,6 +220,11 @@ func NewHandler(s *Server) http.Handler {
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
+		}
+		if isBinary {
+			s.stats.UploadsBinary.Add(1)
+		} else {
+			s.stats.UploadsText.Add(1)
 		}
 		status := http.StatusOK
 		if created {

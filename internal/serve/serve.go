@@ -129,6 +129,12 @@ type Config struct {
 	// SolveTimeout caps the server-side duration of any single solve
 	// (default 0 = bounded only by the request's own context).
 	SolveTimeout time.Duration
+	// StoreDir, when non-empty, persists the registry to disk: every upload
+	// is written as a binary-format file named by its fingerprint, and Open
+	// mmaps the directory back on boot so a restart re-serves every instance
+	// without re-parsing. Only honored by Open (New builds a memory-only
+	// server).
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +183,7 @@ type Server struct {
 	solver   *popmatch.Solver
 	batch    *batcher
 	sessions sessionTable
+	store    *diskStore // nil unless Open was given a StoreDir
 	started  time.Time
 }
 
@@ -195,17 +202,63 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// Open is New with persistence: when cfg.StoreDir is set, every persisted
+// instance in the directory is mmap'd and re-registered before the server
+// accepts traffic (their CSR arrays alias the read-only pages — no text
+// parse, no copy), and subsequent uploads are persisted there. The mappings
+// stay live until Close. With an empty StoreDir, Open is exactly New.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.StoreDir == "" {
+		return s, nil
+	}
+	store, err := openDiskStore(cfg.StoreDir)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.store = store
+	loaded, err := store.loadAll()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	for _, m := range loaded {
+		if _, _, err := s.registry.Add(m.Ins); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: restoring instance from store: %w", err)
+		}
+		s.stats.StoreLoaded.Add(1)
+	}
+	return s, nil
+}
+
 // Close shuts the server down in order: the queue stops admitting, queued
 // requests fail with ErrServerClosed, in-flight solves run to completion,
-// then the solver releases its pool. Idempotent.
+// the solver releases its pool, and only then does the store unmap its
+// pages (no solve can still be indexing a mapped instance). Idempotent.
 func (s *Server) Close() {
 	s.batch.close()
 	s.solver.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
-// Upload registers an instance (see Registry.Add).
+// Upload registers an instance (see Registry.Add) and, on a store-backed
+// server, persists newly created snapshots. A snapshot that cannot be
+// persisted is not registered: the upload fails whole, rather than
+// succeeding in memory and silently not surviving a restart.
 func (s *Server) Upload(ins *onesided.Instance) (*Snapshot, bool, error) {
-	return s.registry.Add(ins)
+	snap, created, err := s.registry.Add(ins)
+	if err != nil || !created || s.store == nil {
+		return snap, created, err
+	}
+	if perr := s.store.persist(snap.Ins, snap.ID); perr != nil {
+		s.registry.Evict(snap.ID)
+		return nil, false, fmt.Errorf("serve: persisting instance: %w", perr)
+	}
+	return snap, true, nil
 }
 
 // Instances lists the registered snapshots in upload order.
@@ -214,11 +267,17 @@ func (s *Server) Instances() []*Snapshot { return s.registry.List() }
 // Instance returns one registered snapshot.
 func (s *Server) Instance(id string) (*Snapshot, bool) { return s.registry.Get(id) }
 
-// Evict removes an instance and its cached results.
+// Evict removes an instance, its cached results, and (on a store-backed
+// server) its persisted file, so it does not reappear on restart. The
+// store's mapping, if the instance was mmap'd in, stays live until Close —
+// an already-admitted solve may still be indexing it.
 func (s *Server) Evict(id string) bool {
 	ok := s.registry.Evict(id)
 	if ok {
 		s.cache.EvictInstance(id)
+		if s.store != nil {
+			_ = s.store.remove(id)
+		}
 	}
 	return ok
 }

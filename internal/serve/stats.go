@@ -41,6 +41,14 @@ type Stats struct {
 	// by the incremental warm-start path rather than a full solve.
 	SessionSolves atomic.Int64
 	SessionWarm   atomic.Int64
+	// UploadsText/UploadsBinary split successful HTTP uploads by wire
+	// format; StoreLoaded counts instances restored from the on-disk store
+	// at boot. After a restart against a populated store, StoreLoaded is the
+	// registry size and both upload counters are zero — the assertion that
+	// no instance was re-parsed.
+	UploadsText   atomic.Int64
+	UploadsBinary atomic.Int64
+	StoreLoaded   atomic.Int64
 }
 
 // observeBatch records one dispatched micro-batch of n requests.
@@ -71,5 +79,8 @@ func (st *Stats) Snapshot() map[string]int64 {
 		"abandoned":        st.Abandoned.Load(),
 		"session_solves":   st.SessionSolves.Load(),
 		"session_warm":     st.SessionWarm.Load(),
+		"uploads_text":     st.UploadsText.Load(),
+		"uploads_binary":   st.UploadsBinary.Load(),
+		"store_loaded":     st.StoreLoaded.Load(),
 	}
 }

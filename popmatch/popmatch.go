@@ -83,6 +83,13 @@ var (
 	// unit-capacity files are unchanged.
 	Read  = onesided.Read
 	Write = onesided.Write
+	// ReadAuto reads either format, sniffing the binary magic — the default
+	// ingest surface for files and stdin. ReadBinary/WriteBinary are the
+	// binary (zero-copy columnar) format directly; see the onesided package
+	// for the byte layout.
+	ReadAuto    = onesided.ReadAuto
+	ReadBinary  = onesided.ReadBinary
+	WriteBinary = onesided.WriteBinary
 	// Profile computes the paper's §IV-E matching profile; ProfileOf is the
 	// shared form over a per-applicant post vector (use it with
 	// Assignment.PostOf, or call Assignment.Profile).
