@@ -3,7 +3,12 @@
 // Usage:
 //
 //	popmatch [-mode popular|maxcard|ties|tiesmax|maxweight|minweight|rankmaximal|fair]
-//	         [-workers N] [-timeout D] [-verify] [-stats] [-check assignment.txt] [file]
+//	         [-workers N] [-timeout D] [-verify] [-stats] [-trace]
+//	         [-check assignment.txt] [file]
+//
+// -trace prints a per-phase cost table of the solve to stderr (rounds, work
+// and wall time per algorithm phase, plus total barrier-wait time) — the
+// same breakdown the popserved API returns for "trace": true solves.
 //
 // -mode is backed by the engine's shared mode enum, so the CLI accepts
 // exactly the modes the library and the popserved HTTP surface accept
@@ -44,6 +49,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/popmatch"
 )
@@ -94,6 +100,18 @@ func readAssignment(r io.Reader, ins *popmatch.Instance) ([]int32, error) {
 		}
 	}
 	return postOf, sc.Err()
+}
+
+// printTrace writes the per-phase cost table of a traced solve: one line per
+// phase that recorded activity, then the totals. Emitted on stderr so a
+// scripted pipeline reading the assignment from stdout is unaffected.
+func printTrace(w io.Writer, tr *popmatch.SolveTrace) {
+	fmt.Fprintf(w, "# %-14s %8s %12s %14s\n", "phase", "rounds", "work", "time")
+	for _, p := range tr.Phases {
+		fmt.Fprintf(w, "# %-14s %8d %12d %14s\n", p.Name, p.Rounds, p.Work, time.Duration(p.DurationNs))
+	}
+	fmt.Fprintf(w, "# %-14s %8d %12d %14s (barrier-wait %s)\n",
+		"total", tr.Rounds, tr.Work, time.Duration(tr.DurationNs), time.Duration(tr.BarrierWaitNs))
 }
 
 // usageError prints the diagnostic and exits with the usage code (2),
@@ -148,6 +166,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	verify := flag.Bool("verify", false, "re-verify the result with the Theorem 1 characterization and the margin oracle")
 	stats := flag.Bool("stats", false, "print parallel round/work accounting")
+	traceFlag := flag.Bool("trace", false, "print a per-phase cost table (rounds, work, wall time) to stderr")
 	check := flag.String("check", "", "verify the assignment in this file (popmatch output format) against the instance instead of solving; exit 3 if it is not popular")
 	aliases := map[string]*bool{
 		"maxcard": flag.Bool("maxcard", false, "deprecated alias for -mode maxcard"),
@@ -210,7 +229,15 @@ func main() {
 		return
 	}
 
-	res, err := s.SolveRequest(ctx, ins, popmatch.Request{Mode: solveMode})
+	req := popmatch.Request{Mode: solveMode}
+	var solveTrace popmatch.SolveTrace
+	if *traceFlag {
+		req.Trace = &solveTrace
+	}
+	res, err := s.SolveRequest(ctx, ins, req)
+	if *traceFlag {
+		printTrace(os.Stderr, &solveTrace)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,11 +7,22 @@
 //	popserved [-addr :8080] [-workers N] [-batch N] [-linger D] [-cache N]
 //	          [-max-instances N] [-max-sessions N] [-max-queue N]
 //	          [-inflight-batches N] [-solve-timeout D] [-store DIR]
+//	          [-debug-addr ADDR] [-log-level debug|info|warn|error]
 //
 // -store persists the instance registry to DIR: uploads are written there
 // in the binary format (one <fingerprint>.pmb file each) and mmap'd back on
 // the next boot, so a restart re-serves every instance without re-parsing
 // anything (the stats counter store_loaded reports how many).
+//
+// Observability: GET /metrics on the main listener exposes every server
+// metric in Prometheus text format (request/solve/batch-flush latency
+// histograms, the counter block, per-mode solve counters). -debug-addr
+// starts a second listener serving /metrics plus the net/http/pprof
+// profiling surface under /debug/pprof/ — kept off the public address so
+// profiling is never reachable from solve traffic. Logs are structured
+// (log/slog, text format, stderr); -log-level selects the floor, and each
+// HTTP request logs one access line at info carrying its request id (the
+// X-Request-Id response header).
 //
 // On startup it prints one line, `popserved listening on <addr>`, to stdout
 // (with -addr :0 the kernel-chosen port appears there), then serves until
@@ -42,15 +53,51 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
 )
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("-log-level must be debug, info, warn or error (got %q)", s)
+	}
+}
+
+// newDebugHandler builds the -debug-addr surface: the pprof profiling
+// endpoints and a second /metrics, so an operator can scrape and profile
+// without touching the public listener.
+func newDebugHandler(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = srv.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	log.SetFlags(0)
@@ -66,6 +113,8 @@ func main() {
 	inflight := flag.Int("inflight-batches", 2, "micro-batches executing concurrently")
 	solveTimeout := flag.Duration("solve-timeout", 0, "server-side cap on a single solve (0 = request context only)")
 	storeDir := flag.String("store", "", "persist uploaded instances to this directory and re-serve them on restart")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this extra address (empty = off)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 	if *batch < 1 || *maxQueue < 1 || *inflight < 1 {
 		log.Fatal("-batch, -max-queue and -inflight-batches must be >= 1")
@@ -73,6 +122,11 @@ func main() {
 	if *linger < 0 || *cache < 0 || *maxInstances < 0 || *maxSessions < 0 || *solveTimeout < 0 {
 		log.Fatal("-linger, -cache, -max-instances, -max-sessions and -solve-timeout must be >= 0")
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	// On the flag surface zero means "off" (no linger, no cache, no registry
 	// bound); serve.Config spells "off" with negative sentinels because its
@@ -88,6 +142,7 @@ func main() {
 		InflightBatches: *inflight,
 		SolveTimeout:    *solveTimeout,
 		StoreDir:        *storeDir,
+		Logger:          logger,
 	}
 	if *linger == 0 {
 		cfg.Linger = -1
@@ -101,12 +156,30 @@ func main() {
 	if *maxSessions == 0 {
 		cfg.MaxSessions = -1
 	}
+	// The startup banner logs the resolved configuration once at info, so a
+	// deployment's effective knobs are always recoverable from its log head.
+	logger.Info("popserved starting",
+		slog.String("addr", *addr),
+		slog.Int("workers", *workers),
+		slog.Int("batch", *batch),
+		slog.Duration("linger", *linger),
+		slog.Int("cache", *cache),
+		slog.Int("max_instances", *maxInstances),
+		slog.Int("max_sessions", *maxSessions),
+		slog.Int("max_queue", *maxQueue),
+		slog.Int("inflight_batches", *inflight),
+		slog.Duration("solve_timeout", *solveTimeout),
+		slog.String("store", *storeDir),
+		slog.String("debug_addr", *debugAddr),
+		slog.String("log_level", level.String()),
+	)
+
 	srv, err := serve.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if n := srv.Stats()["store_loaded"]; n > 0 {
-		log.Printf("restored %d instances from %s", n, *storeDir)
+		logger.Info("restored instances from store", slog.Int64("instances", n), slog.String("store", *storeDir))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -114,6 +187,21 @@ func main() {
 		log.Fatal(err)
 	}
 	httpServer := &http.Server{Handler: serve.NewHandler(srv)}
+
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		debugServer = &http.Server{Handler: newDebugHandler(srv)}
+		go func() {
+			if err := debugServer.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", slog.Any("error", err))
+			}
+		}()
+		logger.Info("debug listener up", slog.String("addr", dln.Addr().String()))
+	}
 
 	// The line CI and scripts wait for; stdout is flushed line-buffered.
 	fmt.Printf("popserved listening on %s\n", ln.Addr())
@@ -126,7 +214,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
+		logger.Info("shutting down", slog.String("signal", s.String()))
 	case err := <-errc:
 		srv.Close()
 		log.Fatal(err)
@@ -137,8 +225,11 @@ func main() {
 	// stops at quiescence).
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugServer != nil {
+		_ = debugServer.Shutdown(ctx)
+	}
 	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown incomplete", slog.Any("error", err))
 	}
 	srv.Close()
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -44,6 +45,16 @@ type ServeRecord struct {
 	QPS        float64 `json:"qps"`
 	P50Ns      int64   `json:"p50_ns"`
 	P99Ns      int64   `json:"p99_ns"`
+	// Server-side percentiles from the popserved request-duration histogram
+	// (the full Server.Solve duration, cache hits included), in milliseconds
+	// beside the client-observed nanosecond fields. The gap between the two
+	// views is HTTP/queueing overhead; ServerDisagree flags the run when BOTH
+	// quantiles gap by more than 20% relative and 1ms absolute — recorded,
+	// not fatal, since the server histogram's log2 buckets make its
+	// quantiles coarse and the client view legitimately includes transport.
+	ServerP50Ms    float64 `json:"server_p50_ms"`
+	ServerP99Ms    float64 `json:"server_p99_ms"`
+	ServerDisagree bool    `json:"server_disagree,omitempty"`
 	// Server-side counters over the loaded phase (see serve.Stats).
 	Solves          int64 `json:"solves"`
 	Batches         int64 `json:"batches"`
@@ -140,17 +151,29 @@ func serveWorkload(name string, seed int64, n, cacheSize int) (ServeRecord, erro
 		idx := int(p * float64(len(latencies)-1))
 		return int64(latencies[idx])
 	}
+	lat := srv.SolveLatency()
+	serverP50 := lat.Quantile(0.50) // ns
+	serverP99 := lat.Quantile(0.99)
+	disagree := func(clientNs, serverNs float64) bool {
+		diff := math.Abs(clientNs - serverNs)
+		return diff > 1e6 && diff > 0.20*math.Max(clientNs, serverNs)
+	}
+
 	st := srv.Stats()
 	return ServeRecord{
-		Name:            name,
-		N:               n,
-		Instances:       instances,
-		Clients:         clients,
-		Requests:        int64(len(latencies)),
-		DurationNs:      int64(elapsed),
-		QPS:             float64(len(latencies)) / elapsed.Seconds(),
-		P50Ns:           pct(0.50),
-		P99Ns:           pct(0.99),
+		Name:        name,
+		N:           n,
+		Instances:   instances,
+		Clients:     clients,
+		Requests:    int64(len(latencies)),
+		DurationNs:  int64(elapsed),
+		QPS:         float64(len(latencies)) / elapsed.Seconds(),
+		P50Ns:       pct(0.50),
+		P99Ns:       pct(0.99),
+		ServerP50Ms: serverP50 / 1e6,
+		ServerP99Ms: serverP99 / 1e6,
+		ServerDisagree: disagree(float64(pct(0.50)), serverP50) &&
+			disagree(float64(pct(0.99)), serverP99),
 		Solves:          st["solves"],
 		Batches:         st["batches"],
 		BatchedRequests: st["batched_requests"],

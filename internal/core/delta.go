@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/onesided"
+	"repro/internal/par"
 )
 
 // Delta solves: warm-starting Algorithm 1 from the previous matching.
@@ -180,7 +181,11 @@ func (e *Engine) deltaFull(cx *exec.Ctx, ins *onesided.Instance, st *DeltaState,
 }
 
 // deltaWarm re-solves only the components of G′ affected by the dirty rows.
+// Trace attribution: the (f, s) recompute, component search, sub-instance
+// construction and the final splice all land on PhaseSplice; the embedded
+// sub-solve reports its own validate/build-reduced/peel/promote spans.
 func (e *Engine) deltaWarm(cx *exec.Ctx, ins *onesided.Instance, st *DeltaState, into *onesided.Matching) (Outcome, error) {
+	cx.Phase(par.PhaseSplice)
 	c := ins.CSR()
 	n1, n2 := st.n1, st.n2
 	total := n2 + n1
@@ -321,6 +326,7 @@ func (e *Engine) deltaWarm(cx *exec.Ctx, ins *onesided.Instance, st *DeltaState,
 	if err != nil {
 		return Outcome{}, err
 	}
+	cx.Phase(par.PhaseSplice)
 	st.stats.Warm = true
 	if !subOut.Exists {
 		// Some affected component fails Hall's condition, so the full

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/onesided"
+	"repro/internal/par"
 )
 
 // The unified solve engine: one mode-dispatched entry point over every
@@ -203,10 +204,12 @@ func (e *Engine) popularStrict(cx *exec.Ctx, ins *onesided.Instance, into *onesi
 
 // buildReduced runs the kernel's G′ construction for a strict instance.
 func (e *Engine) buildReduced(cx *exec.Ctx, ins *onesided.Instance) (*Reduced, error) {
+	cx.Phase(par.PhaseValidate)
 	c := ins.CSR()
 	if !c.Strict() {
 		return nil, fmt.Errorf("core: Algorithm 1 requires strictly-ordered preference lists")
 	}
+	cx.Phase(par.PhaseBuildReduced)
 	k := &e.k
 	k.begin(cx, ins, c)
 	k.buildReduced()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/onesided"
+	"repro/internal/par"
 )
 
 // Sentinel errors for impossible-by-theory states detected inside the
@@ -57,22 +58,27 @@ func popularFromReduced(r *Reduced, opt Options) (Result, error) {
 
 func popularFromReducedInto(r *Reduced, m *onesided.Matching, opt Options) (Result, error) {
 	k := r.k
+	cx := opt.exec()
 	if m == nil {
 		m = onesided.NewMatching(r.Ins)
 	} else {
 		m.Reset(r.Ins)
 	}
+	cx.Phase(par.PhasePeel)
 	ok, err := k.applicantComplete(m)
 	if err != nil {
 		return Result{}, err
 	}
 	if !ok {
+		cx.Phase(par.PhaseOther)
 		return Result{Exists: false, Peel: k.stats}, nil
 	}
+	cx.Phase(par.PhasePromote)
 	promotions, err := k.promote(m)
 	if err != nil {
 		return Result{}, err
 	}
+	cx.Phase(par.PhaseOther)
 	return Result{Matching: m, Exists: true, Peel: k.stats, Promotions: promotions}, nil
 }
 

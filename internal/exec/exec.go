@@ -124,23 +124,24 @@ func CatchCancel(err *error) {
 }
 
 // For runs fn(i) for every i in [0, n) as one parallel round, checking
-// cancellation first. Part of par.Runner.
+// cancellation first. Part of par.Runner. With a tracer attached the round
+// also measures its completion-barrier wait into the tracer.
 func (c *Ctx) For(n int, fn func(i int)) {
 	c.Check()
-	c.pool.For(n, fn)
+	c.pool.ForGrainTr(n, par.DefaultGrain, fn, c.tr)
 }
 
 // ForGrain is For with an explicit grain. Part of par.Runner.
 func (c *Ctx) ForGrain(n, grain int, fn func(i int)) {
 	c.Check()
-	c.pool.ForGrain(n, grain, fn)
+	c.pool.ForGrainTr(n, grain, fn, c.tr)
 }
 
 // Range hands contiguous chunks to workers, checking cancellation first.
 // Part of par.Runner.
 func (c *Ctx) Range(n, grain int, fn func(lo, hi int)) {
 	c.Check()
-	c.pool.Range(n, grain, fn)
+	c.pool.RangeTr(n, grain, fn, c.tr)
 }
 
 // Workers reports the pool's parallelism. Part of par.Runner.
@@ -152,6 +153,11 @@ func (c *Ctx) Round(work int) { c.tr.Round(work) }
 // AddWork adds work to the tracer without starting a round. Part of
 // par.Runner.
 func (c *Ctx) AddWork(work int) { c.tr.AddWork(work) }
+
+// Phase marks the start of an algorithm phase in the tracer: subsequent
+// rounds, work and wall time are attributed to p until the next Phase call.
+// A no-op without a tracer, so kernels call it unconditionally.
+func (c *Ctx) Phase(p par.Phase) { c.tr.BeginPhase(p) }
 
 // Arena returns the attached arena (possibly nil).
 func (c *Ctx) Arena() *Arena { return c.arena }

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultGrain is the minimum number of loop iterations assigned to a worker
@@ -109,6 +110,36 @@ type Pool struct {
 	done    chan struct{}
 	closed  atomic.Bool
 	tr      atomic.Pointer[Tracer]
+
+	// Scheduler observability. parks/parkNs count blocking waits in the
+	// worker loop (and the time spent parked); spinYields counts the
+	// polling yields between rounds. Workers accumulate spin yields in a
+	// goroutine-local counter and flush on state transitions, so the hot
+	// spin path never touches a shared cache line.
+	parks      atomic.Int64
+	parkNs     atomic.Int64
+	spinYields atomic.Int64
+}
+
+// SchedStats is a snapshot of the pool's scheduler counters: how often
+// workers fell off the spin path into a parked (blocking) wait, the total
+// time spent parked, and how many polling yields the spin path burned. Park
+// time on an idle pool measures idleness, not contention; the interesting
+// signal is parks climbing while solves are in flight (rounds arriving
+// slower than the spin budget covers).
+type SchedStats struct {
+	Parks      int64 // blocking waits entered by workers
+	ParkNs     int64 // total ns spent in those waits
+	SpinYields int64 // scheduler yields burned polling between rounds
+}
+
+// SchedStats reports the pool's accumulated scheduler counters.
+func (p *Pool) SchedStats() SchedStats {
+	return SchedStats{
+		Parks:      p.parks.Load(),
+		ParkNs:     p.parkNs.Load(),
+		SpinYields: p.spinYields.Load(),
+	}
 }
 
 // round is one bulk-synchronous parallel step: workers (and the caller)
@@ -126,6 +157,7 @@ type round struct {
 	n, grain, chunks int
 	fn               func(lo, hi int)
 	fnIdx            func(i int)
+	tr               *Tracer // non-nil on traced rounds: barrier wait is measured
 	_                [64]byte
 	next             atomic.Int64
 	_                [56]byte
@@ -259,6 +291,14 @@ func (p *Pool) For(n int, fn func(i int)) {
 // on the calling goroutine without touching the round machinery, so fn need
 // not escape and a prebound loop body executes allocation-free.
 func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
+	p.ForGrainTr(n, grain, fn, nil)
+}
+
+// ForGrainTr is ForGrain with a tracer riding the round: the time the caller
+// spends in the completion barrier waiting for recruited helpers is
+// accumulated into tr (AddBarrierWait). A nil tr is exactly ForGrain — the
+// untraced dispatch path takes no timestamps.
+func (p *Pool) ForGrainTr(n, grain int, fn func(i int), tr *Tracer) {
 	if n <= 0 {
 		return
 	}
@@ -274,6 +314,7 @@ func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
 	r := roundPool.Get().(*round)
 	r.n, r.grain, r.chunks = n, grain, (n+grain-1)/grain
 	r.fn, r.fnIdx = nil, fn
+	r.tr = tr
 	p.dispatch(r)
 }
 
@@ -287,6 +328,11 @@ func (p *Pool) ForGrain(n, grain int, fn func(i int)) {
 // when fn itself calls back into the same pool (nested parallel loops simply
 // run on whoever is free, ultimately the caller itself).
 func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
+	p.RangeTr(n, grain, fn, nil)
+}
+
+// RangeTr is Range with a tracer riding the round; see ForGrainTr.
+func (p *Pool) RangeTr(n, grain int, fn func(lo, hi int), tr *Tracer) {
 	if n <= 0 {
 		return
 	}
@@ -300,6 +346,7 @@ func (p *Pool) Range(n, grain int, fn func(lo, hi int)) {
 	r := roundPool.Get().(*round)
 	r.n, r.grain, r.chunks = n, grain, (n+grain-1)/grain
 	r.fn, r.fnIdx = fn, nil
+	r.tr = tr
 	p.dispatch(r)
 }
 
@@ -348,6 +395,10 @@ func (p *Pool) dispatch(r *round) {
 	// join() orders wg.Done before the running decrement, so running == 0
 	// proves the WaitGroup is settled.
 	if r.running.Load() != 0 {
+		var t0 time.Time
+		if r.tr != nil {
+			t0 = time.Now()
+		}
 		settled := false
 		for spin := 0; spin < waitSpins; spin++ {
 			runtime.Gosched()
@@ -359,8 +410,11 @@ func (p *Pool) dispatch(r *round) {
 		if !settled {
 			r.wg.Wait()
 		}
+		if r.tr != nil {
+			r.tr.AddBarrierWait(time.Since(t0).Nanoseconds())
+		}
 	}
-	r.fn, r.fnIdx = nil, nil
+	r.fn, r.fnIdx, r.tr = nil, nil, nil
 	r.next.Store(0)
 	roundPool.Put(r)
 }
@@ -383,9 +437,14 @@ func (p *Pool) startWorkers() {
 // consecutive rounds recruit the full pool.
 func (p *Pool) worker() {
 	idle := 0
+	spun := int64(0) // yields since the last flush; flushed off the hot path
 	for {
 		select {
 		case r := <-p.rounds:
+			if spun != 0 {
+				p.spinYields.Add(spun)
+				spun = 0
+			}
 			r.join()
 			idle = 0
 			continue
@@ -395,14 +454,23 @@ func (p *Pool) worker() {
 		}
 		if idle < workerSpins {
 			idle++
+			spun++
 			runtime.Gosched()
 			continue
 		}
+		if spun != 0 {
+			p.spinYields.Add(spun)
+			spun = 0
+		}
+		p.parks.Add(1)
+		t0 := time.Now()
 		select {
 		case r := <-p.rounds:
+			p.parkNs.Add(time.Since(t0).Nanoseconds())
 			r.join()
 			idle = 0
 		case <-p.done:
+			p.parkNs.Add(time.Since(t0).Nanoseconds())
 			return
 		}
 	}

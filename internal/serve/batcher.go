@@ -27,9 +27,10 @@ type jobResult struct {
 // queue no longer admits, every queued job has been failed with
 // ErrServerClosed, and every dispatched batch has completed.
 type batcher struct {
-	cfg    Config
-	solver *popmatch.Solver
-	stats  *Stats
+	cfg     Config
+	solver  *popmatch.Solver
+	stats   *Stats
+	metrics *serverMetrics
 
 	jobs chan *solveJob
 	quit chan struct{}
@@ -45,13 +46,14 @@ type batcher struct {
 	inflight   sync.WaitGroup // running batch executions
 }
 
-func newBatcher(cfg Config, solver *popmatch.Solver, stats *Stats) *batcher {
+func newBatcher(cfg Config, solver *popmatch.Solver, stats *Stats, metrics *serverMetrics) *batcher {
 	b := &batcher{
-		cfg:    cfg,
-		solver: solver,
-		stats:  stats,
-		jobs:   make(chan *solveJob, cfg.MaxQueue),
-		quit:   make(chan struct{}),
+		cfg:     cfg,
+		solver:  solver,
+		stats:   stats,
+		metrics: metrics,
+		jobs:    make(chan *solveJob, cfg.MaxQueue),
+		quit:    make(chan struct{}),
 	}
 	b.dispatcher.Add(1)
 	go b.loop()
@@ -194,6 +196,8 @@ type group struct {
 // group through its dedicated solver entry point, then fan results back out
 // to each waiter.
 func (b *batcher) execute(batch []*solveJob) {
+	start := time.Now()
+	defer func() { b.metrics.flush.Observe(time.Since(start).Nanoseconds()) }()
 	b.stats.observeBatch(len(batch))
 
 	keys := make([]cacheKey, 0, len(batch))
@@ -267,7 +271,9 @@ func (b *batcher) runSolveBatch(gs []*group) {
 	for i, g := range gs {
 		instances[i] = g.snap.Ins
 	}
+	t0 := time.Now()
 	results, err := b.solver.SolveBatch(ctx, instances)
+	b.metrics.solve.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		for _, g := range gs {
 			b.runGroup(g)
@@ -275,6 +281,7 @@ func (b *batcher) runSolveBatch(gs []*group) {
 		return
 	}
 	b.stats.Solves.Add(int64(len(gs)))
+	b.metrics.modeSolve(ModePopular, int64(len(gs)))
 	for i, g := range gs {
 		g.deliver(outcomeOf(g.snap.Posts, results[i]), nil)
 	}
@@ -289,7 +296,10 @@ func (b *batcher) runGroup(g *group) {
 	ctx, cancel := b.joinGroupCtx([]*group{g})
 	defer cancel()
 	b.stats.Solves.Add(1)
+	b.metrics.modeSolve(g.mode, 1)
+	t0 := time.Now()
 	res, err := b.solver.SolveRequest(ctx, g.snap.Ins, popmatch.Request{Mode: g.mode})
+	b.metrics.solve.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		b.stats.SolveErrors.Add(1)
 		g.deliver(nil, err)

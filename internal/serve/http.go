@@ -3,14 +3,19 @@ package serve
 import (
 	"bufio"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/onesided"
+	"repro/popmatch"
 )
 
 // The HTTP/JSON surface of a Server.
@@ -22,7 +27,18 @@ import (
 //	POST   /v1/solve           {"instance": id, "mode": m} → solution
 //	POST   /v1/verify          {"instance": id, "post_of": [...]} → verdict
 //	GET    /v1/stats           counter snapshot
+//	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness
+//
+// A solve request may set "trace": true to receive a per-phase cost
+// breakdown of its solve in the response's "trace" field (rounds, work and
+// wall time per algorithm phase, plus barrier-wait time). Traced requests
+// bypass the result cache and the micro-batcher — the trace always reflects
+// a dedicated kernel solve of exactly that request.
+//
+// Every response carries an X-Request-Id header (echoing the caller's, or a
+// freshly minted id) and error bodies repeat it as "request_id", so a failed
+// request is greppable in the structured access log (Config.Logger).
 //
 // Delta sessions (mutable forks of a registered instance, re-matched
 // incrementally — see Session):
@@ -78,17 +94,21 @@ type instanceInfo struct {
 type solveRequest struct {
 	Instance string `json:"instance"`
 	Mode     string `json:"mode"`
+	// Trace requests a per-phase cost breakdown of the solve (see the
+	// package comment); traced requests bypass the cache and the batcher.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type solveResponse struct {
-	Instance   string    `json:"instance"`
-	Mode       string    `json:"mode"`
-	Cached     bool      `json:"cached"`
-	Exists     bool      `json:"exists"`
-	Size       int       `json:"size"`
-	PeelRounds int       `json:"peel_rounds"`
-	PostOf     []int32   `json:"post_of,omitempty"`
-	AssignedTo [][]int32 `json:"assigned_to,omitempty"`
+	Instance   string               `json:"instance"`
+	Mode       string               `json:"mode"`
+	Cached     bool                 `json:"cached"`
+	Exists     bool                 `json:"exists"`
+	Size       int                  `json:"size"`
+	PeelRounds int                  `json:"peel_rounds"`
+	PostOf     []int32              `json:"post_of,omitempty"`
+	AssignedTo [][]int32            `json:"assigned_to,omitempty"`
+	Trace      *popmatch.SolveTrace `json:"trace,omitempty"`
 }
 
 type sessionCreateRequest struct {
@@ -105,22 +125,24 @@ type sessionMutateResponse struct {
 }
 
 type sessionSolveRequest struct {
-	Mode string `json:"mode"`
+	Mode  string `json:"mode"`
+	Trace bool   `json:"trace,omitempty"`
 }
 
 // sessionSolveResponse extends the solve wire form with the session epoch the
 // answer is valid for and whether the warm incremental path produced it.
 type sessionSolveResponse struct {
-	Session    string    `json:"session"`
-	Mode       string    `json:"mode"`
-	Epoch      uint64    `json:"epoch"`
-	Cached     bool      `json:"cached"`
-	Warm       bool      `json:"warm"`
-	Exists     bool      `json:"exists"`
-	Size       int       `json:"size"`
-	PeelRounds int       `json:"peel_rounds"`
-	PostOf     []int32   `json:"post_of,omitempty"`
-	AssignedTo [][]int32 `json:"assigned_to,omitempty"`
+	Session    string               `json:"session"`
+	Mode       string               `json:"mode"`
+	Epoch      uint64               `json:"epoch"`
+	Cached     bool                 `json:"cached"`
+	Warm       bool                 `json:"warm"`
+	Exists     bool                 `json:"exists"`
+	Size       int                  `json:"size"`
+	PeelRounds int                  `json:"peel_rounds"`
+	PostOf     []int32              `json:"post_of,omitempty"`
+	AssignedTo [][]int32            `json:"assigned_to,omitempty"`
+	Trace      *popmatch.SolveTrace `json:"trace,omitempty"`
 }
 
 type verifyRequest struct {
@@ -136,6 +158,9 @@ type verifyResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID repeats the response's X-Request-Id header so an error body
+	// alone suffices to find the request in the access log.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // maxInstanceBody bounds an upload (the text format is ~6 bytes/edge, so
@@ -202,6 +227,10 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WriteMetrics(w)
+	})
 	mux.HandleFunc("POST /v1/instances", func(w http.ResponseWriter, r *http.Request) {
 		ins, isBinary, err := readInstanceBody(w, r)
 		if err != nil {
@@ -213,12 +242,12 @@ func NewHandler(s *Server) http.Handler {
 			} else if errors.As(err, &unsupported) {
 				status = http.StatusUnsupportedMediaType
 			}
-			writeError(w, status, err)
+			writeError(w, r, status, err)
 			return
 		}
 		snap, created, err := s.Upload(ins)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
 		if isBinary {
@@ -244,14 +273,14 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/instances/{id}", func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := s.Instance(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrUnknownInstance)
+			writeError(w, r, http.StatusNotFound, ErrUnknownInstance)
 			return
 		}
 		writeJSON(w, http.StatusOK, infoOf(snap))
 	})
 	mux.HandleFunc("DELETE /v1/instances/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !s.Evict(r.PathValue("id")) {
-			writeError(w, http.StatusNotFound, ErrUnknownInstance)
+			writeError(w, r, http.StatusNotFound, ErrUnknownInstance)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "evicted"})
@@ -259,39 +288,42 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req solveRequest
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		mode, err := ParseMode(req.Mode)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		out, cached, err := s.Solve(r.Context(), req.Instance, mode)
+		resp := solveResponse{Instance: req.Instance, Mode: mode.String()}
+		var out *Outcome
+		if req.Trace {
+			resp.Trace = new(popmatch.SolveTrace)
+			out, err = s.SolveTraced(r.Context(), req.Instance, mode, resp.Trace)
+		} else {
+			out, resp.Cached, err = s.Solve(r.Context(), req.Instance, mode)
+		}
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, solveResponse{
-			Instance:   req.Instance,
-			Mode:       mode.String(),
-			Cached:     cached,
-			Exists:     out.Exists,
-			Size:       out.Size,
-			PeelRounds: out.PeelRounds,
-			PostOf:     out.PostOf,
-			AssignedTo: out.AssignedTo,
-		})
+		resp.Exists = out.Exists
+		resp.Size = out.Size
+		resp.PeelRounds = out.PeelRounds
+		resp.PostOf = out.PostOf
+		resp.AssignedTo = out.AssignedTo
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req sessionCreateRequest
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		info, err := s.CreateSession(req.Instance)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
@@ -306,14 +338,14 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, ok := s.Session(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrUnknownSession)
+			writeError(w, r, http.StatusNotFound, ErrUnknownSession)
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !s.DeleteSession(r.PathValue("id")) {
-			writeError(w, http.StatusNotFound, ErrUnknownSession)
+			writeError(w, r, http.StatusNotFound, ErrUnknownSession)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
@@ -321,7 +353,7 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/mutations", func(w http.ResponseWriter, r *http.Request) {
 		var req sessionMutateRequest
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		info, applied, err := s.MutateSession(r.PathValue("id"), req.Mutations)
@@ -329,7 +361,7 @@ func NewHandler(s *Server) http.Handler {
 			// A failed batch may have partially applied; the 422 body still
 			// carries what stuck so the client can resynchronize, but the
 			// top-level error keeps the failure unmissable.
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sessionMutateResponse{Session: info, Applied: applied})
@@ -337,47 +369,112 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/solve", func(w http.ResponseWriter, r *http.Request) {
 		var req sessionSolveRequest
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		mode, err := ParseMode(req.Mode)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		id := r.PathValue("id")
-		out, meta, err := s.SolveSession(r.Context(), id, mode)
+		resp := sessionSolveResponse{Session: id, Mode: mode.String()}
+		var out *Outcome
+		var meta SessionSolveMeta
+		if req.Trace {
+			resp.Trace = new(popmatch.SolveTrace)
+			out, meta, err = s.SolveSessionTraced(r.Context(), id, mode, resp.Trace)
+		} else {
+			out, meta, err = s.SolveSession(r.Context(), id, mode)
+		}
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, sessionSolveResponse{
-			Session:    id,
-			Mode:       mode.String(),
-			Epoch:      meta.Epoch,
-			Cached:     meta.Cached,
-			Warm:       meta.Warm,
-			Exists:     out.Exists,
-			Size:       out.Size,
-			PeelRounds: out.PeelRounds,
-			PostOf:     out.PostOf,
-			AssignedTo: out.AssignedTo,
-		})
+		resp.Epoch = meta.Epoch
+		resp.Cached = meta.Cached
+		resp.Warm = meta.Warm
+		resp.Exists = out.Exists
+		resp.Size = out.Size
+		resp.PeelRounds = out.PeelRounds
+		resp.PostOf = out.PostOf
+		resp.AssignedTo = out.AssignedTo
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
 		var req verifyRequest
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		popular, margin, err := s.Verify(r.Context(), req.Instance, req.PostOf)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeError(w, r, statusOf(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, verifyResponse{Instance: req.Instance, Popular: popular, Margin: margin})
 	})
-	return mux
+	return withObservability(s.cfg.Logger, mux)
+}
+
+// ctxKeyRequestID keys the per-request id in the request context.
+type ctxKeyRequestID struct{}
+
+// requestIDOf returns the request's id ("" for a request that did not pass
+// through the handler middleware).
+func requestIDOf(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char random request id.
+func newRequestID() string {
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(raw[:])
+}
+
+// statusRecorder captures the response status for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withObservability wraps h with request-id assignment and structured access
+// logging. Every request gets an id — the caller's X-Request-Id if present,
+// else a freshly minted one — echoed in the X-Request-Id response header,
+// carried in the request context for error bodies, and, when logger is
+// non-nil, attached to one info-level access line per request.
+func withObservability(logger *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id))
+		if logger == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		logger.Info("request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
 }
 
 func infoOf(snap *Snapshot) instanceInfo {
@@ -431,6 +528,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestIDOf(r)})
 }

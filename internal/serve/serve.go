@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/onesided"
@@ -135,6 +136,11 @@ type Config struct {
 	// without re-parsing. Only honored by Open (New builds a memory-only
 	// server).
 	StoreDir string
+	// Logger, when non-nil, receives one structured access-log line per HTTP
+	// request (method, path, status, duration, request id). Nil logs nothing
+	// — the library surface stays silent by default; cmd/popserved wires its
+	// -log-level handler here.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +186,7 @@ type Server struct {
 	registry *Registry
 	cache    *resultCache
 	stats    Stats
+	metrics  *serverMetrics
 	solver   *popmatch.Solver
 	batch    *batcher
 	sessions sessionTable
@@ -198,7 +205,8 @@ func New(cfg Config) *Server {
 		started:  time.Now(),
 	}
 	s.sessions.max = cfg.MaxSessions
-	s.batch = newBatcher(cfg, s.solver, &s.stats)
+	s.metrics = newServerMetrics(s)
+	s.batch = newBatcher(cfg, s.solver, &s.stats, s.metrics)
 	return s
 }
 
@@ -283,14 +291,23 @@ func (s *Server) Evict(id string) bool {
 }
 
 // Stats returns a snapshot of the server counters plus the registry and
-// cache gauges.
+// cache gauges, built in one pass: every counter is loaded exactly once
+// (see Stats.snapshotInto), so no key can report a staler read than a key
+// written before it. The key set is the /v1/stats wire contract.
 func (s *Server) Stats() map[string]int64 {
-	m := s.stats.Snapshot()
+	m := make(map[string]int64, 20)
+	s.stats.snapshotInto(m)
 	m["instances"] = int64(s.registry.Len())
 	m["sessions"] = int64(s.sessions.len())
 	m["cache_entries"] = int64(s.cache.Len())
-	m["uptime_seconds"] = int64(time.Since(s.started) / time.Second)
+	m["uptime_seconds"] = s.uptimeSeconds()
 	return m
+}
+
+// uptimeSeconds is the shared gauge body of the stats snapshot and the
+// popserved_uptime_seconds series.
+func (s *Server) uptimeSeconds() int64 {
+	return int64(time.Since(s.started) / time.Second)
 }
 
 // Solve answers a solve request for a registered instance: from the result
@@ -303,6 +320,8 @@ func (s *Server) Solve(ctx context.Context, id string, mode Mode) (*Outcome, boo
 	if !ok {
 		return nil, false, ErrUnknownInstance
 	}
+	start := time.Now()
+	defer func() { s.metrics.reqSolve.Observe(time.Since(start).Nanoseconds()) }()
 	s.stats.Requests.Add(1)
 	key := cacheKey{id: snap.ID, mode: mode}
 	if out, hit := s.cache.Get(key); hit {

@@ -285,19 +285,35 @@ type SessionSolveMeta struct {
 // outlive its epoch. On a miss, ModePopular rides the warm-started delta
 // solver; other modes full-solve the current instance.
 func (s *Server) SolveSession(ctx context.Context, id string, mode Mode) (*Outcome, SessionSolveMeta, error) {
+	return s.solveSession(ctx, id, mode, nil)
+}
+
+// SolveSessionTraced is SolveSession with a per-phase trace: the solve fills
+// tr (the warm delta path attributes its splice work there). Traced session
+// solves bypass the epoch-keyed result cache in both directions so the trace
+// always reflects a real kernel dispatch of exactly this request.
+func (s *Server) SolveSessionTraced(ctx context.Context, id string, mode Mode, tr *popmatch.SolveTrace) (*Outcome, SessionSolveMeta, error) {
+	return s.solveSession(ctx, id, mode, tr)
+}
+
+func (s *Server) solveSession(ctx context.Context, id string, mode Mode, tr *popmatch.SolveTrace) (*Outcome, SessionSolveMeta, error) {
 	sess, ok := s.sessions.get(id)
 	if !ok {
 		return nil, SessionSolveMeta{}, ErrUnknownSession
 	}
+	start := time.Now()
+	defer func() { s.metrics.reqSession.Observe(time.Since(start).Nanoseconds()) }()
 	s.stats.Requests.Add(1)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	meta := SessionSolveMeta{Epoch: sess.ins.Epoch()}
 	key := cacheKey{id: sess.ID, mode: mode, epoch: meta.Epoch}
-	if out, hit := s.cache.Get(key); hit {
-		s.stats.CacheHits.Add(1)
-		meta.Cached = true
-		return out, meta, nil
+	if tr == nil {
+		if out, hit := s.cache.Get(key); hit {
+			s.stats.CacheHits.Add(1)
+			meta.Cached = true
+			return out, meta, nil
+		}
 	}
 	s.stats.CacheMisses.Add(1)
 	if s.cfg.SolveTimeout > 0 {
@@ -306,32 +322,37 @@ func (s *Server) SolveSession(ctx context.Context, id string, mode Mode) (*Outco
 		defer cancel()
 	}
 	s.stats.SessionSolves.Add(1)
+	s.metrics.modeSolve(mode, 1)
+	t0 := time.Now()
 	var res popmatch.Result
 	var err error
 	if mode == ModePopular {
 		// The delta path recycles sess.res's buffers and the session's warm
 		// state; for any instance shape it cannot serve incrementally it
 		// falls back to a full solve internally.
-		err = s.solver.SolveDeltaInto(ctx, sess.ins, popmatch.Request{Mode: mode}, &sess.delta, &sess.res)
+		err = s.solver.SolveDeltaInto(ctx, sess.ins, popmatch.Request{Mode: mode, Trace: tr}, &sess.delta, &sess.res)
 		res = sess.res
 		if err == nil && sess.delta.Stats().Warm {
 			meta.Warm = true
 			s.stats.SessionWarm.Add(1)
 		}
 	} else {
-		res, err = s.solver.SolveRequest(ctx, sess.ins, popmatch.Request{Mode: mode})
+		res, err = s.solver.SolveRequest(ctx, sess.ins, popmatch.Request{Mode: mode, Trace: tr})
 	}
+	s.metrics.solve.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		s.stats.SolveErrors.Add(1)
 		return nil, SessionSolveMeta{}, err
 	}
 	out := outcomeOf(sess.ins.NumPosts, res)
-	s.cache.Put(key, out)
-	// Same resurrection guard as Server.Solve: DeleteSession removes the
-	// table entry before purging the cache, so re-checking liveness after
-	// the Put guarantees a deleted session leaves no cache line behind.
-	if _, live := s.sessions.get(sess.ID); !live {
-		s.cache.EvictInstance(sess.ID)
+	if tr == nil {
+		s.cache.Put(key, out)
+		// Same resurrection guard as Server.Solve: DeleteSession removes the
+		// table entry before purging the cache, so re-checking liveness after
+		// the Put guarantees a deleted session leaves no cache line behind.
+		if _, live := s.sessions.get(sess.ID); !live {
+			s.cache.EvictInstance(sess.ID)
+		}
 	}
 	return out, meta, nil
 }

@@ -1,86 +1,92 @@
 package serve
 
-import "sync/atomic"
+import "repro/internal/obs"
 
 // Stats is the server's counter block: cheap atomic counters incremented on
-// the request path and exported as one consistent-enough snapshot by the
-// stats endpoint (expvar-style — monotonic counters, no locks, no
-// histograms; the bench harness derives latency percentiles client-side).
+// the request path. The counters are obs.Counter values so the same storage
+// backs both the flat JSON snapshot of /v1/stats and the Prometheus series
+// of /metrics (see metrics.go) — one increment, two exposition formats.
+// Latency histograms live beside them in serverMetrics; the bench harness
+// reads both the client- and the server-side percentiles.
 type Stats struct {
 	// Requests counts every solve request that named a registered instance
 	// — including ones admission control later refused; Rejected counts
 	// those refusals (a subset of Requests).
-	Requests atomic.Int64
-	Rejected atomic.Int64
+	Requests obs.Counter
+	Rejected obs.Counter
 	// CacheHits/CacheMisses split Requests by result-cache outcome; the
 	// cache is consulted before admission, so a rejected request still
 	// counts as a miss.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter
 	// Batches counts micro-batches dispatched; BatchedRequests the requests
 	// they carried (so BatchedRequests/Batches is the mean batch size);
 	// MaxBatch the largest batch observed; Coalesced the requests that
 	// shared another request's solve (identical instance and mode in the
 	// same batch).
-	Batches         atomic.Int64
-	BatchedRequests atomic.Int64
-	MaxBatch        atomic.Int64
-	Coalesced       atomic.Int64
+	Batches         obs.Counter
+	BatchedRequests obs.Counter
+	MaxBatch        obs.Counter
+	Coalesced       obs.Counter
 	// Solves counts kernel dispatches (unique work items actually handed to
 	// the Solver); SolveErrors the ones that failed. A cache hit or a
 	// coalesced request does not move Solves — that gap is the measure of
 	// work the serving layer absorbed.
-	Solves      atomic.Int64
-	SolveErrors atomic.Int64
+	Solves      obs.Counter
+	SolveErrors obs.Counter
 	// Abandoned counts waiters that gave up (context ended) while their job
 	// was still in the pipeline; the job's solve may still run for the sake
 	// of coalesced siblings, but its result goes undelivered to this caller.
-	Abandoned atomic.Int64
+	Abandoned obs.Counter
 	// SessionSolves counts kernel dispatches made on behalf of delta
 	// sessions (these bypass the batcher); SessionWarm the subset answered
 	// by the incremental warm-start path rather than a full solve.
-	SessionSolves atomic.Int64
-	SessionWarm   atomic.Int64
+	SessionSolves obs.Counter
+	SessionWarm   obs.Counter
 	// UploadsText/UploadsBinary split successful HTTP uploads by wire
 	// format; StoreLoaded counts instances restored from the on-disk store
 	// at boot. After a restart against a populated store, StoreLoaded is the
 	// registry size and both upload counters are zero — the assertion that
 	// no instance was re-parsed.
-	UploadsText   atomic.Int64
-	UploadsBinary atomic.Int64
-	StoreLoaded   atomic.Int64
+	UploadsText   obs.Counter
+	UploadsBinary obs.Counter
+	StoreLoaded   obs.Counter
 }
 
 // observeBatch records one dispatched micro-batch of n requests.
 func (st *Stats) observeBatch(n int) {
 	st.Batches.Add(1)
 	st.BatchedRequests.Add(int64(n))
-	for {
-		cur := st.MaxBatch.Load()
-		if int64(n) <= cur || st.MaxBatch.CompareAndSwap(cur, int64(n)) {
-			return
-		}
-	}
+	st.MaxBatch.Max(int64(n))
+}
+
+// snapshotInto writes the counters into m, reading each exactly once (one
+// atomic load per counter, no re-reads), so a snapshot is as consistent as a
+// lock-free counter block can be: every value is a real point-in-time read.
+// The key set is the wire contract of /v1/stats — TestStatsSnapshotKeys pins
+// it.
+func (st *Stats) snapshotInto(m map[string]int64) {
+	m["requests"] = st.Requests.Load()
+	m["rejected"] = st.Rejected.Load()
+	m["cache_hits"] = st.CacheHits.Load()
+	m["cache_misses"] = st.CacheMisses.Load()
+	m["batches"] = st.Batches.Load()
+	m["batched_requests"] = st.BatchedRequests.Load()
+	m["max_batch"] = st.MaxBatch.Load()
+	m["coalesced"] = st.Coalesced.Load()
+	m["solves"] = st.Solves.Load()
+	m["solve_errors"] = st.SolveErrors.Load()
+	m["abandoned"] = st.Abandoned.Load()
+	m["session_solves"] = st.SessionSolves.Load()
+	m["session_warm"] = st.SessionWarm.Load()
+	m["uploads_text"] = st.UploadsText.Load()
+	m["uploads_binary"] = st.UploadsBinary.Load()
+	m["store_loaded"] = st.StoreLoaded.Load()
 }
 
 // Snapshot returns the counters as a flat map, ready for JSON encoding.
 func (st *Stats) Snapshot() map[string]int64 {
-	return map[string]int64{
-		"requests":         st.Requests.Load(),
-		"rejected":         st.Rejected.Load(),
-		"cache_hits":       st.CacheHits.Load(),
-		"cache_misses":     st.CacheMisses.Load(),
-		"batches":          st.Batches.Load(),
-		"batched_requests": st.BatchedRequests.Load(),
-		"max_batch":        st.MaxBatch.Load(),
-		"coalesced":        st.Coalesced.Load(),
-		"solves":           st.Solves.Load(),
-		"solve_errors":     st.SolveErrors.Load(),
-		"abandoned":        st.Abandoned.Load(),
-		"session_solves":   st.SessionSolves.Load(),
-		"session_warm":     st.SessionWarm.Load(),
-		"uploads_text":     st.UploadsText.Load(),
-		"uploads_binary":   st.UploadsBinary.Load(),
-		"store_loaded":     st.StoreLoaded.Load(),
-	}
+	m := make(map[string]int64, 20)
+	st.snapshotInto(m)
+	return m
 }

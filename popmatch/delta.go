@@ -2,6 +2,7 @@ package popmatch
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 )
@@ -58,11 +59,18 @@ func (s *Solver) SolveDeltaInto(ctx context.Context, ins *Instance, req Request,
 		return err
 	}
 	defer s.putSession(sess)
+	var start time.Time
+	if req.Trace != nil {
+		start = s.beginTrace(ctx, sess)
+	}
 	into := res.Matching
 	if into == nil {
 		into = res.cloneMatching
 	}
 	out, err := core.SolveDeltaRequest(ins, core.Request{Mode: req.Mode, Weights: req.Weights, Into: into}, &d.st, opt)
+	if req.Trace != nil {
+		endTrace(sess, req.Trace, start)
+	}
 	if err != nil {
 		return err
 	}

@@ -131,6 +131,12 @@ var (
 type Request struct {
 	Mode    Mode
 	Weights WeightFn
+	// Trace, when non-nil, is filled with this solve's per-phase cost
+	// breakdown (rounds, work, wall time, barrier waits). The solve runs on
+	// a solve-local tracer, so the trace is exact even when other solves
+	// share the Solver; a traced solve's rounds do not accumulate into
+	// Options.Trace. See SolveTrace for the reuse contract.
+	Trace *SolveTrace
 }
 
 // Options configures a solver call or a Solver handle.
@@ -153,6 +159,20 @@ func (s *Stats) Rounds() int64 { return s.tracer.Rounds() }
 
 // Work is the total number of elementary operations across rounds.
 func (s *Stats) Work() int64 { return s.tracer.Work() }
+
+// BarrierWaitNs is the accumulated time solve goroutines spent in round
+// completion barriers waiting for pool workers.
+func (s *Stats) BarrierWaitNs() int64 { return s.tracer.BarrierWaitNs() }
+
+// Phases returns the accumulated per-phase breakdown (phases with no
+// recorded activity are omitted). With concurrent solves sharing this Stats
+// the attribution is aggregate; use Request.Trace for an exact per-solve
+// trace.
+func (s *Stats) Phases() []PhaseTrace {
+	var t SolveTrace
+	t.fill(&s.tracer, 0)
+	return t.Phases
+}
 
 // oneShot runs fn on a throwaway Solver: the pre-Solver API surface is kept
 // as thin wrappers over the execution-context layer.

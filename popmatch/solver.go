@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -60,6 +61,10 @@ type Solver struct {
 type session struct {
 	arena *exec.Arena
 	cx    exec.Ctx
+	// tracer is the solve-local tracer backing Request.Trace: a traced
+	// solve re-points the session context here so its phase attribution is
+	// exact even when concurrent solves share the Solver.
+	tracer par.Tracer
 }
 
 // NewSolver returns a Solver configured by o. Workers == 0 shares the
@@ -151,16 +156,39 @@ func (s *Solver) SolveRequestInto(ctx context.Context, ins *Instance, req Reques
 		return err
 	}
 	defer s.putSession(sess)
+	var start time.Time
+	if req.Trace != nil {
+		start = s.beginTrace(ctx, sess)
+	}
 	into := res.Matching
 	if into == nil {
 		into = res.cloneMatching // a previous capacitated result's clone matching
 	}
 	out, err := core.SolveRequest(ins, core.Request{Mode: req.Mode, Weights: req.Weights, Into: into}, opt)
+	if req.Trace != nil {
+		endTrace(sess, req.Trace, start)
+	}
 	if err != nil {
 		return err
 	}
 	*res = wrapOutcome(ins, out)
 	return nil
+}
+
+// beginTrace re-points the checked-out session at its solve-local tracer and
+// arms the phase clock; endTrace closes the last span and snapshots the
+// counters into the caller's SolveTrace. Both are allocation-free so traced
+// steady-state solves stay within the untraced allocation budget.
+func (s *Solver) beginTrace(ctx context.Context, sess *session) time.Time {
+	sess.tracer.Reset()
+	sess.cx.Reset(exec.Config{Context: ctx, Pool: s.pool, Tracer: &sess.tracer, Arena: sess.arena})
+	sess.tracer.BeginPhase(par.PhaseOther)
+	return time.Now()
+}
+
+func endTrace(sess *session, t *SolveTrace, start time.Time) {
+	sess.tracer.BeginPhase(par.PhaseOther) // close the final span
+	t.fill(&sess.tracer, time.Since(start).Nanoseconds())
 }
 
 // Solve finds a popular matching of a strictly-ordered instance, or reports

@@ -1,0 +1,73 @@
+package popmatch
+
+import (
+	"repro/internal/par"
+)
+
+// PhaseTrace is one algorithm phase's share of a solve: its bulk-synchronous
+// rounds, elementary-operation work and wall time. Phase names are the
+// pipeline stages of the strict path ("validate", "build-reduced", "peel",
+// "promote"), "splice" for the warm delta path, and "other" for everything
+// not explicitly attributed (ties reductions, optimizers).
+type PhaseTrace struct {
+	Name       string `json:"name"`
+	Rounds     int64  `json:"rounds"`
+	Work       int64  `json:"work"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// SolveTrace is a per-solve cost breakdown. Request a trace by pointing
+// Request.Trace at one: the solve then runs on a solve-local tracer and
+// fills the struct on return (success or error). The Phases slice is reused
+// across fills, so a caller recycling one SolveTrace over many solves stays
+// allocation-free in the steady state.
+//
+// BarrierWaitNs is the time the solve's calling goroutine spent in round
+// completion barriers waiting for recruited pool workers — the
+// synchronization share of the wall time, as opposed to chunk compute.
+type SolveTrace struct {
+	DurationNs    int64        `json:"duration_ns"`
+	Rounds        int64        `json:"rounds"`
+	Work          int64        `json:"work"`
+	BarrierWaitNs int64        `json:"barrier_wait_ns"`
+	Phases        []PhaseTrace `json:"phases"`
+}
+
+// fill snapshots tr into t, reusing t.Phases. Phases with no recorded
+// activity are omitted.
+func (t *SolveTrace) fill(tr *par.Tracer, durNs int64) {
+	t.DurationNs = durNs
+	t.Rounds = tr.Rounds()
+	t.Work = tr.Work()
+	t.BarrierWaitNs = tr.BarrierWaitNs()
+	t.Phases = t.Phases[:0]
+	for _, p := range par.TracePhases {
+		r, w, ns := tr.PhaseStats(p)
+		if r == 0 && w == 0 && ns == 0 {
+			continue
+		}
+		t.Phases = append(t.Phases, PhaseTrace{Name: p.String(), Rounds: r, Work: w, DurationNs: ns})
+	}
+}
+
+// SchedStats is a snapshot of the solver pool's scheduler counters; see
+// Solver.SchedStats.
+type SchedStats struct {
+	// Parks counts blocking waits entered by pool workers; ParkNs is the
+	// total time spent in them (idle time on a quiet pool).
+	Parks  int64
+	ParkNs int64
+	// SpinYields counts the scheduler yields workers burned polling for
+	// back-to-back rounds before parking.
+	SpinYields int64
+}
+
+// SchedStats reports the accumulated scheduler counters of the Solver's
+// worker pool: how often workers fell off the spin path into a parked wait,
+// the time spent parked, and the polling yields between rounds. For a Solver
+// sharing the process-wide pool the counters aggregate every user of that
+// pool.
+func (s *Solver) SchedStats() SchedStats {
+	st := s.pool.SchedStats()
+	return SchedStats{Parks: st.Parks, ParkNs: st.ParkNs, SpinYields: st.SpinYields}
+}
