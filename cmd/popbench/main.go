@@ -12,6 +12,7 @@
 //	popbench -json BENCH_delta.json -scenario delta [-n N] [-seed N]
 //	popbench -json BENCH_scaling.json -scenario scaling [-n N] [-workers 1,2,4,8] [-seed N]
 //	popbench -json BENCH_ingest.json -scenario ingest [-n N] [-seed N]
+//	popbench -json BENCH_shard.json -scenario shard [-n N] [-shards 1,2,4] [-seed N]
 //
 // Without -table it runs everything (several minutes for the larger sweeps).
 // With -json it instead benchmarks a machine-readable scenario and writes a
@@ -28,7 +29,11 @@
 // workers=1 plus the bit-identical-matching check; `ingest` prices every
 // instance-ingest surface (text parse, zero-copy binary decode with and
 // without streamed fingerprinting, stream read, mmap) with the cross-format
-// fingerprint check on each record.
+// fingerprint check on each record; `shard` sweeps the -shards counts over
+// the sharded serving tier (a poprouter fronting shared-nothing popserved
+// shards) and reports fleet QPS, p50/p99 through the router, the per-shard
+// request distribution, the shed count and the router-vs-direct determinism
+// check.
 package main
 
 import (
@@ -47,9 +52,10 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table ids (T1..T8); empty = all")
 	markdown := flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 	jsonPath := flag.String("json", "", "write the selected -scenario benchmark as JSON to this file ('-' = stdout) and exit")
-	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve|delta|scaling|ingest")
+	scenario := flag.String("scenario", "pool", "benchmark scenario for -json: pool|capacitated|large|ties|serve|delta|scaling|ingest|shard")
 	sizeN := flag.Int("n", 0, "override the scenario's instance size (0 = scenario default; used by CI smoke runs)")
 	workersCSV := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -scenario scaling")
+	shardsCSV := flag.String("shards", "1,2,4", "comma-separated shard counts for -scenario shard")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -80,8 +86,15 @@ func main() {
 				n = 1_000_000
 			}
 			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteScalingJSON(w, seed, n, workers) }
+		case "shard":
+			shardCounts, err := parseWorkers(*shardsCSV)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: invalid -shards: %v\n", err)
+				os.Exit(2)
+			}
+			writeJSON = func(w io.Writer, seed int64) error { return bench.WriteShardJSON(w, seed, *sizeN, shardCounts) }
 		default:
-			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, delta, scaling, ingest)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "popbench: unknown scenario %q (valid: pool, capacitated, large, ties, serve, delta, scaling, ingest, shard)\n", *scenario)
 			os.Exit(2)
 		}
 		if *sizeN != 0 && (*scenario == "pool" || *scenario == "capacitated") {

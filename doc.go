@@ -50,6 +50,21 @@
 // BENCH_serve.json (popbench -scenario serve). See the README's "Serving"
 // section for the curl walkthrough.
 //
+// The serving tier scales horizontally through the shard layer
+// (internal/shard, exposed by the cmd/poprouter daemon): a stateless
+// router that places every instance on a shard by rendezvous-hashing its
+// content fingerprint over the shard list and proxies the full popserved
+// API to the owner. Shards are shared-nothing popserved processes — each
+// owns its registry, cache and solver pool — so placement is
+// deterministic across routers and restarts, a solve through the router
+// is bit-identical to a solve against the owning shard, and one shard is
+// the degenerate case with unchanged single-process behavior. The router
+// adds optional replication with read fail-over, per-shard health probes,
+// in-flight bounds with 429+Retry-After load shedding, per-shard metric
+// series and X-Request-Id propagation; BENCH_shard.json (popbench
+// -scenario shard) records the closed-loop shard-count sweep. See the
+// README's "Sharding" section.
+//
 // Observability is one dependency-free layer (internal/obs): atomic
 // counters and gauges plus lock-free log2-bucketed latency histograms on a
 // named registry with Prometheus text exposition. The serving layer hangs
@@ -103,7 +118,8 @@
 // Instance.Expanded). An Instance is consequently immutable once solved or
 // queried; mutate-then-Invalidate is the documented escape hatch, enforced
 // by `-tags debug` builds. See the README's "Architecture" section for the
-// layer stack (onesided → core.Engine → exec → popmatch → serve → cmd) and
+// layer stack (onesided → core.Engine → exec → popmatch → serve → shard →
+// cmd) and
 // when CSR vs Instance is the right type.
 //
 // The paper's PRAM rounds run on the internal/par substrate: a persistent

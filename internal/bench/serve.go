@@ -52,9 +52,15 @@ type ServeRecord struct {
 	// quantiles gap by more than 20% relative and 1ms absolute — recorded,
 	// not fatal, since the server histogram's log2 buckets make its
 	// quantiles coarse and the client view legitimately includes transport.
-	ServerP50Ms    float64 `json:"server_p50_ms"`
-	ServerP99Ms    float64 `json:"server_p99_ms"`
-	ServerDisagree bool    `json:"server_disagree,omitempty"`
+	// A quantile whose server-side value sits below TransportFloorNs (the
+	// ~50µs per-request HTTP floor) never votes disagree: when the server
+	// answers faster than the transport itself costs, the client-server gap
+	// is transport by construction (typical of the cached workload, where a
+	// hit is a map lookup) and flagging it would be noise, not signal.
+	ServerP50Ms      float64 `json:"server_p50_ms"`
+	ServerP99Ms      float64 `json:"server_p99_ms"`
+	ServerDisagree   bool    `json:"server_disagree,omitempty"`
+	TransportFloorNs int64   `json:"transport_floor_ns"`
 	// Server-side counters over the loaded phase (see serve.Stats).
 	Solves          int64 `json:"solves"`
 	Batches         int64 `json:"batches"`
@@ -154,7 +160,16 @@ func serveWorkload(name string, seed int64, n, cacheSize int) (ServeRecord, erro
 	lat := srv.SolveLatency()
 	serverP50 := lat.Quantile(0.50) // ns
 	serverP99 := lat.Quantile(0.99)
+	// transportFloorNs is the per-request HTTP overhead floor: loopback
+	// connection handling, header parsing and JSON encode/decode cost on the
+	// order of tens of microseconds, so a server-side quantile below 50µs is
+	// guaranteed to gap the client view by mostly-transport. See the
+	// ServeRecord field comment for the suppression rule.
+	const transportFloorNs = 50_000
 	disagree := func(clientNs, serverNs float64) bool {
+		if serverNs < transportFloorNs {
+			return false
+		}
 		diff := math.Abs(clientNs - serverNs)
 		return diff > 1e6 && diff > 0.20*math.Max(clientNs, serverNs)
 	}
@@ -174,13 +189,14 @@ func serveWorkload(name string, seed int64, n, cacheSize int) (ServeRecord, erro
 		ServerP99Ms: serverP99 / 1e6,
 		ServerDisagree: disagree(float64(pct(0.50)), serverP50) &&
 			disagree(float64(pct(0.99)), serverP99),
-		Solves:          st["solves"],
-		Batches:         st["batches"],
-		BatchedRequests: st["batched_requests"],
-		MaxBatch:        st["max_batch"],
-		Coalesced:       st["coalesced"],
-		CacheHits:       st["cache_hits"],
-		CacheMisses:     st["cache_misses"],
+		TransportFloorNs: transportFloorNs,
+		Solves:           st["solves"],
+		Batches:          st["batches"],
+		BatchedRequests:  st["batched_requests"],
+		MaxBatch:         st["max_batch"],
+		Coalesced:        st["coalesced"],
+		CacheHits:        st["cache_hits"],
+		CacheMisses:      st["cache_misses"],
 	}, nil
 }
 

@@ -22,7 +22,9 @@ import (
 //
 //	POST   /v1/instances       upload an instance (text or binary body) → info
 //	GET    /v1/instances       list registered instances
-//	GET    /v1/instances/{id}  one instance's info
+//	GET    /v1/instances/{id}  one instance's info; with
+//	                           Accept: application/x-popmatch-binary, the
+//	                           instance's .pmb binary encoding instead
 //	DELETE /v1/instances/{id}  evict an instance (and its cached results)
 //	POST   /v1/solve           {"instance": id, "mode": m} → solution
 //	POST   /v1/verify          {"instance": id, "post_of": [...]} → verdict
@@ -188,6 +190,23 @@ func (e errUnsupportedMediaType) Error() string {
 	return fmt.Sprintf("serve: unsupported Content-Type %q (supported: %s)", e.ct, uploadContentTypes)
 }
 
+// acceptsBinary reports whether an Accept header asks for the binary
+// instance format: any listed media range equal to ContentTypeBinary
+// (parameters such as q-values ignored). The JSON info response stays the
+// default for absent, */* and application/* ranges — binary is opt-in by
+// exact type.
+func acceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = part[:i]
+		}
+		if strings.EqualFold(strings.TrimSpace(part), ContentTypeBinary) {
+			return true
+		}
+	}
+	return false
+}
+
 // readInstanceBody parses an upload body according to its Content-Type,
 // reporting which wire format it used. Explicit types dispatch directly;
 // generic or absent types are sniffed: binary encodings start with the
@@ -274,6 +293,14 @@ func NewHandler(s *Server) http.Handler {
 		snap, ok := s.Instance(r.PathValue("id"))
 		if !ok {
 			writeError(w, r, http.StatusNotFound, ErrUnknownInstance)
+			return
+		}
+		if acceptsBinary(r.Header.Get("Accept")) {
+			// Binary download: the instance's canonical .pmb encoding, the
+			// same bytes a binary upload of this content would carry — a
+			// downloaded instance re-uploads (anywhere) to the same id.
+			w.Header().Set("Content-Type", ContentTypeBinary)
+			_ = onesided.WriteBinary(w, snap.Ins)
 			return
 		}
 		writeJSON(w, http.StatusOK, infoOf(snap))

@@ -423,3 +423,101 @@ func TestHTTPSessionLifecycle(t *testing.T) {
 		t.Fatalf("get of deleted session: %d", st)
 	}
 }
+
+// TestHTTPBinaryDownload pins the instance-download content negotiation:
+// GET /v1/instances/{id} with Accept: application/x-popmatch-binary returns
+// the instance's .pmb encoding — decodable, fingerprint-identical to the
+// registered content, re-uploadable to the same id — while the default
+// Accept keeps returning the JSON info, and downloads of capacitated
+// instances carry their capacities.
+func TestHTTPBinaryDownload(t *testing.T) {
+	_, h := newHTTPServer(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	info := h.upload(onesided.Solvable(rng, 40, 12, 4))
+
+	get := func(accept string) (*http.Response, []byte) {
+		req, err := http.NewRequest("GET", h.base+"/v1/instances/"+info.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := h.c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, raw
+	}
+
+	resp, raw := get(ContentTypeBinary)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != ContentTypeBinary {
+		t.Fatalf("binary download: status %d, Content-Type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	ins, err := onesided.DecodeBinary(raw)
+	if err != nil {
+		t.Fatalf("downloaded body does not decode: %v", err)
+	}
+	if fp := ins.Fingerprint(); fp != info.ID {
+		t.Fatalf("downloaded fingerprint %s != registered id %s", fp, info.ID)
+	}
+	// Round trip: the downloaded bytes re-upload to the same id.
+	var re instanceInfo
+	if st := h.do("POST", "/v1/instances", ContentTypeBinary, raw, &re); st != http.StatusOK || re.ID != info.ID {
+		t.Fatalf("re-upload of download: status %d id %s (want 200 %s)", st, re.ID, info.ID)
+	}
+
+	// q-values and extra ranges still negotiate binary; default and */*
+	// stay JSON.
+	if resp, _ := get("text/html, application/x-popmatch-binary;q=0.9"); resp.Header.Get("Content-Type") != ContentTypeBinary {
+		t.Fatalf("Accept list with binary member got %q", resp.Header.Get("Content-Type"))
+	}
+	for _, accept := range []string{"", "*/*", "application/json"} {
+		resp, raw := get(accept)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Accept %q: Content-Type %q, want JSON info", accept, ct)
+		}
+		var got instanceInfo
+		if err := json.Unmarshal(raw, &got); err != nil || got.ID != info.ID {
+			t.Fatalf("Accept %q: bad info response %q (%v)", accept, raw, err)
+		}
+	}
+
+	// Capacitated download keeps capacities.
+	capIns := onesided.RandomCapacitated(rng, 20, 6, 2, 4, 3)
+	capInfo := h.upload(capIns)
+	req, _ := http.NewRequest("GET", h.base+"/v1/instances/"+capInfo.ID, nil)
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp2, err := h.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	capBack, err := onesided.DecodeBinary(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capBack.UnitCapacity() || capBack.Fingerprint() != capInfo.ID {
+		t.Fatalf("capacitated download lost capacities or content: unit=%v fp=%s want %s",
+			capBack.UnitCapacity(), capBack.Fingerprint(), capInfo.ID)
+	}
+
+	// Unknown id still 404s regardless of Accept.
+	req, _ = http.NewRequest("GET", h.base+"/v1/instances/nope", nil)
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp3, err := h.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("binary download of unknown id: %d", resp3.StatusCode)
+	}
+}

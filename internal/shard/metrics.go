@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the router's registered metric surface: fleet-wide
+// counters, a proxy-latency histogram, and one labeled series per shard
+// (requests, connection errors, health, in-flight) so an operator sees the
+// request distribution and each shard's state from one scrape.
+type routerMetrics struct {
+	reg obs.Registry
+
+	// proxied counts requests the router routed (or refused); shed the
+	// subset refused with 429 because every candidate shard was at the
+	// in-flight bound.
+	proxied obs.Counter
+	shed    obs.Counter
+	// proxy times individual upstream attempts (connection + shard
+	// response), not whole router requests — a retried request observes once
+	// per attempt, which is the latency an operator needs to see per shard
+	// hop.
+	proxy *obs.Histogram
+}
+
+// newRouterMetrics builds and registers the metric surface of rt. Per-shard
+// series are labeled by the shard's host:port; the gauges close over the
+// shard states, reporting live values at exposition time.
+func newRouterMetrics(rt *Router) *routerMetrics {
+	m := &routerMetrics{}
+	r := &m.reg
+
+	r.RegisterCounter("poprouter_requests_total",
+		"Requests the router routed, including ones it refused itself.", &m.proxied)
+	r.RegisterCounter("poprouter_shed_total",
+		"Requests refused with 429 because every candidate shard was at the in-flight bound.", &m.shed)
+	m.proxy = r.Histogram("poprouter_proxy_duration_seconds",
+		"Duration of individual upstream proxy attempts (a retried request observes once per attempt).", 1e-9)
+
+	r.Gauge("poprouter_shards", "Configured shards.", func() int64 { return int64(len(rt.states)) })
+	r.Gauge("poprouter_shards_healthy", "Shards currently passing health checks.",
+		func() int64 { return int64(rt.healthyCount()) })
+
+	for _, name := range rt.order {
+		st := rt.states[name]
+		r.Gauge(fmt.Sprintf("poprouter_shard_healthy{shard=%q}", st.label),
+			"Whether the shard is currently considered healthy (1) or not (0).",
+			func() int64 {
+				if st.healthy.Load() {
+					return 1
+				}
+				return 0
+			})
+		r.Gauge(fmt.Sprintf("poprouter_shard_inflight{shard=%q}", st.label),
+			"Requests currently in flight from the router to the shard.", st.inflight.Load)
+		r.RegisterCounter(fmt.Sprintf("poprouter_shard_requests_total{shard=%q}", st.label),
+			"Requests proxied to the shard.", &st.requests)
+		r.RegisterCounter(fmt.Sprintf("poprouter_shard_errors_total{shard=%q}", st.label),
+			"Connection-level failures against the shard.", &st.errors)
+	}
+	return m
+}
+
+// WriteMetrics writes every router metric in Prometheus text exposition
+// format; the HTTP surface serves it as GET /metrics.
+func (rt *Router) WriteMetrics(w io.Writer) error {
+	return rt.metrics.reg.WritePrometheus(w)
+}
+
+// RouterStats is a point-in-time snapshot of the router's own counters (not
+// the shards'): the bench harness reads the per-shard request distribution
+// and the shed count from it.
+type RouterStats struct {
+	Proxied int64
+	Shed    int64
+	// PerShardRequests maps shard base URL to requests proxied there.
+	PerShardRequests map[string]int64
+	// Healthy maps shard base URL to its current health-check state.
+	Healthy map[string]bool
+}
+
+// Snapshot returns the router's counter snapshot.
+func (rt *Router) Snapshot() RouterStats {
+	s := RouterStats{
+		Proxied:          rt.metrics.proxied.Load(),
+		Shed:             rt.metrics.shed.Load(),
+		PerShardRequests: make(map[string]int64, len(rt.states)),
+		Healthy:          make(map[string]bool, len(rt.states)),
+	}
+	for name, st := range rt.states {
+		s.PerShardRequests[name] = st.requests.Load()
+		s.Healthy[name] = st.healthy.Load()
+	}
+	return s
+}
